@@ -1,0 +1,14 @@
+"""Benchmark (ablation): naive identical transmission vs Alamouti smart combining (§6)."""
+
+from bench_utils import report
+
+from repro.experiments import ablation_combining
+
+
+def test_ablation_combining(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_combining.run(n_realizations=400), rounds=1, iterations=1
+    )
+    report(result)
+    # The Smart Combiner removes (nearly all) destructive deep fades.
+    assert result.summary["alamouti_deep_fade_fraction"] < result.summary["naive_deep_fade_fraction"] / 3.0

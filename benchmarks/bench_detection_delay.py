@@ -1,0 +1,17 @@
+"""Benchmark (ablation): phase-slope detection-delay estimation accuracy (§4.2a)."""
+
+from bench_utils import report
+
+from repro.experiments import ablation_slope
+
+
+def test_detection_delay_estimators(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_slope.run(delays_samples=(1.0, 2.0, 4.0, 8.0), n_trials=12),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # The windowed estimator resolves delays to a small fraction of a sample
+    # (tens of nanoseconds), which is what enables symbol-level sync.
+    assert result.summary["windowed_median_error_ns"] < 25.0

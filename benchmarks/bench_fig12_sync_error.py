@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 12 (95th-percentile synchronization error vs SNR)."""
+
+from bench_utils import report
+
+from repro.experiments import fig12_sync_error
+
+
+def test_fig12_sync_error(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12_sync_error.run(
+            snr_points_db=(6.0, 12.0, 20.0),
+            n_topologies=2,
+            n_measurements=4,
+            repetitions_per_measurement=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Shape check: the residual error stays far below a symbol time.  The
+    # paper's FPGA prototype reports < 20 ns at the 95th percentile; our
+    # software detector and reduced averaging leave a larger low-SNR tail,
+    # but the error remains a small fraction of the 800 ns cyclic prefix.
+    assert result.summary["worst_p95_ns"] < 300.0

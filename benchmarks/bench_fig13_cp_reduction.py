@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 13 (joint-transmission SNR vs cyclic prefix)."""
+
+from bench_utils import report
+
+from repro.experiments import fig13_cp_reduction
+
+
+def test_fig13_cp_reduction(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig13_cp_reduction.run(
+            cp_values_samples=(0, 2, 4, 8, 16, 24, 32), n_frames=2, seed=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Shape check: SourceSync saturates at a (much) smaller CP than the
+    # unsynchronized baseline (117 ns vs 469 ns in the paper).
+    assert (
+        result.summary["sourcesync_cp_for_95pct_peak_ns"]
+        <= result.summary["baseline_cp_for_95pct_peak_ns"]
+    )

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 14 (time-domain channel delay spread)."""
+
+from bench_utils import report
+
+from repro.experiments import fig14_delay_spread
+
+
+def test_fig14_delay_spread(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig14_delay_spread.run(n_realizations=300), rounds=1, iterations=1
+    )
+    report(result)
+    # Shape check: roughly 15 significant taps as in the paper.
+    assert 10 <= result.summary["significant_taps"] <= 20

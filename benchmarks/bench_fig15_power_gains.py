@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 15 (power gains per SNR regime)."""
+
+from bench_utils import report
+
+from repro.experiments import fig15_power_gains
+
+
+def test_fig15_power_gains(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig15_power_gains.run(n_placements=4), rounds=1, iterations=1
+    )
+    report(result)
+    # Shape check: SourceSync gains roughly 2-3 dB of average SNR.
+    assert result.summary["min_gain_db"] > 0.5
+    assert result.summary["max_gain_db"] < 5.0

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 16 (per-subcarrier SNR profiles / frequency diversity)."""
+
+from bench_utils import report
+
+from repro.experiments import fig16_frequency_diversity
+
+
+def test_fig16_frequency_diversity(benchmark):
+    result = benchmark.pedantic(lambda: fig16_frequency_diversity.run(), rounds=1, iterations=1)
+    report(result)
+    # Shape check: the joint profile is flatter than the single-sender ones
+    # in at least one regime that produced a measurement.
+    flatness_pairs = [
+        (result.summary[f"{regime}_single_flatness_db"], result.summary[f"{regime}_sourcesync_flatness_db"])
+        for regime in ("low", "medium", "high")
+        if f"{regime}_single_flatness_db" in result.summary
+    ]
+    assert flatness_pairs, "no regime produced a profile"
+    assert any(joint < single for single, joint in flatness_pairs)

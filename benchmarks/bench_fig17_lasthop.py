@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 17 (last-hop throughput CDF, best AP vs SourceSync)."""
+
+from bench_utils import report
+
+from repro.experiments import fig17_lasthop
+
+
+def test_fig17_lasthop(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig17_lasthop.run(n_placements=20, n_packets=120), rounds=1, iterations=1
+    )
+    report(result)
+    # Shape check: a clear median gain over the single best AP (paper: 1.57x).
+    assert result.summary["median_gain"] > 1.1

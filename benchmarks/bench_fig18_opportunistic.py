@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 18 (opportunistic routing throughput CDFs at 6 and 12 Mbps)."""
+
+from bench_utils import report
+
+from repro.experiments import fig18_opportunistic
+
+
+def test_fig18_opportunistic(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig18_opportunistic.run(rates_mbps=(6.0, 12.0), n_topologies=15, batch_size=20),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # Shape checks: ExOR beats single path, and ExOR+SourceSync beats both
+    # (paper: 1.26-1.4x and 1.7-2x over single path respectively).
+    for tag in ("6mbps", "12mbps"):
+        assert result.summary[f"exor_over_single_{tag}"] > 1.0
+        assert result.summary[f"sourcesync_over_single_{tag}"] > result.summary[f"exor_over_single_{tag}"] * 0.95
+    assert result.summary["sourcesync_over_exor_12mbps"] > 1.1

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the §4.4 synchronization-overhead table."""
+
+from bench_utils import report
+
+from repro.experiments import overhead
+
+
+def test_overhead_table(benchmark):
+    result = benchmark.pedantic(lambda: overhead.run(), rounds=1, iterations=1)
+    report(result)
+    # Paper: 1.7% for two senders, 2.8% for five (1 us symbols); with 4 us
+    # 802.11 symbols the same header costs a little more but stays small.
+    assert result.summary["two_senders_percent"] < 3.0
+    assert result.summary["five_senders_percent"] < 7.0

@@ -1,0 +1,7 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def report(result) -> None:
+    """Print an experiment report beneath the benchmark output."""
+    print()
+    print(result.report())

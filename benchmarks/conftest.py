@@ -1,0 +1,7 @@
+"""Make the library importable when the package is not installed."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,50 @@
+"""Last-hop sender diversity: two APs jointly serve a WLAN client (§7.1, Fig. 17).
+
+A wired-side SourceSync controller associates a client with its two nearest
+APs, designates a lead AP, and has both APs transmit every downlink packet
+simultaneously.  The script compares the downlink goodput against the
+selective-diversity baseline (single best AP) for several client positions,
+with SampleRate adapting the bit rate in both cases.
+
+Run with:  python examples/lasthop_diversity.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.channel.propagation import PathLossModel
+from repro.lasthop import SourceSyncController, simulate_downlink
+from repro.net.topology import Testbed
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    client_positions = [(12.0, 20.0), (22.0, 28.0), (30.0, 15.0), (20.0, 38.0), (35.0, 30.0)]
+
+    print(f"{'client position':>18s} | {'best AP (Mbps)':>15s} | {'SourceSync (Mbps)':>18s} | {'gain':>6s}")
+    print("-" * 68)
+    gains = []
+    for position in client_positions:
+        testbed = Testbed.from_positions(
+            [(0.0, 0.0), (45.0, 0.0), position],
+            rng=rng,
+            path_loss=PathLossModel(exponent=3.5, shadowing_sigma_db=5.0),
+        )
+        controller = SourceSyncController(testbed, ap_ids=[0, 1], max_aps_per_client=2)
+        best = simulate_downlink(testbed, controller, 2, scheme="best_ap", n_packets=200, rng=rng)
+        joint = simulate_downlink(testbed, controller, 2, scheme="sourcesync", n_packets=200, rng=rng)
+        gain = joint.throughput_mbps / max(best.throughput_mbps, 1e-9)
+        gains.append(gain)
+        print(f"{str(position):>18s} | {best.throughput_mbps:15.2f} | {joint.throughput_mbps:18.2f} | {gain:5.2f}x")
+
+    print("-" * 68)
+    print(f"median gain over these placements: {np.median(gains):.2f}x "
+          "(the paper's Fig. 17 reports a median of 1.57x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: one SourceSync joint transmission, end to end.
+
+Two senders (a lead and a co-sender) deliver the same packet to one receiver
+over simulated indoor channels.  The script runs the full architecture:
+
+1. probe exchanges measure pair-wise propagation delays and CFOs (§4.2, §5);
+2. the co-sender synchronizes to the lead's synchronization header and the
+   tracking loop trims its wait time (§4.3-§4.5);
+3. a joint frame is transmitted, combined on the channel, and decoded by the
+   joint receiver with per-sender channel estimation and Alamouti combining
+   (§5, §6);
+4. the same packet is also sent by the lead alone, to show the SNR gain.
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.core import JointTopology, SourceSyncConfig, SourceSyncSession
+from repro.phy import bits as bitutils
+from repro.phy.params import DEFAULT_PARAMS
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+
+    # Lead->receiver and co-sender->receiver links both at ~12 dB, a strong
+    # lead->co-sender link (they are close to each other), realistic
+    # propagation distances and independent oscillators per node.
+    topology = JointTopology.from_snrs(
+        rng,
+        lead_rx_snr_db=12.0,
+        cosender_rx_snr_db=[12.0],
+        lead_cosender_snr_db=[22.0],
+        lead_rx_distance_m=25.0,
+        cosender_rx_distance_m=[35.0],
+        lead_cosender_distance_m=[12.0],
+    )
+    session = SourceSyncSession(topology, SourceSyncConfig(), rng=rng)
+
+    print("== measurement phase (probes) ==")
+    session.measure_delays()
+    state = session._states[0]
+    print(f"  lead->co-sender delay estimate : {state.lead_to_cosender_samples:6.2f} samples "
+          f"(true {topology.links_lead_cosender[0].delay_samples:.2f})")
+    print(f"  lead->receiver delay estimate  : {state.lead_to_receiver_samples:6.2f} samples "
+          f"(true {topology.link_lead_rx.delay_samples:.2f})")
+    print(f"  co-sender CFO pre-correction   : {state.cfo_to_lead_hz/1e3:6.1f} kHz")
+
+    print("== tracking loop (§4.5) ==")
+    session.converge_tracking(rounds=5)
+    outcome = session.run_header_exchange(apply_tracking_feedback=False)
+    if outcome.measured_misalignment and outcome.measured_misalignment.misalignments_samples:
+        residual_ns = outcome.measured_misalignment.misalignments_samples[0] * DEFAULT_PARAMS.sample_period_ns
+        print(f"  residual misalignment measured by the receiver: {residual_ns:6.1f} ns")
+
+    print("== joint frame vs single sender ==")
+    payload = bitutils.random_payload(300, rng)
+    joint = session.run_joint_frame(payload, rate_mbps=12.0, genie_timing=True)
+    single = session.run_single_sender_frame(payload, rate_mbps=12.0, genie_timing=True)
+    print(f"  joint transmission : decoded={joint.result.success}  SNR={joint.result.snr_db:5.1f} dB")
+    print(f"  lead sender alone  : decoded={single.result.success}  SNR={single.result.snr_db:5.1f} dB")
+    print(f"  sender-diversity SNR gain: {joint.result.snr_db - single.result.snr_db:4.1f} dB "
+          "(the paper reports 2-3 dB for two equal-power senders)")
+    assert joint.result.payload == payload
+
+
+if __name__ == "__main__":
+    main()

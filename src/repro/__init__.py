@@ -1,0 +1,38 @@
+"""SourceSync reproduction library.
+
+A from-scratch Python implementation of *SourceSync: A Distributed Wireless
+Architecture for Exploiting Sender Diversity* (Rahul, Hassanieh, Katabi —
+SIGCOMM 2010), together with every substrate the paper's evaluation depends
+on: an 802.11a/g-like OFDM PHY, multipath channel and radio-hardware models,
+a discrete-event MAC/network simulator, ExOR opportunistic routing,
+single-path routing, last-hop AP diversity, SampleRate rate adaptation, and
+an experiment harness that regenerates every figure of the paper's
+evaluation section.
+
+Top-level layout
+----------------
+``repro.phy``
+    OFDM physical layer (coding, modulation, framing, detection, equalisation).
+``repro.channel``
+    Multipath/fading channel, AWGN, oscillator offsets, propagation delay.
+``repro.hardware``
+    Radio front-end model: detection latency, turnaround delay, sample clock.
+``repro.core``
+    The paper's contribution: symbol-level synchronizer, joint channel
+    estimator, smart combiner, joint frame format, lead/co-sender and joint
+    receiver logic.
+``repro.net``
+    Nodes, testbed topology, ETX link metrics, CSMA MAC, event simulator.
+``repro.routing``
+    Single-path routing, ExOR, and ExOR+SourceSync.
+``repro.lasthop``
+    Multi-AP downlink diversity with a wired controller and SampleRate.
+``repro.analysis``
+    SNR/throughput metrics, CDFs and summary statistics.
+``repro.experiments``
+    One module per paper figure/table, regenerating the reported results.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,41 @@
+"""Analysis utilities: SNR profiles, error models, CDFs and metrics."""
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.error_models import (
+    combined_subcarrier_snr,
+    delivery_probability,
+    effective_snr_db,
+    packet_error_rate,
+)
+from repro.analysis.metrics import (
+    evm_db,
+    evm_to_snr_db,
+    median_gain,
+    percentile,
+    throughput_mbps,
+)
+from repro.analysis.snr import (
+    SNR_REGIMES,
+    average_snr_db,
+    flatness_db,
+    snr_regime,
+    subcarrier_snr_profile,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "combined_subcarrier_snr",
+    "delivery_probability",
+    "effective_snr_db",
+    "packet_error_rate",
+    "evm_db",
+    "evm_to_snr_db",
+    "median_gain",
+    "percentile",
+    "throughput_mbps",
+    "SNR_REGIMES",
+    "average_snr_db",
+    "flatness_db",
+    "snr_regime",
+    "subcarrier_snr_profile",
+]

@@ -1,0 +1,70 @@
+"""Empirical CDFs, the presentation format of the paper's throughput figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EmpiricalCDF"]
+
+
+@dataclass
+class EmpiricalCDF:
+    """An empirical cumulative distribution function over scalar samples.
+
+    The paper reports last-hop and opportunistic-routing results as CDFs of
+    per-placement throughput (Figs. 17 and 18); this class reproduces those
+    curves and the summary statistics quoted in the text.
+    """
+
+    samples: np.ndarray
+
+    def __init__(self, samples: np.ndarray | list[float]):
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.ndim != 1:
+            raise ValueError("samples must be 1-D")
+        if samples.size == 0:
+            raise ValueError("an empirical CDF needs at least one sample")
+        self.samples = np.sort(samples)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, x: float | np.ndarray) -> np.ndarray:
+        """Fraction of samples less than or equal to ``x``."""
+        return np.searchsorted(self.samples, np.asarray(x, dtype=np.float64), side="right") / self.samples.size
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        return float(np.quantile(self.samples, q))
+
+    @property
+    def median(self) -> float:
+        """Median of the samples."""
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the samples."""
+        return float(self.samples.mean())
+
+    def median_gain_over(self, baseline: "EmpiricalCDF") -> float:
+        """Ratio of medians relative to a baseline CDF.
+
+        This is how the paper summarises Figs. 17/18 ("median throughput
+        gain of 1.57x").
+        """
+        base = baseline.median
+        if base <= 0:
+            raise ValueError("baseline median must be positive")
+        return self.median / base
+
+    def curve(self, n_points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) pairs suitable for plotting or tabulating the CDF."""
+        xs = np.linspace(self.samples[0], self.samples[-1], n_points)
+        return xs, self.evaluate(xs)
+
+    def table(self, fractions: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9)) -> dict[float, float]:
+        """Quantile table used by the benchmark harnesses to print figures."""
+        return {f: self.quantile(f) for f in fractions}

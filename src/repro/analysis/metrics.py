@@ -1,0 +1,60 @@
+"""Throughput / airtime / EVM metrics used by the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "evm_db",
+    "evm_to_snr_db",
+    "throughput_mbps",
+    "median_gain",
+    "percentile",
+]
+
+
+def evm_db(equalized: np.ndarray, reference: np.ndarray) -> float:
+    """Error vector magnitude (dB) of equalised symbols against the reference."""
+    equalized = np.asarray(equalized, dtype=np.complex128).ravel()
+    reference = np.asarray(reference, dtype=np.complex128).ravel()
+    if equalized.shape != reference.shape:
+        raise ValueError("equalized and reference must have the same shape")
+    error = np.mean(np.abs(equalized - reference) ** 2)
+    power = np.mean(np.abs(reference) ** 2)
+    return float(10.0 * np.log10(max(error / max(power, 1e-30), 1e-30)))
+
+
+def evm_to_snr_db(equalized: np.ndarray, reference: np.ndarray) -> float:
+    """Effective post-equalisation SNR implied by the EVM.
+
+    This is the "average receiver SNR of a joint transmission" metric used
+    for the CP-sweep experiment (Fig. 13): residual inter-symbol
+    interference from a too-short CP shows up as EVM degradation even when
+    the thermal noise is unchanged.
+    """
+    return -evm_db(equalized, reference)
+
+
+def throughput_mbps(delivered_payload_bits: float, elapsed_us: float) -> float:
+    """Throughput in Mbps for a number of delivered bits over elapsed airtime."""
+    if elapsed_us <= 0:
+        raise ValueError("elapsed time must be positive")
+    return float(delivered_payload_bits / elapsed_us)
+
+
+def median_gain(values_new: np.ndarray, values_baseline: np.ndarray) -> float:
+    """Median of the element-wise ratio new/baseline (paired samples)."""
+    values_new = np.asarray(values_new, dtype=np.float64)
+    values_baseline = np.asarray(values_baseline, dtype=np.float64)
+    if values_new.shape != values_baseline.shape:
+        raise ValueError("paired gain requires equal-length arrays")
+    safe = np.maximum(values_baseline, 1e-12)
+    return float(np.median(values_new / safe))
+
+
+def percentile(values: np.ndarray, q: float) -> float:
+    """Percentile helper that tolerates empty input (returns NaN)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return float("nan")
+    return float(np.percentile(values, q))

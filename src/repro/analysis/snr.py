@@ -1,0 +1,75 @@
+"""Per-subcarrier SNR profiles for single and joint transmissions.
+
+These helpers generate and manipulate the per-subcarrier SNR vectors used
+throughout the link-level experiments (Figs. 15 and 16 directly plot them;
+Figs. 17 and 18 feed them into the error models).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.awgn import db_to_linear, linear_to_db
+from repro.channel.multipath import DEFAULT_PROFILE, MultipathChannel, MultipathProfile
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+
+__all__ = [
+    "subcarrier_snr_profile",
+    "average_snr_db",
+    "flatness_db",
+    "snr_regime",
+    "SNR_REGIMES",
+]
+
+#: SNR regime boundaries used in §8.2: low (<6 dB), medium (6-12 dB), high (>12 dB).
+SNR_REGIMES = {
+    "low": (float("-inf"), 6.0),
+    "medium": (6.0, 12.0),
+    "high": (12.0, float("inf")),
+}
+
+
+def subcarrier_snr_profile(
+    average_snr_db_value: float,
+    rng: np.random.Generator | None = None,
+    profile: MultipathProfile = DEFAULT_PROFILE,
+    params: OFDMParams = DEFAULT_PARAMS,
+    channel: MultipathChannel | None = None,
+) -> np.ndarray:
+    """Per-subcarrier SNR (dB) of one link realisation with a target average.
+
+    A multipath channel realisation is drawn (or supplied), normalised to
+    unit average power, and evaluated on the occupied subcarriers; the
+    requested average SNR scales the whole profile.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    if channel is None:
+        channel = MultipathChannel.random(profile, rng).normalized()
+    response = channel.frequency_response(params.n_fft)
+    occupied = params.occupied_bins()
+    gains = np.abs(response[occupied]) ** 2
+    gains = gains / np.mean(gains)
+    return np.asarray(linear_to_db(gains * db_to_linear(average_snr_db_value)))
+
+
+def average_snr_db(per_subcarrier_snr_db: np.ndarray) -> float:
+    """Average SNR (dB of the mean linear SNR) across subcarriers."""
+    snrs = np.asarray(per_subcarrier_snr_db, dtype=np.float64)
+    return float(linear_to_db(np.mean(db_to_linear(snrs))))
+
+
+def flatness_db(per_subcarrier_snr_db: np.ndarray) -> float:
+    """Standard deviation of the per-subcarrier SNR in dB.
+
+    The paper's Fig. 16 argues SourceSync's profile is *flatter* than either
+    sender's; this scalar summarises that flatness (smaller = flatter).
+    """
+    return float(np.std(np.asarray(per_subcarrier_snr_db, dtype=np.float64)))
+
+
+def snr_regime(average_snr: float) -> str:
+    """Classify an average SNR into the paper's low/medium/high regimes."""
+    for name, (low, high) in SNR_REGIMES.items():
+        if low <= average_snr < high:
+            return name
+    return "high"

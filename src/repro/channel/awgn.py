@@ -1,0 +1,82 @@
+"""Additive white Gaussian noise and SNR helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "awgn",
+    "noise_power_for_snr",
+    "add_noise_for_snr",
+    "measure_snr_db",
+    "db_to_linear",
+    "linear_to_db",
+]
+
+
+def db_to_linear(value_db: float | np.ndarray) -> float | np.ndarray:
+    """Convert decibels to a linear power ratio."""
+    return 10.0 ** (np.asarray(value_db, dtype=np.float64) / 10.0)
+
+
+def linear_to_db(value: float | np.ndarray, floor: float = 1e-15) -> float | np.ndarray:
+    """Convert a linear power ratio to decibels (clamped away from zero)."""
+    return 10.0 * np.log10(np.maximum(np.asarray(value, dtype=np.float64), floor))
+
+
+def awgn(
+    n_samples: int,
+    noise_power: float,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Complex AWGN samples with the given total (complex) power per sample."""
+    if noise_power < 0:
+        raise ValueError("noise_power must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng()
+    scale = np.sqrt(noise_power / 2.0)
+    return scale * (rng.normal(size=n_samples) + 1j * rng.normal(size=n_samples))
+
+
+def noise_power_for_snr(signal_power: float, snr_db: float) -> float:
+    """Noise power that yields the requested SNR for a given signal power."""
+    if signal_power < 0:
+        raise ValueError("signal_power must be non-negative")
+    return signal_power / float(db_to_linear(snr_db))
+
+
+def add_noise_for_snr(
+    samples: np.ndarray,
+    snr_db: float,
+    rng: np.random.Generator | None = None,
+    signal_power: float | None = None,
+) -> np.ndarray:
+    """Add AWGN so the result has the requested SNR.
+
+    Parameters
+    ----------
+    samples:
+        Signal samples (may include silent gaps; pass ``signal_power`` to
+        reference the SNR to the active part of the waveform instead of the
+        empirical mean power).
+    snr_db:
+        Target signal-to-noise ratio in dB.
+    signal_power:
+        Reference signal power; defaults to the mean power of ``samples``.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if signal_power is None:
+        signal_power = float(np.mean(np.abs(samples) ** 2))
+    noise_power = noise_power_for_snr(signal_power, snr_db)
+    return samples + awgn(samples.size, noise_power, rng)
+
+
+def measure_snr_db(signal: np.ndarray, noisy: np.ndarray) -> float:
+    """Empirical SNR of ``noisy`` relative to the clean ``signal``."""
+    signal = np.asarray(signal, dtype=np.complex128)
+    noisy = np.asarray(noisy, dtype=np.complex128)
+    if signal.shape != noisy.shape:
+        raise ValueError("signal and noisy must have the same shape")
+    noise = noisy - signal
+    sig_power = float(np.mean(np.abs(signal) ** 2))
+    noise_power = float(np.mean(np.abs(noise) ** 2))
+    return float(linear_to_db(sig_power / max(noise_power, 1e-30)))

@@ -1,0 +1,180 @@
+"""Per-link channel emulation and multi-sender signal combination.
+
+This module is the glue between individual channel impairments and the
+SourceSync experiments: a :class:`Link` bundles everything that happens to a
+signal between one sender and one receiver (path-loss gain, multipath,
+carrier-frequency offset, propagation delay), and :func:`combine_at_receiver`
+sums the contributions of several concurrent senders at a receiver — the
+"composite channel" of §5 of the paper — and adds thermal noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.awgn import awgn, db_to_linear
+from repro.channel.multipath import DEFAULT_PROFILE, MultipathChannel, MultipathProfile
+from repro.channel.oscillator import apply_cfo
+from repro.channel.propagation import fractional_delay
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+
+__all__ = ["Link", "Transmission", "combine_at_receiver", "link_for_snr"]
+
+
+@dataclass
+class Link:
+    """Everything the medium does to one sender's signal on its way to one receiver.
+
+    Attributes
+    ----------
+    channel:
+        Small-scale multipath channel realisation (block fading).
+    gain:
+        Scalar amplitude gain from path loss / shadowing.
+    delay_samples:
+        One-way propagation delay in (possibly fractional) samples.
+    cfo_hz:
+        Carrier-frequency offset of the sender relative to the receiver.
+    initial_phase:
+        Carrier phase offset at simulation time zero.
+    sample_rate_hz:
+        Baseband sample rate used to convert the CFO into per-sample rotation.
+    """
+
+    channel: MultipathChannel
+    gain: float = 1.0
+    delay_samples: float = 0.0
+    cfo_hz: float = 0.0
+    initial_phase: float = 0.0
+    sample_rate_hz: float = 20e6
+
+    def received_power(self) -> float:
+        """Average received power for a unit-power transmitted signal."""
+        return float(self.gain**2 * self.channel.average_power())
+
+    def snr_db(self, noise_power: float) -> float:
+        """Average SNR this link delivers over the given noise power."""
+        return float(10.0 * np.log10(max(self.received_power() / max(noise_power, 1e-30), 1e-30)))
+
+    def propagate(self, samples: np.ndarray, start_sample: float = 0.0) -> tuple[np.ndarray, float]:
+        """Apply the link to a transmitted waveform.
+
+        Parameters
+        ----------
+        samples:
+            Transmitted baseband samples.
+        start_sample:
+            Simulation time (in samples) at which the sender begins
+            transmitting; may be fractional (the symbol-level synchronizer
+            schedules co-sender transmissions at sub-sample resolution).
+
+        Returns
+        -------
+        (waveform, start)
+            ``waveform`` is the contribution of this sender as observed at
+            the receiver's antenna, starting at integer sample ``start`` of
+            the simulation timeline (the fractional part of delay + start is
+            realised inside the waveform via a frequency-domain delay).
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        total_delay = float(start_sample) + float(self.delay_samples)
+        integer_delay = int(np.floor(total_delay))
+        fractional = total_delay - integer_delay
+
+        shaped = self.channel.apply(samples * self.gain)
+        if fractional > 1e-9:
+            shaped = fractional_delay(shaped, fractional)
+        # CFO rotation referenced to the receiver's absolute timeline so that
+        # concurrent senders rotate relative to each other exactly as their
+        # oscillators dictate.
+        rotated = apply_cfo(
+            shaped,
+            self.cfo_hz,
+            self.sample_rate_hz,
+            initial_phase=self.initial_phase,
+            start_sample=integer_delay,
+        )
+        return rotated, float(integer_delay)
+
+
+@dataclass
+class Transmission:
+    """One sender's contribution to a received waveform."""
+
+    link: Link
+    samples: np.ndarray = field(repr=False)
+    start_sample: float = 0.0
+
+
+def combine_at_receiver(
+    transmissions: list[Transmission],
+    noise_power: float = 0.0,
+    rng: np.random.Generator | None = None,
+    total_length: int | None = None,
+    leading_silence: int = 0,
+) -> np.ndarray:
+    """Superimpose concurrent transmissions at a receiver and add noise.
+
+    This realises the composite channel of §5: each sender's waveform is
+    independently delayed, faded and rotated by its own link, then all
+    contributions are summed sample-by-sample on the receiver's timeline.
+
+    Parameters
+    ----------
+    transmissions:
+        The concurrent (or sequential) transmissions to combine.
+    noise_power:
+        Complex noise power per sample added on top.
+    total_length:
+        Length of the returned waveform; defaults to just covering the last
+        contribution.
+    leading_silence:
+        Extra noise-only samples prepended before time zero of the timeline.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    contributions: list[tuple[int, np.ndarray]] = []
+    end = 0
+    for tx in transmissions:
+        waveform, start = tx.link.propagate(tx.samples, tx.start_sample)
+        start_idx = int(start) + leading_silence
+        contributions.append((start_idx, waveform))
+        end = max(end, start_idx + waveform.size)
+    length = total_length if total_length is not None else end
+    length = max(length, end)
+    received = np.zeros(length, dtype=np.complex128)
+    for start_idx, waveform in contributions:
+        received[start_idx : start_idx + waveform.size] += waveform
+    if noise_power > 0:
+        received += awgn(length, noise_power, rng)
+    return received
+
+
+def link_for_snr(
+    snr_db: float,
+    noise_power: float = 1.0,
+    profile: MultipathProfile = DEFAULT_PROFILE,
+    rng: np.random.Generator | None = None,
+    delay_samples: float = 0.0,
+    cfo_hz: float = 0.0,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> Link:
+    """Construct a random multipath link delivering a target average SNR.
+
+    The multipath realisation is normalised to unit power and the link gain
+    is set so that a unit-power transmitted waveform arrives with the
+    requested average SNR over the given noise power.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    channel = MultipathChannel.random(profile, rng).normalized()
+    gain = float(np.sqrt(db_to_linear(snr_db) * noise_power))
+    initial_phase = float(rng.uniform(0.0, 2.0 * np.pi))
+    return Link(
+        channel=channel,
+        gain=gain,
+        delay_samples=delay_samples,
+        cfo_hz=cfo_hz,
+        initial_phase=initial_phase,
+        sample_rate_hz=params.bandwidth_hz,
+    )

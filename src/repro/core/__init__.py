@@ -1,0 +1,49 @@
+"""SourceSync core: the paper's contribution.
+
+Sub-packages:
+
+* :mod:`repro.core.sync` — Symbol Level Synchronizer (§4)
+* :mod:`repro.core.channel_est` — Joint Channel Estimator (§5)
+* :mod:`repro.core.combining` — Smart Combiner (§6)
+
+Top-level modules tie those together into senders, a joint receiver and an
+end-to-end simulated session:
+
+* :mod:`repro.core.frame` — joint frame format and timing (§4.4)
+* :mod:`repro.core.sender` — lead sender / co-sender waveform construction
+* :mod:`repro.core.receiver` — joint receiver
+* :mod:`repro.core.session` — full joint-transmission simulation
+* :mod:`repro.core.config` — configuration knobs
+"""
+
+from repro.core.config import SourceSyncConfig
+from repro.core.frame import JointFrameLayout, SyncHeader, make_joint_frame_config
+from repro.core.receiver import JointReceiveResult, JointReceiver
+from repro.core.sender import CoSender, LeadSender
+from repro.core.session import (
+    HeaderExchangeOutcome,
+    JointFrameOutcome,
+    JointTopology,
+    NodeProfile,
+    SourceSyncSession,
+    SyncTrialResult,
+)
+from repro.core.combining import SmartCombiner
+
+__all__ = [
+    "SourceSyncConfig",
+    "JointFrameLayout",
+    "SyncHeader",
+    "make_joint_frame_config",
+    "JointReceiver",
+    "JointReceiveResult",
+    "LeadSender",
+    "CoSender",
+    "SourceSyncSession",
+    "JointTopology",
+    "NodeProfile",
+    "JointFrameOutcome",
+    "HeaderExchangeOutcome",
+    "SyncTrialResult",
+    "SmartCombiner",
+]

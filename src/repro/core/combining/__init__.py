@@ -1,0 +1,25 @@
+"""Smart Combiner: distributed space-time block coding (§6)."""
+
+from repro.core.combining.alamouti import (
+    alamouti_decode,
+    alamouti_effective_gain,
+    alamouti_encode_branch,
+    pad_to_even_symbols,
+)
+from repro.core.combining.quasi_orthogonal import (
+    qostbc_decode,
+    qostbc_encode_branch,
+    qostbc_equivalent_matrix,
+)
+from repro.core.combining.stbc import SmartCombiner
+
+__all__ = [
+    "alamouti_encode_branch",
+    "alamouti_decode",
+    "alamouti_effective_gain",
+    "pad_to_even_symbols",
+    "qostbc_encode_branch",
+    "qostbc_decode",
+    "qostbc_equivalent_matrix",
+    "SmartCombiner",
+]

@@ -1,0 +1,162 @@
+"""Jafarkhani quasi-orthogonal space-time block code (QOSTBC) for four branches.
+
+For more than two concurrent senders the paper uses "a quasi-orthogonal
+space-time block code [16] that is a simple extension of the Alamouti
+coding scheme" (§6).  This module implements the classic ABBA construction:
+four information symbols are sent over four symbol slots by four branches,
+arranged as two Alamouti blocks::
+
+         slot 1   slot 2   slot 3   slot 4
+    B1:   x1       x2       x3       x4
+    B2:  -x2*      x1*     -x4*      x3*
+    B3:   x3       x4       x1       x2
+    B4:  -x4*      x3*     -x2*      x1*
+
+Writing the received block with slots 2 and 4 conjugated, the system is
+linear in ``z = [x1, x2*, x3, x4*]`` with a channel matrix whose columns are
+pairwise orthogonal except for the (1,3) and (2,4) pairs.  Maximum-
+likelihood detection therefore decouples into two independent pair searches
+— ``(x1, x3)`` and ``(x2, x4)`` — which is what :func:`qostbc_decode`
+performs when given a constellation; without one it falls back to a
+least-squares (zero-forcing) solve of the 4x4 system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["qostbc_encode_branch", "qostbc_decode", "qostbc_equivalent_matrix", "N_BRANCHES", "N_SLOTS"]
+
+N_BRANCHES = 4
+N_SLOTS = 4
+
+
+def _check_block(data_symbols: np.ndarray) -> np.ndarray:
+    data_symbols = np.asarray(data_symbols, dtype=np.complex128)
+    if data_symbols.ndim != 2:
+        raise ValueError("data_symbols must be 2-D (symbols x subcarriers)")
+    if data_symbols.shape[0] % N_SLOTS != 0:
+        raise ValueError("QOSTBC requires the symbol count to be a multiple of 4")
+    return data_symbols
+
+
+def qostbc_encode_branch(data_symbols: np.ndarray, branch: int) -> np.ndarray:
+    """Encode a data-symbol block onto one of the four QOSTBC branches.
+
+    ``data_symbols`` has shape ``(n_symbols, n_subcarriers)`` with the symbol
+    count a multiple of four; each group of four consecutive OFDM symbols is
+    one QOSTBC block.
+    """
+    data = _check_block(data_symbols)
+    if not 0 <= branch < N_BRANCHES:
+        raise ValueError(f"branch must be in 0..{N_BRANCHES - 1}")
+    x1, x2, x3, x4 = (data[i::N_SLOTS] for i in range(N_SLOTS))
+    out = np.empty_like(data)
+    if branch == 0:
+        rows = (x1, x2, x3, x4)
+    elif branch == 1:
+        rows = (-np.conj(x2), np.conj(x1), -np.conj(x4), np.conj(x3))
+    elif branch == 2:
+        rows = (x3, x4, x1, x2)
+    else:
+        rows = (-np.conj(x4), np.conj(x3), -np.conj(x2), np.conj(x1))
+    for slot, row in enumerate(rows):
+        out[slot::N_SLOTS] = row
+    return out
+
+
+def qostbc_equivalent_matrix(h: np.ndarray) -> np.ndarray:
+    """Equivalent linear channel matrix ``M`` for one subcarrier.
+
+    With ``h = [h1, h2, h3, h4]`` the branch channels, the received block
+    (with slots 2 and 4 conjugated) equals ``M @ [x1, x2*, x3, x4*]``.
+    """
+    h1, h2, h3, h4 = h
+    return np.array(
+        [
+            [h1, -h2, h3, -h4],
+            [np.conj(h2), np.conj(h1), np.conj(h4), np.conj(h3)],
+            [h3, -h4, h1, -h2],
+            [np.conj(h4), np.conj(h3), np.conj(h2), np.conj(h1)],
+        ],
+        dtype=np.complex128,
+    )
+
+
+def _received_to_linear(y_block: np.ndarray) -> np.ndarray:
+    """Conjugate slots 2 and 4 so the block is linear in ``z``."""
+    out = y_block.copy()
+    out[1] = np.conj(out[1])
+    out[3] = np.conj(out[3])
+    return out
+
+
+def qostbc_decode(
+    received: np.ndarray,
+    channels: np.ndarray,
+    constellation: np.ndarray | None = None,
+) -> np.ndarray:
+    """Decode QOSTBC blocks.
+
+    Parameters
+    ----------
+    received:
+        Received data-subcarrier values, shape ``(n_symbols, n_sc)`` with the
+        symbol count a multiple of 4.
+    channels:
+        Branch channels, shape ``(4, n_sc)`` (assumed static over a block).
+        Missing senders are represented by all-zero rows.
+    constellation:
+        Constellation points; when given, pairwise maximum-likelihood
+        detection over the interfering pairs ``(x1, x3)`` and ``(x2, x4)``
+        is performed.  When omitted a least-squares solve is returned, which
+        is what the soft-output joint receiver uses.
+
+    Returns
+    -------
+    numpy.ndarray
+        Estimated data symbols, shape ``(n_symbols, n_sc)``.
+    """
+    received = np.asarray(received, dtype=np.complex128)
+    channels = np.asarray(channels, dtype=np.complex128)
+    if received.ndim != 2 or received.shape[0] % N_SLOTS != 0:
+        raise ValueError("received must be 2-D with a multiple of 4 symbols")
+    if channels.shape != (N_BRANCHES, received.shape[1]):
+        raise ValueError("channels must have shape (4, n_subcarriers)")
+    n_symbols, n_sc = received.shape
+    decoded = np.empty_like(received)
+
+    points = None if constellation is None else np.asarray(constellation, dtype=np.complex128)
+    if points is not None:
+        pair_a = np.repeat(points, points.size)
+        pair_b = np.tile(points, points.size)
+
+    for block in range(n_symbols // N_SLOTS):
+        y = received[block * N_SLOTS : (block + 1) * N_SLOTS]
+        base = block * N_SLOTS
+        for sc in range(n_sc):
+            m = qostbc_equivalent_matrix(channels[:, sc])
+            y_lin = _received_to_linear(y[:, sc])
+            if points is None:
+                z, *_ = np.linalg.lstsq(m, y_lin, rcond=None)
+                decoded[base + 0, sc] = z[0]
+                decoded[base + 1, sc] = np.conj(z[1])
+                decoded[base + 2, sc] = z[2]
+                decoded[base + 3, sc] = np.conj(z[3])
+                continue
+            # Pairwise ML: columns (0, 2) carry (x1, x3); columns (1, 3)
+            # carry (x2*, x4*); the two groups are mutually orthogonal.
+            c0, c1, c2, c3 = m.T
+            resid13 = y_lin[:, None] - np.outer(c0, pair_a) - np.outer(c2, pair_b)
+            best13 = int(np.argmin(np.sum(np.abs(resid13) ** 2, axis=0)))
+            resid24 = (
+                y_lin[:, None]
+                - np.outer(c1, np.conj(pair_a))
+                - np.outer(c3, np.conj(pair_b))
+            )
+            best24 = int(np.argmin(np.sum(np.abs(resid24) ** 2, axis=0)))
+            decoded[base + 0, sc] = pair_a[best13]
+            decoded[base + 2, sc] = pair_b[best13]
+            decoded[base + 1, sc] = pair_a[best24]
+            decoded[base + 3, sc] = pair_b[best24]
+    return decoded

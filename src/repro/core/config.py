@@ -1,0 +1,57 @@
+"""SourceSync configuration knobs shared by senders, receivers and sessions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.combining.stbc import CombinerScheme
+from repro.core.sync.compensation import SIFS_US
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+
+__all__ = ["SourceSyncConfig"]
+
+
+@dataclass(frozen=True)
+class SourceSyncConfig:
+    """Top-level configuration of a SourceSync deployment.
+
+    Attributes
+    ----------
+    params:
+        OFDM numerology of the radio.
+    sifs_us:
+        SIFS duration the lead sender leaves after the synchronization
+        header (10 us in 802.11g/n, §4.3).
+    combiner_scheme:
+        Space-time coding scheme used by the Smart Combiner.
+    pilot_sharing:
+        Whether pilots are time-shared between senders for per-sender phase
+        tracking (§5); disabling it is only useful for ablation studies.
+    window_backoff_samples:
+        How far (in samples) the joint receiver backs its FFT windows into
+        the cyclic prefix to protect against residual timing error.
+    probe_count:
+        Number of probe/response exchanges averaged per delay measurement.
+    tracking_gain:
+        Gain of the ACK-feedback wait-time tracking loop (§4.5).
+    """
+
+    params: OFDMParams = DEFAULT_PARAMS
+    sifs_us: float = SIFS_US
+    combiner_scheme: CombinerScheme = "replicated_alamouti"
+    pilot_sharing: bool = True
+    window_backoff_samples: int = 3
+    probe_count: int = 2
+    tracking_gain: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sifs_us <= 0:
+            raise ValueError("sifs_us must be positive")
+        if self.window_backoff_samples < 0:
+            raise ValueError("window_backoff_samples must be non-negative")
+        if self.window_backoff_samples >= self.params.cp_samples:
+            raise ValueError("window_backoff_samples must be smaller than the CP")
+        if self.probe_count < 1:
+            raise ValueError("probe_count must be at least 1")
+        if not 0.0 < self.tracking_gain <= 1.0:
+            raise ValueError("tracking_gain must be in (0, 1]")

@@ -1,0 +1,175 @@
+"""Joint frame format and timing (§4.4, Figs. 6 and 7).
+
+A joint frame, as seen by the receiver, consists of:
+
+1. the lead sender's synchronization header — a standard preamble (STF +
+   LTF) followed by one header OFDM symbol carrying the lead sender
+   identifier, the joint-frame flag, the packet identifier, the announced
+   cyclic prefix for the data section and the transmission rate;
+2. a SIFS-long silence during which co-senders turn their radios around;
+3. one two-symbol channel-estimation slot per co-sender (LTF-format);
+4. the jointly transmitted data symbols, using the announced CP.
+
+All senders must agree on these offsets to the sample; this module is the
+single source of truth for them, used by the lead sender, co-senders and
+the joint receiver alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sync.compensation import SIFS_US, sifs_samples
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.phy.rates import Rate, rate_for_mbps
+from repro.phy.transmitter import FrameConfig
+
+__all__ = ["SyncHeader", "JointFrameLayout", "make_joint_frame_config"]
+
+#: Number of OFDM symbols used for the header fields after the preamble.
+HEADER_SYMBOLS = 1
+
+
+@dataclass(frozen=True)
+class SyncHeader:
+    """Contents of the synchronization header (§4.4).
+
+    The header is transmitted by the lead sender only.  In the simulation
+    its fields travel alongside the waveform (the airtime of the header
+    symbol is accounted for); a production implementation would BPSK-encode
+    them in the header OFDM symbol like the 802.11 SIGNAL field.
+    """
+
+    lead_sender_id: int
+    packet_id: int
+    is_joint_frame: bool
+    rate_mbps: float
+    data_cp_samples: int
+    n_cosenders: int
+
+    @staticmethod
+    def packet_identifier(src_addr: int, dst_addr: int, ip_id: int) -> int:
+        """16-bit packet identifier: hash of source, destination and IP id."""
+        value = (src_addr * 0x9E3779B1 + dst_addr * 0x85EBCA77 + ip_id * 0xC2B2AE3D) & 0xFFFFFFFF
+        return (value ^ (value >> 16)) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class JointFrameLayout:
+    """Sample-level layout of a joint frame.
+
+    All offsets are relative to the first sample of the lead sender's STF
+    *at the lead sender's antenna*; the receiver observes the same layout
+    shifted by the lead-to-receiver propagation delay.
+    """
+
+    params: OFDMParams = DEFAULT_PARAMS
+    n_cosenders: int = 1
+    n_data_symbols: int = 1
+    data_cp_samples: int | None = None
+    sifs_us: float = SIFS_US
+
+    def __post_init__(self) -> None:
+        if self.n_cosenders < 0:
+            raise ValueError("n_cosenders must be non-negative")
+        if self.n_data_symbols < 1:
+            raise ValueError("n_data_symbols must be at least 1")
+
+    # -- section lengths ------------------------------------------------
+    @property
+    def stf_samples(self) -> int:
+        """Short training field length."""
+        return (self.params.n_fft // 4) * 10
+
+    @property
+    def ltf_samples(self) -> int:
+        """Long training field / channel-estimation slot length."""
+        return 2 * self.params.cp_samples + 2 * self.params.n_fft
+
+    @property
+    def header_symbol_samples(self) -> int:
+        """Length of the header OFDM symbols."""
+        return HEADER_SYMBOLS * self.params.symbol_samples
+
+    @property
+    def sync_header_samples(self) -> int:
+        """Length of the full synchronization header (preamble + header)."""
+        return self.stf_samples + self.ltf_samples + self.header_symbol_samples
+
+    @property
+    def sifs_samples(self) -> int:
+        """SIFS gap in samples."""
+        return int(round(sifs_samples(self.params.bandwidth_hz, self.sifs_us)))
+
+    @property
+    def effective_data_cp(self) -> int:
+        """Cyclic prefix used for the data section (possibly increased, §4.6)."""
+        return self.params.cp_samples if self.data_cp_samples is None else int(self.data_cp_samples)
+
+    @property
+    def data_symbol_samples(self) -> int:
+        """Samples per data OFDM symbol with the announced CP."""
+        return self.params.n_fft + self.effective_data_cp
+
+    @property
+    def data_params(self) -> OFDMParams:
+        """Numerology used for the data section."""
+        return self.params.with_cp(self.effective_data_cp)
+
+    # -- section offsets -------------------------------------------------
+    @property
+    def global_reference_offset(self) -> int:
+        """The global time reference: header end plus SIFS (§4.3)."""
+        return self.sync_header_samples + self.sifs_samples
+
+    def cosender_training_offset(self, cosender_index: int) -> int:
+        """Offset of co-sender ``i``'s channel-estimation slot (0-based)."""
+        if not 0 <= cosender_index < max(self.n_cosenders, 1):
+            raise ValueError("cosender_index out of range")
+        return self.global_reference_offset + cosender_index * self.ltf_samples
+
+    @property
+    def data_offset(self) -> int:
+        """Offset of the first data sample."""
+        return self.global_reference_offset + self.n_cosenders * self.ltf_samples
+
+    @property
+    def total_samples(self) -> int:
+        """Total joint frame length in samples."""
+        return self.data_offset + self.n_data_symbols * self.data_symbol_samples
+
+    # -- overhead accounting ----------------------------------------------
+    def overhead_fraction(self) -> float:
+        """Fraction of airtime that is synchronization overhead (§4.4).
+
+        The overhead of SourceSync relative to a standard frame is the SIFS
+        gap plus the per-co-sender channel-estimation slots; the preamble and
+        header are present in an ordinary transmission too.
+        """
+        extra = self.sifs_samples + self.n_cosenders * self.ltf_samples
+        useful = self.n_data_symbols * self.data_symbol_samples
+        return extra / max(useful + extra, 1)
+
+    def airtime_us(self) -> float:
+        """Total frame airtime in microseconds."""
+        return self.total_samples * self.params.sample_period_s * 1e6
+
+
+def make_joint_frame_config(
+    payload_len: int,
+    rate: Rate | float,
+    params: OFDMParams = DEFAULT_PARAMS,
+    data_cp_samples: int | None = None,
+) -> FrameConfig:
+    """Frame configuration shared by all senders of a joint frame.
+
+    Every sender must produce the identical coded-bit stream (same scrambler
+    seed, same rate, same padding), so this factory is the single place that
+    derives the :class:`~repro.phy.transmitter.FrameConfig` for a joint
+    transmission.  The data section may use an increased cyclic prefix.
+    """
+    rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
+    data_params = params if data_cp_samples is None else params.with_cp(data_cp_samples)
+    return FrameConfig(rate=rate_obj, n_payload_bytes=payload_len, params=data_params)

@@ -1,0 +1,346 @@
+"""Joint receiver: decodes a joint frame from multiple synchronized senders (§5, §6).
+
+The receive path mirrors a standard OFDM receiver but differs in the three
+places the paper calls out:
+
+* it estimates one channel per sender — the lead sender's from the
+  preamble LTF and each co-sender's from its channel-estimation slot
+  (:mod:`repro.core.channel_est.joint_estimator`);
+* it tracks one residual phase per sender using the time-shared pilots
+  (:mod:`repro.core.channel_est.phase_tracking`) and applies the rotations
+  to the individual channels before combining them;
+* it decodes the space-time-coded data symbols with the Smart Combiner
+  (:mod:`repro.core.combining`), obtaining the ``sum_i |H_i|^2`` combining
+  gain per subcarrier.
+
+It also produces the misalignment report (§4.5) that the receiver piggybacks
+on its ACK so co-senders can track delay changes without new probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.channel_est.joint_estimator import (
+    JointChannelEstimate,
+    estimate_sender_channel,
+    sender_active,
+)
+from repro.core.channel_est.phase_tracking import PerSenderPhaseTracker, pilot_owner
+from repro.core.combining.stbc import SmartCombiner
+from repro.core.config import SourceSyncConfig
+from repro.core.frame import JointFrameLayout
+from repro.core.sync.detection_delay import estimate_detection_delay
+from repro.core.sync.tracking import MisalignmentReport, measure_misalignment
+from repro.phy import bits as bitutils
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.coding.interleaver import deinterleave
+from repro.phy.coding.puncturing import depuncture
+from repro.phy.detection import detect_packet_autocorrelation
+from repro.phy.equalizer import ChannelEstimate, estimate_channel_ltf, estimate_noise_from_ltf
+from repro.phy.modulation import get_modulation
+from repro.phy.receiver import apply_cfo_correction
+from repro.phy.detection import estimate_coarse_cfo
+from repro.phy.transmitter import FrameConfig
+
+__all__ = ["JointReceiveResult", "JointReceiver"]
+
+_CODE = ConvolutionalCode()
+
+
+@dataclass
+class JointReceiveResult:
+    """Outcome of attempting to decode one joint frame."""
+
+    detected: bool
+    crc_ok: bool
+    payload: bytes
+    start_index: int = -1
+    channels: JointChannelEstimate | None = None
+    misalignment: MisalignmentReport | None = None
+    snr_db: float = float("nan")
+    per_subcarrier_snr_db: np.ndarray | None = field(default=None, repr=False)
+    cfo_hz: float = 0.0
+    equalized_symbols: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def success(self) -> bool:
+        """True when the frame was detected and passed its CRC."""
+        return self.detected and self.crc_ok
+
+
+class JointReceiver:
+    """Decodes joint frames built by :class:`repro.core.sender.LeadSender` and co-senders."""
+
+    def __init__(self, config: SourceSyncConfig = SourceSyncConfig()):
+        self.config = config
+        self.combiner = SmartCombiner(config.combiner_scheme)
+
+    # ------------------------------------------------------------------
+    # Timing acquisition
+    # ------------------------------------------------------------------
+    def acquire(self, samples: np.ndarray, layout: JointFrameLayout) -> tuple[bool, int]:
+        """Detect the joint frame and estimate its start to the nearest sample.
+
+        Coarse detection uses the standard STF autocorrelator; the coarse
+        index is then corrected with the channel-phase-slope estimate of the
+        detection delay (§4.2a) measured on the lead sender's LTF — the same
+        estimator co-senders use — rather than a matched filter.
+        """
+        params = layout.params
+        detection = detect_packet_autocorrelation(samples, params)
+        if not detection.detected:
+            return False, -1
+        coarse = detection.start_index
+        # Back the acquisition LTF windows off by the full double guard so
+        # they stay inside the (periodic) training field even when the
+        # detector fired tens of samples late.
+        backoff = 2 * params.cp_samples
+        ltf_start = coarse + layout.stf_samples + 2 * params.cp_samples - backoff
+        reps = np.empty((2, params.n_fft), dtype=np.complex128)
+        for rep in range(2):
+            chunk = samples[ltf_start + rep * params.n_fft : ltf_start + (rep + 1) * params.n_fft]
+            if chunk.size < params.n_fft:
+                return False, -1
+            reps[rep] = np.fft.fft(chunk) / np.sqrt(params.n_fft)
+        channel = estimate_channel_ltf(reps, params)
+        offset = estimate_detection_delay(channel, params).delay_samples + backoff
+        start = int(round(coarse - offset))
+        return True, max(start, 0)
+
+    # ------------------------------------------------------------------
+    # Header-only processing (synchronization measurements, §4.5 / §8.1)
+    # ------------------------------------------------------------------
+    def measure_header(
+        self,
+        samples: np.ndarray,
+        layout: JointFrameLayout,
+        start_index: int | None = None,
+        correct_cfo: bool = True,
+    ) -> tuple[JointChannelEstimate | None, MisalignmentReport | None, int]:
+        """Estimate per-sender channels and misalignment from the frame header.
+
+        This is the processing a receiver performs on every joint frame to
+        produce the misalignment feedback of §4.5; it needs only the
+        synchronization header and the co-sender training slots, not the
+        data section, and is therefore also the building block of the
+        high-accuracy repeated-header estimator of §8.1.1.
+
+        Returns ``(channels, misalignment, start_index)``; the first two are
+        ``None`` when the frame is not detected.
+        """
+        params = layout.params
+        samples = np.asarray(samples, dtype=np.complex128)
+        backoff = self.config.window_backoff_samples
+        if start_index is None:
+            detected, start = self.acquire(samples, layout)
+            if not detected:
+                return None, None, -1
+        else:
+            start = int(start_index)
+        needed = layout.data_offset
+        if start + needed > samples.size:
+            return None, None, start
+        frame = samples[start : start + needed]
+        if correct_cfo:
+            try:
+                cfo_hz = estimate_coarse_cfo(samples, start, params)
+            except ValueError:
+                cfo_hz = 0.0
+            frame = apply_cfo_correction(frame, cfo_hz, params.sample_period_s)
+
+        ltf_start = layout.stf_samples + 2 * params.cp_samples - backoff
+        reps = np.empty((2, params.n_fft), dtype=np.complex128)
+        for rep in range(2):
+            chunk = frame[ltf_start + rep * params.n_fft : ltf_start + (rep + 1) * params.n_fft]
+            reps[rep] = np.fft.fft(chunk) / np.sqrt(params.n_fft)
+        lead_channel = estimate_channel_ltf(reps, params)
+        noise_var = estimate_noise_from_ltf(reps, params)
+        lead_channel.noise_var = noise_var
+
+        cosender_channels: list[ChannelEstimate | None] = []
+        for k in range(layout.n_cosenders):
+            slot_start = layout.cosender_training_offset(k)
+            slot = frame[slot_start : slot_start + layout.ltf_samples]
+            if not sender_active(slot, noise_var):
+                cosender_channels.append(None)
+                continue
+            channel = estimate_sender_channel(slot, params, window_backoff=backoff)
+            channel.noise_var = noise_var
+            cosender_channels.append(channel)
+
+        joint_estimate = JointChannelEstimate(
+            lead=lead_channel, cosenders=cosender_channels, noise_var=noise_var, params=params
+        )
+        misalignment = measure_misalignment(
+            lead_channel, [ch for ch in cosender_channels if ch is not None], params
+        )
+        return joint_estimate, misalignment, start
+
+    # ------------------------------------------------------------------
+    # Main receive path
+    # ------------------------------------------------------------------
+    def receive(
+        self,
+        samples: np.ndarray,
+        layout: JointFrameLayout,
+        frame_config: FrameConfig,
+        start_index: int | None = None,
+        correct_cfo: bool = True,
+    ) -> JointReceiveResult:
+        """Decode one joint frame.
+
+        Parameters
+        ----------
+        samples:
+            Received baseband samples containing the joint frame.
+        layout:
+            The joint frame layout announced in the synchronization header.
+        frame_config:
+            Rate / payload-length configuration shared by all senders.
+        start_index:
+            Optional externally supplied frame start (genie timing); when
+            omitted the receiver acquires timing itself.
+        correct_cfo:
+            Whether to apply the standard receiver-side CFO correction
+            referenced to the lead sender's preamble.
+        """
+        params = layout.params
+        samples = np.asarray(samples, dtype=np.complex128)
+        backoff = self.config.window_backoff_samples
+
+        if start_index is None:
+            detected, start = self.acquire(samples, layout)
+            if not detected:
+                return JointReceiveResult(False, False, b"")
+        else:
+            start = int(start_index)
+        if start + layout.total_samples > samples.size:
+            return JointReceiveResult(False, False, b"", start_index=start)
+
+        frame = samples[start : start + layout.total_samples]
+        cfo_hz = 0.0
+        if correct_cfo:
+            try:
+                cfo_hz = estimate_coarse_cfo(samples, start, params)
+            except ValueError:
+                cfo_hz = 0.0
+            frame = apply_cfo_correction(frame, cfo_hz, params.sample_period_s)
+
+        # --- lead sender channel from its preamble LTF
+        ltf_start = layout.stf_samples + 2 * params.cp_samples - backoff
+        reps = np.empty((2, params.n_fft), dtype=np.complex128)
+        for rep in range(2):
+            chunk = frame[ltf_start + rep * params.n_fft : ltf_start + (rep + 1) * params.n_fft]
+            reps[rep] = np.fft.fft(chunk) / np.sqrt(params.n_fft)
+        lead_channel = estimate_channel_ltf(reps, params)
+        noise_var = estimate_noise_from_ltf(reps, params)
+        lead_channel.noise_var = noise_var
+
+        # --- co-sender channels from their training slots
+        cosender_channels: list[ChannelEstimate | None] = []
+        for k in range(layout.n_cosenders):
+            slot_start = layout.cosender_training_offset(k)
+            slot = frame[slot_start : slot_start + layout.ltf_samples]
+            if not sender_active(slot, noise_var):
+                cosender_channels.append(None)
+                continue
+            channel = estimate_sender_channel(slot, params, window_backoff=backoff)
+            channel.noise_var = noise_var
+            cosender_channels.append(channel)
+
+        joint_estimate = JointChannelEstimate(
+            lead=lead_channel,
+            cosenders=cosender_channels,
+            noise_var=noise_var,
+            params=params,
+        )
+        active_channels = joint_estimate.active_channels()
+        active_codewords = joint_estimate.active_codewords()
+        n_intended = 1 + layout.n_cosenders
+
+        # --- data section
+        data_params = layout.data_params
+        n_symbols_tx = self.combiner.pad_symbols(
+            np.zeros((frame_config.n_data_symbols, params.n_data_subcarriers))
+        ).shape[0]
+        data_bins = params.data_bins()
+        raw_symbols = np.empty((n_symbols_tx, data_bins.size), dtype=np.complex128)
+        tracker = PerSenderPhaseTracker(n_senders=n_intended, params=params)
+        per_symbol_channels = [
+            np.empty((n_symbols_tx, data_bins.size), dtype=np.complex128)
+            for _ in active_channels
+        ]
+        active_mask = [True] + [ch is not None for ch in cosender_channels]
+        intended_channels = [lead_channel] + [
+            ch if ch is not None else ChannelEstimate(np.zeros(params.n_fft, np.complex128), noise_var)
+            for ch in cosender_channels
+        ]
+
+        for t in range(n_symbols_tx):
+            begin = layout.data_offset + t * layout.data_symbol_samples
+            window = begin + data_params.cp_samples - backoff
+            chunk = frame[window : window + params.n_fft]
+            freq = np.fft.fft(chunk) / np.sqrt(params.n_fft)
+            if self.config.pilot_sharing:
+                owner = pilot_owner(t, n_intended)
+                if active_mask[owner]:
+                    tracker.update(freq, intended_channels, t)
+            else:
+                tracker.update(freq, intended_channels, t)
+            phases = tracker.phases
+            raw_symbols[t] = freq[data_bins]
+            active_idx = 0
+            for sender, channel in enumerate(intended_channels):
+                if not active_mask[sender]:
+                    continue
+                rotated = channel.on_bins(data_bins) * np.exp(1j * phases[sender])
+                per_symbol_channels[active_idx][t] = rotated
+                active_idx += 1
+
+        decoded_symbols, gain = self.combiner.decode(
+            raw_symbols,
+            per_symbol_channels,
+            codeword_indices=active_codewords,
+            constellation=get_modulation(frame_config.rate.modulation).points,
+            return_gain=True,
+        )
+
+        # --- bit-domain processing (identical to the single-sender chain)
+        modulation = get_modulation(frame_config.rate.modulation)
+        n_cbps = frame_config.coded_bits_per_symbol
+        llrs = np.empty(frame_config.n_data_symbols * n_cbps, dtype=np.float64)
+        for t in range(frame_config.n_data_symbols):
+            noise_eff = noise_var / np.maximum(gain[t], 1e-12)
+            soft = modulation.demodulate_soft(decoded_symbols[t], noise_eff)
+            llrs[t * n_cbps : (t + 1) * n_cbps] = deinterleave(soft, frame_config.rate.bits_per_symbol)
+
+        original_len = _CODE.coded_length(frame_config.n_info_bits + frame_config.n_pad_bits)
+        soft_full = depuncture(llrs, frame_config.rate.code_rate, original_len)
+        decoded_bits = _CODE.decode(soft_full, terminated=True)
+        descrambled = bitutils.descramble(decoded_bits, frame_config.scrambler_seed)
+        info_bits = descrambled[: frame_config.n_info_bits]
+        frame_bytes = bitutils.bits_to_bytes(info_bits)
+        payload, crc_ok = bitutils.check_crc(frame_bytes)
+
+        # --- feedback and quality metrics
+        misalignment = measure_misalignment(
+            lead_channel, [ch for ch in cosender_channels if ch is not None], params
+        )
+        per_sc_snr = joint_estimate.per_subcarrier_snr_db()
+        snr_db = float(10.0 * np.log10(max(np.mean(10.0 ** (per_sc_snr / 10.0)), 1e-15)))
+
+        return JointReceiveResult(
+            detected=True,
+            crc_ok=crc_ok,
+            payload=payload if crc_ok else frame_bytes[:-4],
+            start_index=start,
+            channels=joint_estimate,
+            misalignment=misalignment,
+            snr_db=snr_db,
+            per_subcarrier_snr_db=per_sc_snr,
+            cfo_hz=cfo_hz,
+            equalized_symbols=decoded_symbols[: frame_config.n_data_symbols],
+        )

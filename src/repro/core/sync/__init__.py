@@ -1,0 +1,55 @@
+"""Symbol Level Synchronizer (SLS): delay measurement and compensation (§4)."""
+
+from repro.core.sync.compensation import (
+    CoSenderSchedule,
+    DelayBudget,
+    SIFS_US,
+    compute_wait_time,
+    sifs_samples,
+)
+from repro.core.sync.detection_delay import (
+    DetectionDelayEstimate,
+    delay_samples_to_slope,
+    estimate_detection_delay,
+    phase_slope_full_band,
+    phase_slope_windowed,
+    slope_to_delay_samples,
+)
+from repro.core.sync.multi_receiver import (
+    WaitTimeSolution,
+    misalignment_matrix,
+    optimize_wait_times,
+    required_cp_increase,
+)
+from repro.core.sync.probe import (
+    ProbeLegResult,
+    PropagationDelayEstimate,
+    measure_propagation_delay,
+    probe_leg,
+)
+from repro.core.sync.tracking import MisalignmentReport, WaitTimeTracker, measure_misalignment
+
+__all__ = [
+    "DelayBudget",
+    "CoSenderSchedule",
+    "SIFS_US",
+    "compute_wait_time",
+    "sifs_samples",
+    "DetectionDelayEstimate",
+    "estimate_detection_delay",
+    "phase_slope_windowed",
+    "phase_slope_full_band",
+    "slope_to_delay_samples",
+    "delay_samples_to_slope",
+    "WaitTimeSolution",
+    "optimize_wait_times",
+    "misalignment_matrix",
+    "required_cp_increase",
+    "ProbeLegResult",
+    "PropagationDelayEstimate",
+    "measure_propagation_delay",
+    "probe_leg",
+    "MisalignmentReport",
+    "WaitTimeTracker",
+    "measure_misalignment",
+]

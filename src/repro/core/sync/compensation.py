@@ -1,0 +1,116 @@
+"""Wait-time computation and delay compensation at co-senders (§4.3).
+
+The lead sender transmits a synchronization header, stays silent for SIFS
+plus the co-sender training slots, and then transmits data.  Co-sender ``i``
+hears the header after its propagation delay ``d_i`` plus its detection
+delay ``delta_i``, needs ``h_i`` to turn its radio around, and must start
+its transmission so that its data arrives at the receiver at the same time
+as the lead sender's data.  With ``T0`` the lead-to-receiver delay and
+``t_i`` the co-sender-to-receiver delay, the co-sender's extra wait relative
+to the global time reference is ``w_i = T0 - t_i``.
+
+This module computes those wait times and bounds the residual misalignment
+given imperfect delay estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DelayBudget", "CoSenderSchedule", "compute_wait_time", "sifs_samples"]
+
+#: SIFS of 802.11g/n in microseconds (§4.3 of the paper).
+SIFS_US = 10.0
+
+
+def sifs_samples(sample_rate_hz: float = 20e6, sifs_us: float = SIFS_US) -> float:
+    """SIFS expressed in baseband samples."""
+    return sifs_us * 1e-6 * sample_rate_hz
+
+
+@dataclass(frozen=True)
+class DelayBudget:
+    """The delays a co-sender must account for, all in samples.
+
+    Attributes
+    ----------
+    lead_to_cosender:
+        Estimated one-way propagation delay from the lead sender (``d_i``).
+    detection_delay:
+        Estimated detection delay for this header reception (``delta_i``).
+    turnaround:
+        The co-sender's hardware turnaround time (``h_i``), known exactly.
+    lead_to_receiver:
+        Estimated one-way delay from the lead sender to the receiver (``T0``).
+    cosender_to_receiver:
+        Estimated one-way delay from this co-sender to the receiver (``t_i``).
+    """
+
+    lead_to_cosender: float
+    detection_delay: float
+    turnaround: float
+    lead_to_receiver: float
+    cosender_to_receiver: float
+
+    @property
+    def readiness_delay(self) -> float:
+        """``d_i + delta_i + h_i``: how long after the header the node is ready."""
+        return self.lead_to_cosender + self.detection_delay + self.turnaround
+
+    @property
+    def wait_relative_to_reference(self) -> float:
+        """``w_i = T0 - t_i``: offset from the global time reference."""
+        return self.lead_to_receiver - self.cosender_to_receiver
+
+
+@dataclass(frozen=True)
+class CoSenderSchedule:
+    """When a co-sender should start transmitting.
+
+    All quantities are in samples.  ``transmit_offset_after_header`` is
+    measured from the instant the *lead sender finishes transmitting the
+    synchronization header at its antenna*; ``local_wait_after_detection`` is
+    what the co-sender actually programs into its hardware: the time between
+    its detection of the header end and the start of its own transmission.
+    """
+
+    transmit_offset_after_header: float
+    local_wait_after_detection: float
+    feasible: bool
+
+
+def compute_wait_time(
+    budget: DelayBudget,
+    sifs: float,
+    extra_slot_offset: float = 0.0,
+) -> CoSenderSchedule:
+    """Compute a co-sender's transmission schedule (§4.3).
+
+    Parameters
+    ----------
+    budget:
+        The co-sender's delay estimates.
+    sifs:
+        The SIFS gap (samples) the lead sender leaves after its header.
+    extra_slot_offset:
+        Additional offset (samples) before this co-sender's first transmitted
+        sample, used to place its channel-estimation symbols in its own slot
+        when several co-senders participate (§4.4).
+
+    Returns
+    -------
+    CoSenderSchedule
+        The schedule; ``feasible`` is False when the node cannot be ready in
+        time (its readiness delay exceeds SIFS plus the requested offset),
+        in which case it must stay out of the joint transmission.
+    """
+    if sifs <= 0:
+        raise ValueError("sifs must be positive")
+    target_offset = sifs + budget.wait_relative_to_reference + extra_slot_offset
+    local_wait = target_offset - budget.readiness_delay
+    feasible = local_wait >= 0.0
+    return CoSenderSchedule(
+        transmit_offset_after_header=target_offset,
+        local_wait_after_detection=local_wait,
+        feasible=feasible,
+    )

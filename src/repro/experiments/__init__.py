@@ -1,0 +1,21 @@
+"""Experiment harness: one module per figure/table of the paper's evaluation.
+
+===================  =============================================================
+module               reproduces
+===================  =============================================================
+fig12_sync_error     Fig. 12 — 95th percentile synchronization error vs SNR
+fig13_cp_reduction   Fig. 13 — joint-transmission SNR vs cyclic prefix
+fig14_delay_spread   Fig. 14 — time-domain channel delay spread
+fig15_power_gains    Fig. 15 — average SNR gains per SNR regime
+fig16_frequency_diversity  Fig. 16 — per-subcarrier SNR profiles
+fig17_lasthop        Fig. 17 — last-hop throughput CDF
+fig18_opportunistic  Fig. 18 — opportunistic routing throughput CDFs
+overhead             §4.4 — synchronization overhead vs sender count
+ablation_combining   §6 — naive combining vs Alamouti (design-choice ablation)
+ablation_slope       §4.2 — windowed vs whole-band phase-slope estimation
+===================  =============================================================
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

@@ -1,0 +1,91 @@
+"""Ablation: Alamouti smart combining vs naive identical transmission (§6).
+
+If two synchronized senders naively transmit the same symbols, their
+signals combine with a random relative phase per subcarrier: some
+subcarriers add constructively, others cancel almost completely, and the
+deep fades defeat the convolutional code.  The Smart Combiner's Alamouti
+coding guarantees an effective gain of ``|h1|^2 + |h2|^2`` per subcarrier
+regardless of phase.
+
+This ablation draws many random channel pairs and compares, for each
+scheme, the distribution of the post-combining per-subcarrier gain and the
+fraction of subcarriers that end up in a deep fade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.multipath import MultipathChannel
+from repro.core.combining.stbc import SmartCombiner
+from repro.experiments.common import ExperimentResult
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+
+__all__ = ["run", "combining_gain_samples"]
+
+
+def combining_gain_samples(
+    scheme: str,
+    n_realizations: int = 300,
+    seed: int = 6,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> np.ndarray:
+    """Per-subcarrier post-combining power gains for a combining scheme.
+
+    For the naive scheme the effective channel is ``|h1 + h2|^2`` (the
+    signals superpose directly); for the Alamouti-family schemes it is
+    ``|h1|^2 + |h2|^2``.
+    """
+    rng = np.random.default_rng(seed)
+    combiner = SmartCombiner(scheme if scheme != "naive" else "replicated_alamouti")
+    bins = params.occupied_bins()
+    gains: list[np.ndarray] = []
+    for _ in range(n_realizations):
+        h1 = MultipathChannel.random(rng=rng).normalized().frequency_response(params.n_fft)[bins]
+        h2 = MultipathChannel.random(rng=rng).normalized().frequency_response(params.n_fft)[bins]
+        if scheme == "naive":
+            gains.append(np.abs(h1 + h2) ** 2)
+        else:
+            gains.append(combiner.effective_gain([h1, h2]))
+    return np.concatenate(gains)
+
+
+def run(
+    n_realizations: int = 300,
+    deep_fade_threshold_db: float = -10.0,
+    seed: int = 6,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> ExperimentResult:
+    """Compare naive and Alamouti combining across random channel pairs."""
+    naive = combining_gain_samples("naive", n_realizations, seed, params)
+    alamouti = combining_gain_samples("replicated_alamouti", n_realizations, seed, params)
+    threshold = 10.0 ** (deep_fade_threshold_db / 10.0)
+
+    def stats(gains: np.ndarray) -> tuple[float, float, float]:
+        return (
+            float(np.mean(gains)),
+            float(np.percentile(gains, 5)),
+            float(np.mean(gains < threshold)),
+        )
+
+    naive_mean, naive_p5, naive_fade = stats(naive)
+    ala_mean, ala_p5, ala_fade = stats(alamouti)
+    return ExperimentResult(
+        name="ablation_combining",
+        description="Post-combining subcarrier gain: naive identical transmission vs Alamouti",
+        series={
+            "scheme": ["naive", "alamouti"],
+            "mean_gain": [naive_mean, ala_mean],
+            "p5_gain": [naive_p5, ala_p5],
+            "deep_fade_fraction": [naive_fade, ala_fade],
+        },
+        summary={
+            "naive_deep_fade_fraction": naive_fade,
+            "alamouti_deep_fade_fraction": ala_fade,
+            "p5_gain_improvement": ala_p5 / max(naive_p5, 1e-9),
+        },
+        paper_reference={
+            "claim": "naive identical transmission produces destructive fades; Alamouti coding eliminates them (§6)",
+            "section": "§6",
+        },
+    )

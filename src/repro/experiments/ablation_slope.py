@@ -1,0 +1,115 @@
+"""Ablation: windowed vs whole-band phase-slope delay estimation (§4.2a).
+
+SourceSync estimates the packet-detection delay from the slope of the
+channel phase across subcarriers, computed over windows narrower than the
+channel's coherence bandwidth (3 MHz) and averaged.  A naive whole-band fit
+unwraps the phase across deep fades and frequency-selective phase jumps,
+which makes it much less reliable on multipath channels.  This ablation
+quantifies that difference by injecting known delays and comparing the
+error of the two estimators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.awgn import awgn
+from repro.channel.multipath import MultipathChannel, MultipathProfile
+from repro.core.sync.detection_delay import (
+    phase_slope_full_band,
+    phase_slope_windowed,
+    slope_to_delay_samples,
+)
+from repro.experiments.common import ExperimentResult
+from repro.phy.equalizer import estimate_channel_ltf
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.phy.preamble import long_training_field
+
+__all__ = ["run", "estimation_errors"]
+
+
+def estimation_errors(
+    delays_samples: tuple[float, ...],
+    snr_db: float = 15.0,
+    n_trials: int = 20,
+    profile: MultipathProfile | None = None,
+    seed: int = 42,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Absolute estimation errors (samples) of the windowed and full-band estimators.
+
+    Each trial applies a random multipath channel and a known integer
+    delay to the long training field, adds noise, estimates the channel and
+    converts both slope estimates back to delays.  Because the channel has
+    its own (unknown) group delay, the error is measured against the
+    difference between two delayed copies of the *same* channel — exactly
+    the relative quantity SourceSync relies on.
+    """
+    rng = np.random.default_rng(seed)
+    profile = profile if profile is not None else MultipathProfile(n_taps=6, rms_delay_spread_samples=2.0)
+    ltf = long_training_field(params)
+    amplitude = np.sqrt(10.0 ** (snr_db / 10.0))
+    windowed_errors: list[float] = []
+    fullband_errors: list[float] = []
+
+    def channel_estimate(delay: int, channel: MultipathChannel) -> np.ndarray:
+        shaped = channel.apply(ltf * amplitude)
+        padded = np.concatenate([np.zeros(delay, dtype=np.complex128), shaped])
+        padded = padded + awgn(padded.size, 1.0, rng)
+        reps = np.empty((2, params.n_fft), dtype=np.complex128)
+        for rep in range(2):
+            begin = 2 * params.cp_samples + rep * params.n_fft
+            reps[rep] = np.fft.fft(padded[begin : begin + params.n_fft]) / np.sqrt(params.n_fft)
+        return estimate_channel_ltf(reps, params)
+
+    def windowed_offset(channel_est: np.ndarray) -> float:
+        slope, _ = phase_slope_windowed(channel_est, params)
+        return slope_to_delay_samples(slope, params)
+
+    def fullband_offset(channel_est: np.ndarray) -> float:
+        return slope_to_delay_samples(phase_slope_full_band(channel_est, params), params)
+
+    for _ in range(n_trials):
+        channel = MultipathChannel.random(profile, rng).normalized()
+        reference = channel_estimate(0, channel)
+        for delay in delays_samples:
+            # Delaying the signal by `delay` makes the (fixed) FFT window
+            # effectively `delay` samples early, so the implied offset of the
+            # shifted estimate minus the reference estimate should be -delay.
+            shifted = channel_estimate(int(delay), channel)
+            measured_windowed = windowed_offset(shifted) - windowed_offset(reference)
+            measured_fullband = fullband_offset(shifted) - fullband_offset(reference)
+            windowed_errors.append(abs(measured_windowed + float(delay)))
+            fullband_errors.append(abs(measured_fullband + float(delay)))
+    return np.asarray(windowed_errors), np.asarray(fullband_errors)
+
+
+def run(
+    delays_samples: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
+    snr_db: float = 15.0,
+    n_trials: int = 15,
+    seed: int = 42,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> ExperimentResult:
+    """Compare windowed and whole-band slope estimators on multipath channels."""
+    windowed, fullband = estimation_errors(delays_samples, snr_db, n_trials, seed=seed, params=params)
+    return ExperimentResult(
+        name="ablation_slope",
+        description="Detection-delay estimation error: 3 MHz windowed slope vs whole-band fit",
+        series={
+            "estimator": ["windowed_3mhz", "full_band"],
+            "median_error_samples": [float(np.median(windowed)), float(np.median(fullband))],
+            "p90_error_samples": [
+                float(np.percentile(windowed, 90)),
+                float(np.percentile(fullband, 90)),
+            ],
+        },
+        summary={
+            "windowed_median_error_ns": float(np.median(windowed)) * params.sample_period_ns,
+            "full_band_median_error_ns": float(np.median(fullband)) * params.sample_period_ns,
+        },
+        paper_reference={
+            "claim": "slopes are computed over 3 MHz windows (below the coherence bandwidth) and averaged (§4.2)",
+            "section": "§4.2",
+        },
+    )

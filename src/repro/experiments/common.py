@@ -1,0 +1,90 @@
+"""Shared infrastructure for the experiment harness.
+
+Every experiment module exposes a ``run(...)`` function returning an
+:class:`ExperimentResult`: a named table of series (columns) plus the
+paper's reported reference values, so the benchmark harness can print a
+paper-vs-measured comparison for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """Result of regenerating one paper figure or table.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"fig12"``.
+    description:
+        What the figure shows.
+    series:
+        Mapping of column name to a list/array of values (all the same
+        length), forming the rows of the regenerated figure.
+    summary:
+        Scalar headline numbers (e.g. a median gain).
+    paper_reference:
+        The corresponding numbers reported in the paper, for side-by-side
+        comparison in EXPERIMENTS.md and the benchmark output.
+    """
+
+    name: str
+    description: str
+    series: dict[str, Any] = field(default_factory=dict)
+    summary: dict[str, float] = field(default_factory=dict)
+    paper_reference: dict[str, Any] = field(default_factory=dict)
+
+    def table(self) -> str:
+        """Human-readable table of the series."""
+        return format_table(self.series)
+
+    def report(self) -> str:
+        """Full report: description, table, summary and paper reference."""
+        lines = [f"== {self.name}: {self.description} ==", self.table(), ""]
+        if self.summary:
+            lines.append("summary:")
+            for key, value in self.summary.items():
+                lines.append(f"  {key}: {value:.4g}" if isinstance(value, float) else f"  {key}: {value}")
+        if self.paper_reference:
+            lines.append("paper reference:")
+            for key, value in self.paper_reference.items():
+                lines.append(f"  {key}: {value}")
+        return "\n".join(lines)
+
+
+def format_table(series: dict[str, Any], max_rows: int = 60) -> str:
+    """Format a dict of equal-length columns as an aligned text table."""
+    if not series:
+        return "(empty)"
+    columns = list(series.keys())
+    arrays = [np.asarray(series[c]) for c in columns]
+    n_rows = max(a.shape[0] if a.ndim else 1 for a in arrays)
+
+    def cell(value: Any) -> str:
+        if isinstance(value, (float, np.floating)):
+            return f"{value:.3f}"
+        return str(value)
+
+    header = " | ".join(f"{c:>14s}" for c in columns)
+    rows = [header, "-" * len(header)]
+    for i in range(min(n_rows, max_rows)):
+        row = []
+        for a in arrays:
+            if a.ndim == 0:
+                row.append(cell(a[()]))
+            elif i < a.shape[0]:
+                row.append(cell(a[i]))
+            else:
+                row.append("")
+        rows.append(" | ".join(f"{r:>14s}" for r in row))
+    if n_rows > max_rows:
+        rows.append(f"... ({n_rows - max_rows} more rows)")
+    return "\n".join(rows)

@@ -1,0 +1,121 @@
+"""Figure 12: 95th-percentile synchronization error vs SNR.
+
+The paper synchronizes two transmitters with SourceSync (§4.4/§4.5), then
+measures the residual synchronization error with a high-accuracy estimator
+that replaces the packet body with 200 repetitions of the joint header and
+averages the per-repetition misalignment estimates (§8.1.1).  Fig. 12 plots
+the 95th percentile of that error against the average SNR of the two
+transmitters, showing it stays below 20 ns across the operational range of
+802.11 SNRs.
+
+This reproduction follows the same procedure: for each SNR point it builds
+several random two-sender topologies, lets the wait-time tracking loop
+converge, and then measures the residual misalignment of subsequent joint
+headers with the repeated-measurement ground-truth estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
+from repro.experiments.common import ExperimentResult
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+
+__all__ = ["run", "measure_residual_sync_error"]
+
+
+def measure_residual_sync_error(
+    session: SourceSyncSession,
+    n_measurements: int = 10,
+    repetitions_per_measurement: int = 5,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> list[float]:
+    """Residual synchronization error (ns) of converged SourceSync senders.
+
+    Each measurement mimics the paper's ground-truth estimator: the
+    misalignment of one scheduled joint transmission is estimated
+    ``repetitions_per_measurement`` times (the paper repeats the header 200
+    times inside one packet; here each repetition is an independent header
+    reception over the same static channel) and the estimates are averaged
+    to suppress estimator noise.
+    """
+    errors_ns: list[float] = []
+    for _ in range(n_measurements):
+        estimates = []
+        for _ in range(repetitions_per_measurement):
+            outcome = session.run_header_exchange(apply_tracking_feedback=False)
+            if outcome.measured_misalignment is None:
+                continue
+            values = outcome.measured_misalignment.misalignments_samples
+            if values:
+                estimates.append(values[0])
+        if estimates:
+            errors_ns.append(abs(float(np.mean(estimates))) * params.sample_period_ns)
+        # One tracking update per measurement keeps the loop converged, as a
+        # real deployment would via ACK feedback on data packets.
+        session.run_header_exchange(apply_tracking_feedback=True)
+    return errors_ns
+
+
+def run(
+    snr_points_db: tuple[float, ...] = (3.0, 6.0, 9.0, 12.0, 15.0, 20.0, 25.0),
+    n_topologies: int = 3,
+    n_measurements: int = 6,
+    repetitions_per_measurement: int = 4,
+    warmup_rounds: int = 5,
+    seed: int = 12,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> ExperimentResult:
+    """Regenerate Fig. 12.
+
+    For each SNR point, random lead/co-sender/receiver topologies are built
+    with both sender-receiver links at that SNR; the reported value is the
+    95th percentile of the residual synchronization error across topologies
+    and measurements.
+    """
+    rng = np.random.default_rng(seed)
+    percentile_95_ns: list[float] = []
+    median_ns: list[float] = []
+    for snr_db in snr_points_db:
+        errors: list[float] = []
+        for _ in range(n_topologies):
+            topo = JointTopology.from_snrs(
+                rng,
+                lead_rx_snr_db=snr_db,
+                cosender_rx_snr_db=[snr_db],
+                lead_cosender_snr_db=[max(snr_db, 15.0)],
+                params=params,
+            )
+            session = SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng)
+            session.measure_delays()
+            session.converge_tracking(rounds=warmup_rounds)
+            errors.extend(
+                measure_residual_sync_error(
+                    session, n_measurements, repetitions_per_measurement, params
+                )
+            )
+        if errors:
+            percentile_95_ns.append(float(np.percentile(errors, 95)))
+            median_ns.append(float(np.median(errors)))
+        else:
+            percentile_95_ns.append(float("nan"))
+            median_ns.append(float("nan"))
+
+    return ExperimentResult(
+        name="fig12",
+        description="95th percentile synchronization error vs SNR",
+        series={
+            "snr_db": list(snr_points_db),
+            "sync_error_p95_ns": percentile_95_ns,
+            "sync_error_median_ns": median_ns,
+        },
+        summary={
+            "worst_p95_ns": float(np.nanmax(percentile_95_ns)),
+            "best_p95_ns": float(np.nanmin(percentile_95_ns)),
+        },
+        paper_reference={
+            "claim": "95th percentile synchronization error < 20 ns across operational 802.11 SNRs",
+            "figure": "Fig. 12",
+        },
+    )

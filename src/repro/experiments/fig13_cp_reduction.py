@@ -1,0 +1,129 @@
+"""Figure 13: joint-transmission SNR vs cyclic prefix, SourceSync vs baseline.
+
+Two senders transmit a joint frame to one receiver while the cyclic prefix
+of the data section is swept.  With SourceSync's delay compensation the
+senders arrive aligned, so the CP only has to absorb the channel's own
+multipath spread; the unsynchronized baseline (co-sender joins without
+compensating for detection/propagation delays) needs a much larger CP
+before the effective SNR saturates.  The paper reports 117 ns vs 469 ns for
+95%-of-peak SNR on its 128 MHz platform.
+
+The effective SNR of a joint transmission is measured from the error vector
+magnitude of the equalised data symbols against the known transmitted
+constellation points, which captures inter-symbol interference caused by a
+too-small CP on top of thermal noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import evm_to_snr_db
+from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
+from repro.experiments.common import ExperimentResult
+from repro.phy import bits as bitutils
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.phy.transmitter import encode_payload_to_symbols
+
+__all__ = ["run", "measure_snr_vs_cp"]
+
+
+def _joint_effective_snr_db(session: SourceSyncSession, payload: bytes, cp_samples: int, compensate: bool, rng: np.random.Generator) -> float:
+    """Effective SNR (dB) of one joint frame at a given data CP."""
+    outcome = session.run_joint_frame(
+        payload,
+        rate_mbps=6.0,
+        data_cp_samples=cp_samples,
+        compensate=compensate,
+        apply_tracking_feedback=compensate,
+        genie_timing=True,
+    )
+    result = outcome.result
+    if result.equalized_symbols is None:
+        return float("nan")
+    reference = encode_payload_to_symbols(payload, outcome.frame_config)
+    n = min(reference.shape[0], result.equalized_symbols.shape[0])
+    return evm_to_snr_db(result.equalized_symbols[:n], reference[:n])
+
+
+def measure_snr_vs_cp(
+    cp_values_samples: tuple[int, ...],
+    compensate: bool,
+    snr_db: float = 20.0,
+    payload_bytes: int = 60,
+    n_frames: int = 2,
+    seed: int = 5,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> list[float]:
+    """Average effective SNR at each CP value, with or without compensation."""
+    rng = np.random.default_rng(seed)
+    topo = JointTopology.from_snrs(
+        rng,
+        lead_rx_snr_db=snr_db,
+        cosender_rx_snr_db=[snr_db],
+        lead_cosender_snr_db=[25.0],
+        lead_rx_distance_m=15.0,
+        cosender_rx_distance_m=[25.0],
+        lead_cosender_distance_m=[20.0],
+        params=params,
+    )
+    session = SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng)
+    session.measure_delays()
+    if compensate:
+        session.converge_tracking(rounds=4)
+    payload = bitutils.random_payload(payload_bytes, rng)
+    snrs: list[float] = []
+    for cp in cp_values_samples:
+        values = [
+            _joint_effective_snr_db(session, payload, cp, compensate, rng)
+            for _ in range(n_frames)
+        ]
+        finite = [v for v in values if np.isfinite(v)]
+        snrs.append(float(np.mean(finite)) if finite else float("nan"))
+    return snrs
+
+
+def run(
+    cp_values_samples: tuple[int, ...] = (0, 2, 4, 6, 8, 12, 16, 20, 26, 32),
+    snr_db: float = 20.0,
+    n_frames: int = 2,
+    seed: int = 5,
+    params: OFDMParams = DEFAULT_PARAMS,
+    snr_fraction: float = 0.95,
+) -> ExperimentResult:
+    """Regenerate Fig. 13: SNR vs CP for SourceSync and the unsynchronized baseline."""
+    sourcesync = measure_snr_vs_cp(cp_values_samples, True, snr_db, n_frames=n_frames, seed=seed, params=params)
+    baseline = measure_snr_vs_cp(cp_values_samples, False, snr_db, n_frames=n_frames, seed=seed, params=params)
+    cp_ns = [cp * params.sample_period_ns for cp in cp_values_samples]
+
+    def cp_for_fraction(snrs: list[float]) -> float:
+        values = np.asarray(snrs)
+        if not np.any(np.isfinite(values)):
+            return float("nan")
+        peak_linear = 10 ** (np.nanmax(values) / 10.0)
+        target_db = 10 * np.log10(snr_fraction * peak_linear)
+        for cp, value in zip(cp_ns, values):
+            if np.isfinite(value) and value >= target_db:
+                return cp
+        return cp_ns[-1]
+
+    ss_cp = cp_for_fraction(sourcesync)
+    base_cp = cp_for_fraction(baseline)
+    return ExperimentResult(
+        name="fig13",
+        description="Joint-transmission SNR vs cyclic prefix (SourceSync vs unsynchronized baseline)",
+        series={
+            "cp_ns": cp_ns,
+            "sourcesync_snr_db": sourcesync,
+            "baseline_snr_db": baseline,
+        },
+        summary={
+            "sourcesync_cp_for_95pct_peak_ns": ss_cp,
+            "baseline_cp_for_95pct_peak_ns": base_cp,
+            "cp_reduction_factor": base_cp / ss_cp if ss_cp and np.isfinite(ss_cp) and ss_cp > 0 else float("nan"),
+        },
+        paper_reference={
+            "claim": "SourceSync reaches 95% of peak SNR with a 117 ns CP; the baseline needs 469 ns",
+            "figure": "Fig. 13",
+        },
+    )

@@ -1,0 +1,116 @@
+"""Figure 15: power gains of joint transmission across SNR regimes.
+
+Two senders and a receiver are placed so that the individual sender-receiver
+links fall in a low (<6 dB), medium (6-12 dB) or high (>12 dB) SNR regime;
+the experiment compares the average SNR across subcarriers when each sender
+transmits alone against the joint SourceSync transmission.  The paper
+reports a 2-3 dB gain in every regime (two equal-power senders add up to
+3 dB of received power).
+
+The measurement is taken exactly the way the paper's receiver would take
+it: from the per-sender channel estimates of a received joint-frame header
+(lead preamble + co-sender training), so the whole synchronization and
+estimation path is exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.snr import SNR_REGIMES
+from repro.channel.awgn import linear_to_db
+from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
+from repro.experiments.common import ExperimentResult
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+
+__all__ = ["run", "measure_regime", "REGIME_TARGET_SNR_DB"]
+
+#: Representative average link SNRs for each regime of §8.2.
+REGIME_TARGET_SNR_DB = {"low": 4.0, "medium": 9.0, "high": 16.0}
+
+
+def _snr_from_channel(channel_power: np.ndarray, noise_var: float) -> float:
+    """Average SNR in dB from per-subcarrier channel power and noise."""
+    return float(linear_to_db(np.mean(channel_power) / max(noise_var, 1e-15)))
+
+
+def measure_regime(
+    target_snr_db: float,
+    n_placements: int = 4,
+    seed: int = 15,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> tuple[list[float], list[float], list[np.ndarray]]:
+    """Single-sender and joint average SNRs for placements in one regime.
+
+    Returns ``(single_sender_snrs, joint_snrs, per_subcarrier_joint_profiles)``;
+    the single-sender list contains both senders of every placement.
+    """
+    rng = np.random.default_rng(seed + int(target_snr_db * 10))
+    single: list[float] = []
+    joint: list[float] = []
+    profiles: list[np.ndarray] = []
+    for _ in range(n_placements):
+        snr_a = target_snr_db + float(rng.uniform(-1.5, 1.5))
+        snr_b = target_snr_db + float(rng.uniform(-1.5, 1.5))
+        topo = JointTopology.from_snrs(
+            rng,
+            lead_rx_snr_db=snr_a,
+            cosender_rx_snr_db=[snr_b],
+            lead_cosender_snr_db=[20.0],
+            params=params,
+        )
+        session = SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng)
+        session.measure_delays()
+        session.converge_tracking(rounds=3)
+        channels = session.run_header_exchange(apply_tracking_feedback=False).channels
+        if channels is None:
+            continue
+        lead_power = np.abs(channels.lead.on_bins(params.occupied_bins())) ** 2
+        single.append(_snr_from_channel(lead_power, channels.noise_var))
+        co_list = [ch for ch in channels.cosenders if ch is not None]
+        if co_list:
+            co_power = np.abs(co_list[0].on_bins(params.occupied_bins())) ** 2
+            single.append(_snr_from_channel(co_power, channels.noise_var))
+            joint_power = lead_power + co_power
+        else:
+            joint_power = lead_power
+        joint.append(_snr_from_channel(joint_power, channels.noise_var))
+        profiles.append(channels.per_subcarrier_snr_db())
+    return single, joint, profiles
+
+
+def run(
+    n_placements: int = 4,
+    seed: int = 15,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> ExperimentResult:
+    """Regenerate Fig. 15: average SNR, single sender vs SourceSync, per regime."""
+    regimes = list(SNR_REGIMES.keys())
+    single_means: list[float] = []
+    joint_means: list[float] = []
+    gains: list[float] = []
+    for regime in regimes:
+        single, joint, _ = measure_regime(REGIME_TARGET_SNR_DB[regime], n_placements, seed, params)
+        single_mean = float(np.mean(single)) if single else float("nan")
+        joint_mean = float(np.mean(joint)) if joint else float("nan")
+        single_means.append(single_mean)
+        joint_means.append(joint_mean)
+        gains.append(joint_mean - single_mean)
+    return ExperimentResult(
+        name="fig15",
+        description="Average SNR of single sender vs SourceSync joint transmission per SNR regime",
+        series={
+            "regime": regimes,
+            "single_sender_snr_db": single_means,
+            "sourcesync_snr_db": joint_means,
+            "gain_db": gains,
+        },
+        summary={
+            "min_gain_db": float(np.nanmin(gains)),
+            "max_gain_db": float(np.nanmax(gains)),
+        },
+        paper_reference={
+            "claim": "SourceSync improves average SNR by 2-3 dB in the low, medium and high regimes",
+            "figure": "Fig. 15",
+        },
+    )

@@ -1,0 +1,73 @@
+"""Run every experiment and collect the paper-vs-measured comparison.
+
+``python -m repro.experiments.runner`` regenerates all figures with small
+default workloads and prints one report per experiment; the benchmark
+harness in ``benchmarks/`` wraps the same entry points with
+pytest-benchmark so the figures can be regenerated and timed with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    ablation_combining,
+    ablation_slope,
+    fig12_sync_error,
+    fig13_cp_reduction,
+    fig14_delay_spread,
+    fig15_power_gains,
+    fig16_frequency_diversity,
+    fig17_lasthop,
+    fig18_opportunistic,
+    overhead,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]
+
+#: Registry of experiment name -> zero-argument callable with quick defaults.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig12": lambda: fig12_sync_error.run(
+        snr_points_db=(6.0, 12.0, 20.0), n_topologies=2, n_measurements=4
+    ),
+    "fig13": lambda: fig13_cp_reduction.run(cp_values_samples=(0, 2, 4, 8, 16, 24, 32), n_frames=1),
+    "fig14": lambda: fig14_delay_spread.run(n_realizations=100),
+    "fig15": lambda: fig15_power_gains.run(n_placements=3),
+    "fig16": lambda: fig16_frequency_diversity.run(),
+    "fig17": lambda: fig17_lasthop.run(n_placements=12, n_packets=80),
+    "fig18": lambda: fig18_opportunistic.run(n_topologies=10, batch_size=16),
+    "overhead": lambda: overhead.run(),
+    "ablation_combining": lambda: ablation_combining.run(n_realizations=150),
+    "ablation_slope": lambda: ablation_slope.run(n_trials=8),
+}
+
+
+def run_experiment(name: str) -> ExperimentResult:
+    """Run a single experiment by name with quick defaults."""
+    try:
+        factory = EXPERIMENTS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}") from exc
+    return factory()
+
+
+def run_all(names: list[str] | None = None) -> dict[str, ExperimentResult]:
+    """Run all (or selected) experiments and return their results."""
+    selected = list(EXPERIMENTS) if names is None else names
+    return {name: run_experiment(name) for name in selected}
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """Command-line entry point printing every experiment report."""
+    import sys
+
+    names = sys.argv[1:] or None
+    for name, result in run_all(names).items():
+        print(result.report())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

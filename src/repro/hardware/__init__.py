@@ -1,0 +1,6 @@
+"""Radio hardware models: detection latency, turnaround delay, sample clocks."""
+
+from repro.hardware.clock import SampleClock
+from repro.hardware.frontend import DetectionLatencyModel, RadioFrontend
+
+__all__ = ["SampleClock", "RadioFrontend", "DetectionLatencyModel"]

@@ -1,0 +1,64 @@
+"""Hardware sample clock / tick counter model.
+
+Nodes measure local time by counting ticks of their own sample clock
+(the paper's prototype FPGA is clocked at 128 MHz; our simulated nodes count
+baseband samples).  The clock of each node runs at a slightly different rate
+because it is derived from the same imperfect crystal as the carrier
+(:mod:`repro.channel.oscillator`), which this model captures through a ppm
+error term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SampleClock"]
+
+
+@dataclass
+class SampleClock:
+    """A free-running tick counter with a rate error.
+
+    Attributes
+    ----------
+    nominal_rate_hz:
+        Nominal tick rate (defaults to the 20 MHz baseband sample rate).
+    ppm:
+        Rate error of this clock in parts per million.
+    """
+
+    nominal_rate_hz: float = 20e6
+    ppm: float = 0.0
+
+    @property
+    def actual_rate_hz(self) -> float:
+        """True tick rate including the ppm error."""
+        return self.nominal_rate_hz * (1.0 + self.ppm * 1e-6)
+
+    def ticks_for_duration(self, duration_s: float) -> float:
+        """Number of local ticks this clock counts over a true duration."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        return duration_s * self.actual_rate_hz
+
+    def duration_for_ticks(self, ticks: float) -> float:
+        """True elapsed time corresponding to a local tick count."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        return ticks / self.actual_rate_hz
+
+    def nominal_duration_for_ticks(self, ticks: float) -> float:
+        """Duration the node *believes* elapsed (using its nominal rate)."""
+        if ticks < 0:
+            raise ValueError("ticks must be non-negative")
+        return ticks / self.nominal_rate_hz
+
+    def measurement_error_s(self, duration_s: float) -> float:
+        """Error a node makes when it measures a true duration with this clock.
+
+        The node counts ticks at its actual rate but converts them back to
+        seconds using the nominal rate; the difference is the measurement
+        error that accumulates with the measured duration.
+        """
+        ticks = self.ticks_for_duration(duration_s)
+        return self.nominal_duration_for_ticks(ticks) - duration_s

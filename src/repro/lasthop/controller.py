@@ -1,0 +1,112 @@
+"""SourceSync last-hop controller and AP association (§7.1, Fig. 9).
+
+A SourceSync WLAN deployment places a controller on the wired network.  The
+controller forwards every downlink packet to all APs a client is associated
+with, designates the AP with the best link as the *lead AP*, fixes the
+static codeword ordering of the other APs, and collects ACKs (received over
+uplink receiver-diversity) back to the lead AP, which drives
+retransmissions and rate adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.topology import Testbed
+
+__all__ = ["Association", "SourceSyncController"]
+
+
+@dataclass(frozen=True)
+class Association:
+    """A client's association with its neighbourhood of APs.
+
+    Attributes
+    ----------
+    client:
+        Client node id.
+    lead_ap:
+        The AP with the best downlink to the client; it carrier-senses,
+        transmits the synchronization header and runs rate adaptation.
+    cosender_aps:
+        The other associated APs in codeword order (codeword ``i + 1``).
+    """
+
+    client: int
+    lead_ap: int
+    cosender_aps: tuple[int, ...]
+
+    @property
+    def all_aps(self) -> tuple[int, ...]:
+        """Lead AP followed by the co-sender APs."""
+        return (self.lead_ap, *self.cosender_aps)
+
+    @property
+    def k(self) -> int:
+        """Number of APs the client is associated with."""
+        return 1 + len(self.cosender_aps)
+
+
+@dataclass
+class SourceSyncController:
+    """Wired-side controller coordinating multi-AP downlink transmissions.
+
+    Parameters
+    ----------
+    testbed:
+        Link model containing the APs and clients.
+    ap_ids:
+        Node ids acting as access points.
+    max_aps_per_client:
+        The tunable ``K`` of §7.1: how many APs a client associates with.
+    """
+
+    testbed: Testbed
+    ap_ids: list[int]
+    max_aps_per_client: int = 2
+    associations: dict[int, Association] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.ap_ids:
+            raise ValueError("at least one AP is required")
+        if self.max_aps_per_client < 1:
+            raise ValueError("max_aps_per_client must be at least 1")
+
+    # ------------------------------------------------------------------
+    def associate(self, client: int, probe_rate_mbps: float = 6.0) -> Association:
+        """Associate a client with its best ``K`` APs (§7.1 MAC and association).
+
+        The AP with the best downlink delivery probability becomes the lead;
+        the next best ``K - 1`` APs join as co-senders.  The ordering also
+        fixes each AP's space-time codeword.
+        """
+        if client in self.ap_ids:
+            raise ValueError("a client cannot also be an AP")
+        ranked = sorted(
+            self.ap_ids,
+            key=lambda ap: self.testbed.delivery_probability(ap, client, probe_rate_mbps),
+            reverse=True,
+        )
+        chosen = ranked[: self.max_aps_per_client]
+        association = Association(client=client, lead_ap=chosen[0], cosender_aps=tuple(chosen[1:]))
+        self.associations[client] = association
+        return association
+
+    def association_for(self, client: int) -> Association:
+        """The stored association of a client (associating it if necessary)."""
+        if client not in self.associations:
+            return self.associate(client)
+        return self.associations[client]
+
+    def best_single_ap(self, client: int, probe_rate_mbps: float = 6.0) -> int:
+        """The single best AP for a client — the selective-diversity baseline of §8.3."""
+        return max(
+            self.ap_ids,
+            key=lambda ap: self.testbed.delivery_probability(ap, client, probe_rate_mbps),
+        )
+
+    # ------------------------------------------------------------------
+    def downlink_senders(self, client: int) -> list[int]:
+        """Senders participating in a joint downlink transmission to a client."""
+        association = self.association_for(client)
+        return list(association.all_aps)

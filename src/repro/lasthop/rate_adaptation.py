@@ -1,0 +1,131 @@
+"""SampleRate bit-rate adaptation (Bicket, 2005) — §8(a) of the paper.
+
+SampleRate picks the rate that has recently offered the lowest average
+per-packet transmission time (including backoff and retransmissions) and
+periodically "samples" other rates to discover whether conditions changed.
+The paper uses SampleRate for the last-hop experiments, modified so that
+only the lead AP runs the adaptation and the chosen rate is announced to
+the other APs in the synchronization header (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.mac import MacTiming
+from repro.phy.rates import Rate, rates_sorted
+
+__all__ = ["SampleRate"]
+
+
+@dataclass
+class _RateStats:
+    """Running statistics for one candidate rate."""
+
+    attempts: int = 0
+    successes: int = 0
+    total_tx_time_us: float = 0.0
+    successive_failures: int = 0
+
+    def average_tx_time_us(self) -> float:
+        """Average transmission time per *successful* packet at this rate."""
+        if self.successes == 0:
+            return float("inf")
+        return self.total_tx_time_us / self.successes
+
+
+@dataclass
+class SampleRate:
+    """The SampleRate algorithm for one link.
+
+    Parameters
+    ----------
+    payload_bytes:
+        Packet size used to compute per-rate transmission times.
+    timing:
+        MAC timing model used to translate attempts into airtime.
+    sample_every:
+        One in every ``sample_every`` packets is sent at a randomly chosen
+        non-current rate to keep statistics fresh (SampleRate uses ~10%).
+    max_successive_failures:
+        Rates with this many successive failures are excluded until they are
+        sampled again.
+    """
+
+    payload_bytes: int = 1460
+    timing: MacTiming = field(default_factory=MacTiming)
+    sample_every: int = 10
+    max_successive_failures: int = 4
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    _stats: dict[float, _RateStats] = field(default_factory=dict, repr=False)
+    _packets_sent: int = 0
+
+    def __post_init__(self) -> None:
+        for rate in rates_sorted():
+            self._stats[rate.mbps] = _RateStats()
+
+    # ------------------------------------------------------------------
+    def _lossless_tx_time_us(self, rate: Rate) -> float:
+        return self.timing.single_transaction_us(self.payload_bytes, rate)
+
+    def _current_best(self) -> Rate:
+        """Rate with the lowest average transmission time so far.
+
+        Rates that have never succeeded are ranked by their lossless
+        transmission time, which makes the algorithm start optimistic (high
+        rates) and fall back as failures accumulate — the standard
+        SampleRate behaviour.
+        """
+        candidates = []
+        for rate in rates_sorted():
+            stats = self._stats[rate.mbps]
+            if stats.successive_failures >= self.max_successive_failures:
+                continue
+            average = stats.average_tx_time_us()
+            if not np.isfinite(average):
+                average = self._lossless_tx_time_us(rate) * 1.2
+            candidates.append((average, -rate.mbps, rate))
+        if not candidates:
+            return rates_sorted()[0]
+        candidates.sort()
+        return candidates[0][2]
+
+    # ------------------------------------------------------------------
+    def choose_rate(self) -> Rate:
+        """Rate to use for the next packet."""
+        self._packets_sent += 1
+        if self.sample_every > 0 and self._packets_sent % self.sample_every == 0:
+            best = self._current_best()
+            others = [r for r in rates_sorted() if r.mbps != best.mbps]
+            if others:
+                # Sample a rate that could plausibly beat the current best:
+                # SampleRate does not waste samples on rates whose lossless
+                # time already exceeds the current average.
+                best_avg = self._stats[best.mbps].average_tx_time_us()
+                viable = [r for r in others if self._lossless_tx_time_us(r) < best_avg] or others
+                return viable[int(self.rng.integers(0, len(viable)))]
+        return self._current_best()
+
+    def report(self, rate: Rate, success: bool, n_attempts: int = 1) -> None:
+        """Feed back the outcome of a packet transmission."""
+        if n_attempts < 1:
+            raise ValueError("n_attempts must be at least 1")
+        stats = self._stats[rate.mbps]
+        airtime = self._lossless_tx_time_us(rate) * n_attempts
+        stats.attempts += n_attempts
+        stats.total_tx_time_us += airtime
+        if success:
+            stats.successes += 1
+            stats.successive_failures = 0
+        else:
+            stats.successive_failures += 1
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[float, tuple[int, int, float]]:
+        """Per-rate (attempts, successes, average tx time) for diagnostics."""
+        return {
+            mbps: (s.attempts, s.successes, s.average_tx_time_us())
+            for mbps, s in self._stats.items()
+        }

@@ -1,0 +1,109 @@
+"""A small discrete-event simulation engine.
+
+The last-hop and routing experiments mostly use closed-form airtime
+accounting (:class:`repro.net.mac.CsmaState`), but some scenarios — e.g.
+interleaving probe traffic with data, or modelling retransmission timeouts —
+are easier to express as events on a virtual clock.  This engine provides
+the minimal machinery: schedule callbacks at absolute or relative times and
+run until the queue drains or a horizon is reached.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Callable
+
+__all__ = ["EventScheduler", "Event"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback."""
+
+    time_us: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue based discrete event scheduler with a µs clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._sequence = count()
+        self._now = 0.0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now_us(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def schedule_at(self, time_us: float, callback: Callable[[], None]) -> Event:
+        """Schedule a callback at an absolute simulation time."""
+        if time_us < self._now:
+            raise ValueError(f"cannot schedule in the past ({time_us} < {self._now})")
+        event = Event(time_us=float(time_us), sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay_us: float, callback: Callable[[], None]) -> Event:
+        """Schedule a callback ``delay_us`` after the current time."""
+        if delay_us < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self._now + delay_us, callback)
+
+    # ------------------------------------------------------------------
+    def run(self, until_us: float | None = None, max_events: int | None = None) -> float:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until_us:
+            Stop once the next event lies beyond this time (the clock is
+            left at ``until_us``).
+        max_events:
+            Safety cap on the number of executed events.
+
+        Returns
+        -------
+        float
+            The simulation time after running.
+        """
+        executed = 0
+        while self._queue:
+            event = self._queue[0]
+            if until_us is not None and event.time_us > until_us:
+                self._now = until_us
+                return self._now
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time_us
+            event.callback()
+            self._processed += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        if until_us is not None and not self._queue:
+            self._now = max(self._now, until_us)
+        return self._now

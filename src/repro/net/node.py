@@ -1,0 +1,54 @@
+"""Mesh / WLAN node model for the link-level simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.oscillator import Oscillator
+from repro.hardware.frontend import RadioFrontend
+
+__all__ = ["MeshNode"]
+
+
+@dataclass
+class MeshNode:
+    """A node of the simulated testbed.
+
+    Nodes have a physical position (used for path loss and propagation
+    delay), a radio front end (turnaround / detection-latency model) and an
+    oscillator (CFO model); roles (source, relay, AP, client, ...) are
+    assigned by the experiments, not baked into the node.
+    """
+
+    node_id: int
+    x: float
+    y: float
+    frontend: RadioFrontend = field(default_factory=lambda: RadioFrontend(turnaround_samples=80.0))
+    oscillator: Oscillator = field(default_factory=lambda: Oscillator(ppm=0.0))
+
+    @classmethod
+    def random(
+        cls,
+        node_id: int,
+        rng: np.random.Generator,
+        area_m: float = 60.0,
+    ) -> "MeshNode":
+        """Place a node uniformly at random in a square area."""
+        return cls(
+            node_id=node_id,
+            x=float(rng.uniform(0.0, area_m)),
+            y=float(rng.uniform(0.0, area_m)),
+            frontend=RadioFrontend.random(rng),
+            oscillator=Oscillator.random(rng),
+        )
+
+    def distance_to(self, other: "MeshNode") -> float:
+        """Euclidean distance to another node in metres."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """(x, y) position in metres."""
+        return (self.x, self.y)

@@ -1,0 +1,43 @@
+"""Packet abstraction used by the MAC / routing simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+__all__ = ["Packet"]
+
+_SEQUENCE = count()
+
+
+@dataclass
+class Packet:
+    """A network-layer packet flowing through the simulated mesh.
+
+    Attributes
+    ----------
+    src, dst:
+        Node identifiers of the traffic endpoints.
+    payload_bytes:
+        Payload size (the paper uses 1460-byte packets in its overhead
+        calculation, §4.4).
+    seq:
+        Monotonically increasing sequence number.
+    batch_id:
+        ExOR batch this packet belongs to (None for non-batched traffic).
+    """
+
+    src: int
+    dst: int
+    payload_bytes: int = 1460
+    seq: int = field(default_factory=lambda: next(_SEQUENCE))
+    batch_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+
+    @property
+    def payload_bits(self) -> int:
+        """Payload size in bits."""
+        return 8 * self.payload_bytes

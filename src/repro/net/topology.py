@@ -1,0 +1,212 @@
+"""Testbed topology: node placement, link SNR profiles, delivery probabilities.
+
+The paper's evaluation runs on a ~20-node indoor office testbed (Fig. 11)
+with walls and metal cabinets producing a wide spread of link qualities.
+:class:`Testbed` reproduces that setting statistically: nodes are placed on
+a floor plan, large-scale SNR comes from a log-distance path-loss model with
+shadowing, small-scale frequency selectivity from per-link multipath
+realisations, and every directed link exposes a per-subcarrier SNR profile
+from which delivery probabilities are derived (see
+:mod:`repro.analysis.error_models`).
+
+Joint (SourceSync) transmissions from several senders combine their
+per-subcarrier SNRs; the extra cyclic-prefix overhead required to absorb
+residual misalignment at multiple receivers (§4.6) is charged as airtime,
+not as an SNR penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.error_models import combined_subcarrier_snr, delivery_probability
+from repro.analysis.snr import subcarrier_snr_profile
+from repro.channel.multipath import DEFAULT_PROFILE, MultipathProfile
+from repro.channel.propagation import PathLossModel, propagation_delay_samples
+from repro.net.node import MeshNode
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.phy.rates import Rate, rate_for_mbps
+
+__all__ = ["Testbed"]
+
+
+@dataclass
+class Testbed:
+    """A set of nodes with pairwise link models.
+
+    Parameters
+    ----------
+    nodes:
+        The nodes of the testbed.
+    path_loss:
+        Large-scale propagation model.
+    multipath_profile:
+        Small-scale fading statistics shared by all links.
+    params:
+        OFDM numerology.
+    rng:
+        Random source for shadowing and fading realisations (the draws are
+        cached per link so the testbed is static once created, like a real
+        deployment during one experiment).
+    """
+
+    #: Tell pytest this (public, "Test"-prefixed) class is not a test case.
+    __test__ = False
+
+    nodes: list[MeshNode]
+    path_loss: PathLossModel = field(default_factory=PathLossModel)
+    multipath_profile: MultipathProfile = DEFAULT_PROFILE
+    params: OFDMParams = DEFAULT_PARAMS
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    _snr_cache: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
+    _profile_cache: dict[tuple[int, int], np.ndarray] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if len({node.node_id for node in self.nodes}) != len(self.nodes):
+            raise ValueError("node ids must be unique")
+        self._by_id = {node.node_id: node for node in self.nodes}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        n_nodes: int,
+        rng: np.random.Generator | None = None,
+        area_m: float = 60.0,
+        path_loss: PathLossModel | None = None,
+        multipath_profile: MultipathProfile = DEFAULT_PROFILE,
+        params: OFDMParams = DEFAULT_PARAMS,
+    ) -> "Testbed":
+        """Place ``n_nodes`` uniformly at random in a square area."""
+        rng = rng if rng is not None else np.random.default_rng()
+        nodes = [MeshNode.random(i, rng, area_m) for i in range(n_nodes)]
+        return cls(
+            nodes=nodes,
+            path_loss=path_loss if path_loss is not None else PathLossModel(),
+            multipath_profile=multipath_profile,
+            params=params,
+            rng=rng,
+        )
+
+    @classmethod
+    def from_positions(
+        cls,
+        positions: list[tuple[float, float]],
+        rng: np.random.Generator | None = None,
+        **kwargs,
+    ) -> "Testbed":
+        """Build a testbed from explicit node positions."""
+        rng = rng if rng is not None else np.random.default_rng()
+        nodes = [MeshNode(i, x, y) for i, (x, y) in enumerate(positions)]
+        return cls(nodes=nodes, rng=rng, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Node / link accessors
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> MeshNode:
+        """Look up a node by id."""
+        return self._by_id[node_id]
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All node identifiers."""
+        return [node.node_id for node in self.nodes]
+
+    def link_average_snr_db(self, src: int, dst: int) -> float:
+        """Average SNR of the (undirected) link between two nodes.
+
+        The large-scale SNR (path loss + shadowing) is reciprocal; it is
+        drawn once per node pair and cached.
+        """
+        if src == dst:
+            raise ValueError("src and dst must differ")
+        key = (min(src, dst), max(src, dst))
+        if key not in self._snr_cache:
+            distance = self.node(src).distance_to(self.node(dst))
+            self._snr_cache[key] = self.path_loss.snr_db(distance, rng=self.rng)
+        return self._snr_cache[key]
+
+    def link_profile(self, src: int, dst: int) -> np.ndarray:
+        """Per-subcarrier SNR profile (dB) of the directed link ``src -> dst``.
+
+        Each direction gets its own small-scale fading realisation, cached so
+        repeated queries describe the same static channel.
+        """
+        if src == dst:
+            raise ValueError("src and dst must differ")
+        key = (src, dst)
+        if key not in self._profile_cache:
+            self._profile_cache[key] = subcarrier_snr_profile(
+                self.link_average_snr_db(src, dst),
+                rng=self.rng,
+                profile=self.multipath_profile,
+                params=self.params,
+            )
+        return self._profile_cache[key]
+
+    def link_delay_samples(self, src: int, dst: int) -> float:
+        """One-way propagation delay of a link in baseband samples."""
+        distance = self.node(src).distance_to(self.node(dst))
+        return propagation_delay_samples(distance, self.params.bandwidth_hz)
+
+    # ------------------------------------------------------------------
+    # Delivery probabilities
+    # ------------------------------------------------------------------
+    def delivery_probability(
+        self,
+        src: int,
+        dst: int,
+        rate: Rate | float,
+        payload_bytes: int = 1460,
+    ) -> float:
+        """Probability that a single-sender packet on ``src -> dst`` is received."""
+        rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
+        return delivery_probability(self.link_profile(src, dst), rate_obj, payload_bytes)
+
+    def joint_delivery_probability(
+        self,
+        senders: list[int],
+        dst: int,
+        rate: Rate | float,
+        payload_bytes: int = 1460,
+    ) -> float:
+        """Delivery probability of a SourceSync joint transmission.
+
+        The per-subcarrier SNRs of the participating senders add (the Smart
+        Combiner's ``sum_i |H_i|^2`` gain), so the joint link is both
+        stronger and flatter than any individual link.
+        """
+        if not senders:
+            raise ValueError("need at least one sender")
+        if dst in senders:
+            raise ValueError("destination cannot also be a sender")
+        rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
+        profiles = [self.link_profile(s, dst) for s in senders]
+        combined = combined_subcarrier_snr(profiles)
+        return delivery_probability(combined, rate_obj, payload_bytes)
+
+    def loss_rate(self, src: int, dst: int, probe_rate_mbps: float = 6.0, probe_bytes: int = 1460) -> float:
+        """Link loss rate as measured by routing-layer probes (for ETX)."""
+        return 1.0 - self.delivery_probability(src, dst, probe_rate_mbps, probe_bytes)
+
+    def attempt_delivery(
+        self,
+        senders: list[int] | int,
+        dst: int,
+        rate: Rate | float,
+        payload_bytes: int,
+        rng: np.random.Generator | None = None,
+    ) -> bool:
+        """Draw one Bernoulli delivery outcome for a (possibly joint) transmission."""
+        rng = rng if rng is not None else self.rng
+        if isinstance(senders, int):
+            prob = self.delivery_probability(senders, dst, rate, payload_bytes)
+        elif len(senders) == 1:
+            prob = self.delivery_probability(senders[0], dst, rate, payload_bytes)
+        else:
+            prob = self.joint_delivery_probability(list(senders), dst, rate, payload_bytes)
+        return bool(rng.random() < prob)

@@ -1,0 +1,32 @@
+"""OFDM physical-layer substrate (802.11a/g-like transmit and receive chains).
+
+This package provides the sample-level PHY that the SourceSync core
+(:mod:`repro.core`) builds on: framing, coding, modulation, OFDM symbol
+assembly, preamble generation, packet detection, channel estimation and
+full transmit/receive chains for single-sender frames.
+"""
+
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS, SPEED_OF_LIGHT
+from repro.phy.rates import Rate, RATE_TABLE, rate_for_mbps, best_rate_for_snr
+from repro.phy.modulation import Modulation, get_modulation
+from repro.phy.transmitter import Transmitter, FrameConfig, EncodedFrame
+from repro.phy.receiver import Receiver, ReceiveResult
+from repro.phy.equalizer import ChannelEstimate
+
+__all__ = [
+    "OFDMParams",
+    "DEFAULT_PARAMS",
+    "SPEED_OF_LIGHT",
+    "Rate",
+    "RATE_TABLE",
+    "rate_for_mbps",
+    "best_rate_for_snr",
+    "Modulation",
+    "get_modulation",
+    "Transmitter",
+    "FrameConfig",
+    "EncodedFrame",
+    "Receiver",
+    "ReceiveResult",
+    "ChannelEstimate",
+]

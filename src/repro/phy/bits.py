@@ -1,0 +1,119 @@
+"""Bit-level utilities: packing, scrambling and CRC-32.
+
+These mirror the bit-domain processing of the 802.11 PHY/MAC that the
+SourceSync prototype inherits from its standard transmit/receive chains:
+
+* the 127-bit self-synchronising scrambler (x^7 + x^4 + 1),
+* the IEEE CRC-32 frame check sequence appended to every PSDU,
+* helpers to convert between bytes and bit arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "scramble",
+    "descramble",
+    "crc32",
+    "append_crc",
+    "check_crc",
+    "random_payload",
+]
+
+_SCRAMBLER_LENGTH = 127
+
+
+def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Convert bytes to a bit array (LSB-first per byte, as in 802.11)."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    bits = np.unpackbits(arr, bitorder="little")
+    return bits.astype(np.uint8)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Convert a bit array (LSB-first per byte) back to bytes.
+
+    The bit array length must be a multiple of 8.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def _scrambler_sequence(n_bits: int, seed: int) -> np.ndarray:
+    """Generate the 802.11 scrambler sequence of the requested length."""
+    if not 0 < seed < 128:
+        raise ValueError("scrambler seed must be in 1..127")
+    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x1 ... state[6] = x7
+    out = np.empty(n_bits, dtype=np.uint8)
+    for i in range(n_bits):
+        feedback = state[6] ^ state[3]  # x^7 + x^4 + 1
+        out[i] = feedback
+        state = [feedback] + state[:6]
+    return out
+
+
+def scramble(bits: np.ndarray, seed: int = 0x5D) -> np.ndarray:
+    """Scramble a bit sequence with the 802.11 127-bit scrambler."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    sequence = _scrambler_sequence(bits.size, seed)
+    return np.bitwise_xor(bits, sequence)
+
+
+def descramble(bits: np.ndarray, seed: int = 0x5D) -> np.ndarray:
+    """Descramble a bit sequence (the scrambler is its own inverse)."""
+    return scramble(bits, seed)
+
+
+def _crc32_table() -> np.ndarray:
+    table = np.empty(256, dtype=np.uint32)
+    poly = np.uint32(0xEDB88320)
+    for i in range(256):
+        crc = np.uint32(i)
+        for _ in range(8):
+            if crc & np.uint32(1):
+                crc = np.uint32((int(crc) >> 1) ^ int(poly))
+            else:
+                crc = np.uint32(int(crc) >> 1)
+        table[i] = crc
+    return table
+
+
+_CRC_TABLE = _crc32_table()
+
+
+def crc32(data: bytes) -> int:
+    """IEEE 802.3 CRC-32 of the given bytes."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ int(_CRC_TABLE[(crc ^ byte) & 0xFF])
+    return crc ^ 0xFFFFFFFF
+
+
+def append_crc(payload: bytes) -> bytes:
+    """Append the 4-byte CRC-32 (little-endian) to a payload."""
+    checksum = crc32(payload)
+    return payload + checksum.to_bytes(4, "little")
+
+
+def check_crc(frame: bytes) -> tuple[bytes, bool]:
+    """Split a frame into payload and CRC and verify the checksum.
+
+    Returns ``(payload, ok)``.  Frames shorter than 4 bytes are reported as
+    failed with an empty payload.
+    """
+    if len(frame) < 4:
+        return b"", False
+    payload, received = frame[:-4], frame[-4:]
+    expected = crc32(payload).to_bytes(4, "little")
+    return payload, received == expected
+
+
+def random_payload(n_bytes: int, rng: np.random.Generator | None = None) -> bytes:
+    """Generate a random payload of the requested size."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return rng.integers(0, 256, size=n_bytes, dtype=np.uint8).tobytes()

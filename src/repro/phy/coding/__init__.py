@@ -1,0 +1,14 @@
+"""Forward error correction: convolutional coding, puncturing, interleaving."""
+
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.coding.puncturing import puncture, depuncture, puncture_pattern
+from repro.phy.coding.interleaver import interleave, deinterleave
+
+__all__ = [
+    "ConvolutionalCode",
+    "puncture",
+    "depuncture",
+    "puncture_pattern",
+    "interleave",
+    "deinterleave",
+]

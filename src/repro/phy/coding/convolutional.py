@@ -1,0 +1,186 @@
+"""Rate-1/2, constraint-length-7 convolutional code with a soft Viterbi decoder.
+
+This is the mandatory 802.11a/g code (generator polynomials 133/171 octal).
+Higher code rates (2/3, 3/4) are obtained by puncturing the rate-1/2 output
+(see :mod:`repro.phy.coding.puncturing`).
+
+The Viterbi decoder operates on soft inputs (log-likelihood ratios, positive
+meaning "bit 0 more likely") and is vectorised over the 64 trellis states so
+full packets decode in milliseconds with numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ConvolutionalCode"]
+
+
+class ConvolutionalCode:
+    """The 802.11 (133, 171) rate-1/2 convolutional code.
+
+    Parameters
+    ----------
+    constraint_length:
+        Number of bits in the encoder register including the current input.
+    polynomials:
+        Generator polynomials in octal-equivalent integer form.
+    """
+
+    def __init__(self, constraint_length: int = 7, polynomials: tuple[int, int] = (0o133, 0o171)):
+        if constraint_length < 2:
+            raise ValueError("constraint_length must be at least 2")
+        self.constraint_length = constraint_length
+        self.polynomials = tuple(polynomials)
+        self.n_outputs = len(self.polynomials)
+        self.n_states = 1 << (constraint_length - 1)
+        self._build_trellis()
+
+    # ------------------------------------------------------------------
+    # Trellis construction
+    # ------------------------------------------------------------------
+    def _build_trellis(self) -> None:
+        n_states = self.n_states
+        memory = self.constraint_length - 1
+        # next_state[input, state] and output bits per branch
+        self._next_state = np.zeros((2, n_states), dtype=np.int64)
+        self._output = np.zeros((2, n_states, self.n_outputs), dtype=np.int8)
+        for state in range(n_states):
+            for bit in (0, 1):
+                register = (bit << memory) | state
+                outputs = []
+                for poly in self.polynomials:
+                    taps = register & poly
+                    outputs.append(bin(taps).count("1") & 1)
+                self._next_state[bit, state] = register >> 1
+                self._output[bit, state] = outputs
+        # Predecessor tables for the add-compare-select / traceback passes.
+        # Every state has exactly two predecessors; which one was taken is
+        # what the decoder stores per step.  The information bit consumed on
+        # entry to a state is fully determined by that state (its newest
+        # register bit), so it does not need to be stored.
+        mask = n_states - 1
+        states = np.arange(n_states)
+        self._entry_bit = (states >> (memory - 1)).astype(np.uint8)
+        self._prev_states = np.empty((2, n_states), dtype=np.int64)
+        self._prev_states[0] = (states << 1) & mask
+        self._prev_states[1] = ((states << 1) & mask) | 1
+        self._prev_outputs = np.empty((2, n_states, self.n_outputs), dtype=np.int8)
+        for choice in (0, 1):
+            prev = self._prev_states[choice]
+            bits = self._entry_bit
+            self._prev_outputs[choice] = self._output[bits, prev]
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, bits: np.ndarray, terminate: bool = True) -> np.ndarray:
+        """Encode information bits at rate 1/2.
+
+        Parameters
+        ----------
+        bits:
+            Information bits (0/1).
+        terminate:
+            When True (default) the encoder appends ``constraint_length - 1``
+            zero tail bits so the trellis ends in the all-zero state, which
+            is what 802.11 does and what the decoder assumes.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if terminate:
+            tail = np.zeros(self.constraint_length - 1, dtype=np.uint8)
+            bits = np.concatenate([bits, tail])
+        coded = np.empty(bits.size * self.n_outputs, dtype=np.uint8)
+        state = 0
+        next_state = self._next_state
+        output = self._output
+        for i, bit in enumerate(bits):
+            coded[i * self.n_outputs : (i + 1) * self.n_outputs] = output[bit, state]
+            state = next_state[bit, state]
+        return coded
+
+    @property
+    def tail_bits(self) -> int:
+        """Number of zero tail bits appended by a terminated encode."""
+        return self.constraint_length - 1
+
+    def coded_length(self, n_info_bits: int, terminate: bool = True) -> int:
+        """Number of coded bits produced for ``n_info_bits`` information bits."""
+        total = n_info_bits + (self.tail_bits if terminate else 0)
+        return total * self.n_outputs
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(
+        self,
+        llrs: np.ndarray,
+        terminated: bool = True,
+        strip_tail: bool = True,
+    ) -> np.ndarray:
+        """Soft-decision Viterbi decode.
+
+        Parameters
+        ----------
+        llrs:
+            Log-likelihood ratios of the coded bits, positive values meaning
+            bit 0 is more likely.  Hard decisions can be passed as
+            ``1 - 2*bit`` values.  Erased (punctured) positions should be 0.
+        terminated:
+            Whether the encoder appended zero tail bits.  When True the
+            survivor path is forced to end in state 0.
+        strip_tail:
+            Whether to strip the decoded tail bits from the output.
+
+        Returns
+        -------
+        numpy.ndarray
+            The decoded information bits.
+        """
+        llrs = np.asarray(llrs, dtype=np.float64)
+        if llrs.size % self.n_outputs != 0:
+            raise ValueError(
+                f"LLR length {llrs.size} is not a multiple of {self.n_outputs}"
+            )
+        n_steps = llrs.size // self.n_outputs
+        if n_steps == 0:
+            return np.zeros(0, dtype=np.uint8)
+        llrs = llrs.reshape(n_steps, self.n_outputs)
+
+        n_states = self.n_states
+        # Branch metric for output bit b given LLR l: correlation (1-2b)*l,
+        # so larger is better and the path metric is maximised.
+        prev_states = self._prev_states  # (2, n_states)
+        prev_sign = 1.0 - 2.0 * self._prev_outputs.astype(np.float64)  # (2, n_states, n_out)
+
+        neg_inf = -1e18
+        metrics = np.full(n_states, neg_inf, dtype=np.float64)
+        metrics[0] = 0.0
+        decisions = np.empty((n_steps, n_states), dtype=np.uint8)
+
+        state_range = np.arange(n_states)
+        for step in range(n_steps):
+            step_llr = llrs[step]  # (n_out,)
+            branch = prev_sign @ step_llr  # (2, n_states)
+            candidate = metrics[prev_states] + branch  # (2, n_states)
+            best_choice = np.argmax(candidate, axis=0).astype(np.uint8)
+            metrics = candidate[best_choice, state_range]
+            decisions[step] = best_choice
+
+        # Traceback
+        state = 0 if terminated else int(np.argmax(metrics))
+        bits = np.empty(n_steps, dtype=np.uint8)
+        for step in range(n_steps - 1, -1, -1):
+            bits[step] = self._entry_bit[state]
+            choice = decisions[step, state]
+            state = prev_states[choice, state]
+
+        if terminated and strip_tail:
+            bits = bits[: max(n_steps - self.tail_bits, 0)]
+        return bits
+
+    def decode_hard(self, coded_bits: np.ndarray, terminated: bool = True) -> np.ndarray:
+        """Hard-decision decode convenience wrapper."""
+        coded_bits = np.asarray(coded_bits, dtype=np.float64)
+        llrs = 1.0 - 2.0 * coded_bits
+        return self.decode(llrs, terminated=terminated)

@@ -1,0 +1,53 @@
+"""802.11a/g block interleaver.
+
+The interleaver operates on one OFDM symbol worth of coded bits
+(``n_cbps = 48 * bits_per_subcarrier``) and applies the standard two-step
+permutation: the first ensures adjacent coded bits map to non-adjacent
+subcarriers, the second ensures adjacent bits alternate between more and
+less significant constellation bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["interleave", "deinterleave", "interleaver_permutation"]
+
+
+def interleaver_permutation(n_cbps: int, bits_per_subcarrier: int) -> np.ndarray:
+    """Permutation ``p`` such that ``output[p[k]] = input[k]``.
+
+    Parameters
+    ----------
+    n_cbps:
+        Coded bits per OFDM symbol.
+    bits_per_subcarrier:
+        Coded bits per subcarrier (1 for BPSK .. 6 for 64-QAM).
+    """
+    if n_cbps <= 0:
+        raise ValueError("n_cbps must be positive")
+    if n_cbps % 16 != 0:
+        raise ValueError("n_cbps must be a multiple of 16")
+    s = max(bits_per_subcarrier // 2, 1)
+    k = np.arange(n_cbps)
+    # First permutation
+    i = (n_cbps // 16) * (k % 16) + (k // 16)
+    # Second permutation
+    j = s * (i // s) + (i + n_cbps - (16 * i // n_cbps)) % s
+    return j
+
+
+def interleave(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+    """Interleave one OFDM symbol of coded bits."""
+    bits = np.asarray(bits)
+    perm = interleaver_permutation(bits.size, bits_per_subcarrier)
+    out = np.empty_like(bits)
+    out[perm] = bits
+    return out
+
+
+def deinterleave(bits: np.ndarray, bits_per_subcarrier: int) -> np.ndarray:
+    """Invert :func:`interleave` (works on bits or soft values)."""
+    bits = np.asarray(bits)
+    perm = interleaver_permutation(bits.size, bits_per_subcarrier)
+    return bits[perm]

@@ -1,0 +1,93 @@
+"""Puncturing of the rate-1/2 mother code to rates 2/3 and 3/4.
+
+802.11a/g derives its higher code rates by deleting (puncturing) selected
+output bits of the rate-1/2 convolutional encoder.  The receiver re-inserts
+zero-LLR erasures at the punctured positions before Viterbi decoding.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+__all__ = ["puncture_pattern", "puncture", "depuncture", "punctured_length"]
+
+# Patterns are given over the serialised (A0 B0 A1 B1 ...) rate-1/2 output,
+# exactly as in IEEE 802.11-2016 Table 17-9.  1 = keep, 0 = delete.
+_PATTERNS: dict[Fraction, np.ndarray] = {
+    Fraction(1, 2): np.array([1, 1], dtype=np.uint8),
+    Fraction(2, 3): np.array([1, 1, 1, 0], dtype=np.uint8),
+    Fraction(3, 4): np.array([1, 1, 1, 0, 0, 1], dtype=np.uint8),
+}
+
+
+def puncture_pattern(code_rate: Fraction | float | str) -> np.ndarray:
+    """Return the keep/delete pattern for a supported code rate."""
+    rate = _normalise_rate(code_rate)
+    try:
+        return _PATTERNS[rate].copy()
+    except KeyError as exc:
+        supported = ", ".join(str(r) for r in _PATTERNS)
+        raise ValueError(f"unsupported code rate {code_rate}; supported: {supported}") from exc
+
+
+def _normalise_rate(code_rate: Fraction | float | str) -> Fraction:
+    if isinstance(code_rate, Fraction):
+        return code_rate
+    if isinstance(code_rate, str):
+        num, _, den = code_rate.partition("/")
+        return Fraction(int(num), int(den))
+    return Fraction(code_rate).limit_denominator(12)
+
+
+def puncture(coded_bits: np.ndarray, code_rate: Fraction | float | str) -> np.ndarray:
+    """Delete bits of a rate-1/2 coded stream according to the rate pattern."""
+    pattern = puncture_pattern(code_rate)
+    coded_bits = np.asarray(coded_bits)
+    reps = int(np.ceil(coded_bits.size / pattern.size))
+    mask = np.tile(pattern, reps)[: coded_bits.size].astype(bool)
+    return coded_bits[mask]
+
+
+def depuncture(
+    values: np.ndarray,
+    code_rate: Fraction | float | str,
+    original_length: int,
+    erasure: float = 0.0,
+) -> np.ndarray:
+    """Re-insert erasures at punctured positions.
+
+    Parameters
+    ----------
+    values:
+        The punctured LLR stream received from the demapper.
+    code_rate:
+        The code rate used at the transmitter.
+    original_length:
+        Length of the unpunctured rate-1/2 stream.
+    erasure:
+        Value inserted at punctured positions (0 = no information for the
+        soft decoder).
+    """
+    pattern = puncture_pattern(code_rate)
+    values = np.asarray(values, dtype=np.float64)
+    reps = int(np.ceil(original_length / pattern.size))
+    mask = np.tile(pattern, reps)[:original_length].astype(bool)
+    expected = int(mask.sum())
+    if values.size != expected:
+        raise ValueError(
+            f"punctured stream has {values.size} values, expected {expected} "
+            f"for original length {original_length} at rate {code_rate}"
+        )
+    out = np.full(original_length, erasure, dtype=np.float64)
+    out[mask] = values
+    return out
+
+
+def punctured_length(original_length: int, code_rate: Fraction | float | str) -> int:
+    """Number of bits surviving puncturing of a rate-1/2 stream."""
+    pattern = puncture_pattern(code_rate)
+    reps = int(np.ceil(original_length / pattern.size))
+    mask = np.tile(pattern, reps)[:original_length]
+    return int(mask.sum())

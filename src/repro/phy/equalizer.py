@@ -1,0 +1,151 @@
+"""Channel estimation, equalisation and residual phase tracking.
+
+These are the standard single-sender OFDM receiver blocks that SourceSync's
+joint receiver (:mod:`repro.core.receiver`) extends to multiple concurrent
+senders.  The phase-tracking algorithm follows the pilot-based scheme of
+Heiskala & Terry (reference [15] of the paper): every data symbol carries
+four known pilots; the common phase rotation of those pilots relative to the
+channel estimate is removed before demapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.phy.ofdm import PILOT_VALUES, pilot_polarity
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.phy.preamble import long_training_sequence_freq
+
+__all__ = [
+    "ChannelEstimate",
+    "estimate_channel_ltf",
+    "equalize_symbol",
+    "track_pilot_phase",
+    "estimate_noise_from_ltf",
+]
+
+
+@dataclass
+class ChannelEstimate:
+    """Per-subcarrier channel estimate with optional noise variance.
+
+    Attributes
+    ----------
+    response:
+        Complex channel gain per FFT bin (length ``n_fft``); bins that carry
+        no energy hold 0.
+    noise_var:
+        Estimated noise variance (per-sample, complex), if available.
+    """
+
+    response: np.ndarray
+    noise_var: float = 0.0
+
+    def on_bins(self, bins: np.ndarray) -> np.ndarray:
+        """Channel response restricted to the given FFT bins."""
+        return self.response[np.asarray(bins, dtype=int)]
+
+    def magnitude_db(self, bins: np.ndarray | None = None) -> np.ndarray:
+        """Channel magnitude in dB on the given bins (default: all)."""
+        resp = self.response if bins is None else self.on_bins(bins)
+        return 20.0 * np.log10(np.maximum(np.abs(resp), 1e-12))
+
+    def snr_per_subcarrier_db(self, bins: np.ndarray) -> np.ndarray:
+        """Per-subcarrier SNR in dB given the stored noise variance."""
+        noise = max(self.noise_var, 1e-15)
+        power = np.abs(self.on_bins(bins)) ** 2
+        return 10.0 * np.log10(np.maximum(power / noise, 1e-15))
+
+
+def estimate_channel_ltf(
+    received_ltf_freq: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> ChannelEstimate:
+    """Least-squares channel estimate from received LTF symbols.
+
+    Parameters
+    ----------
+    received_ltf_freq:
+        Frequency-domain received LTF symbols with shape ``(n_rep, n_fft)``
+        or ``(n_fft,)``; repetitions are averaged.
+    """
+    received = np.atleast_2d(np.asarray(received_ltf_freq, dtype=np.complex128))
+    if received.shape[1] != params.n_fft:
+        raise ValueError("received LTF symbols must have n_fft bins")
+    reference = long_training_sequence_freq(params)
+    mean_rx = received.mean(axis=0)
+    response = np.zeros(params.n_fft, dtype=np.complex128)
+    occupied = params.occupied_bins()
+    ref_occ = reference[occupied]
+    response[occupied] = mean_rx[occupied] / ref_occ
+    return ChannelEstimate(response=response)
+
+
+def estimate_noise_from_ltf(
+    received_ltf_freq: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> float:
+    """Estimate noise variance from the difference of repeated LTF symbols.
+
+    Requires at least two LTF repetitions; the difference between repetitions
+    cancels the (static) channel and leaves only noise.
+    """
+    received = np.atleast_2d(np.asarray(received_ltf_freq, dtype=np.complex128))
+    if received.shape[0] < 2:
+        raise ValueError("noise estimation requires at least two LTF repetitions")
+    occupied = params.occupied_bins()
+    diff = received[1:, occupied] - received[:-1, occupied]
+    # Var(a-b) = 2 * noise_var per complex dimension
+    return float(np.mean(np.abs(diff) ** 2) / 2.0)
+
+
+def track_pilot_phase(
+    received_symbol_freq: np.ndarray,
+    channel: ChannelEstimate,
+    symbol_index: int,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> float:
+    """Common phase error of one OFDM symbol estimated from its pilots.
+
+    Returns the phase (radians) by which the received pilots are rotated
+    relative to the channel estimate; the caller removes it by multiplying
+    the data subcarriers by ``exp(-1j * phase)``.
+    """
+    received_symbol_freq = np.asarray(received_symbol_freq, dtype=np.complex128)
+    pilot_bins = params.pilot_bins()
+    expected = channel.on_bins(pilot_bins) * PILOT_VALUES * pilot_polarity(symbol_index)
+    observed = received_symbol_freq[pilot_bins]
+    correlation = np.sum(observed * np.conj(expected))
+    if np.abs(correlation) < 1e-15:
+        return 0.0
+    return float(np.angle(correlation))
+
+
+def equalize_symbol(
+    received_symbol_freq: np.ndarray,
+    channel: ChannelEstimate,
+    symbol_index: int,
+    params: OFDMParams = DEFAULT_PARAMS,
+    track_phase: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Equalise one OFDM symbol and return per-subcarrier symbols and noise.
+
+    Returns
+    -------
+    (symbols, noise_var)
+        ``symbols`` are the equalised data-subcarrier values (length
+        ``n_data_subcarriers``); ``noise_var`` is the post-equalisation noise
+        variance per data subcarrier, suitable for soft demapping.
+    """
+    received_symbol_freq = np.asarray(received_symbol_freq, dtype=np.complex128)
+    phase = track_pilot_phase(received_symbol_freq, channel, symbol_index, params) if track_phase else 0.0
+    corrected = received_symbol_freq * np.exp(-1j * phase)
+    data_bins = params.data_bins()
+    h = channel.on_bins(data_bins)
+    h_safe = np.where(np.abs(h) < 1e-9, 1e-9, h)
+    symbols = corrected[data_bins] / h_safe
+    noise = max(channel.noise_var, 1e-15)
+    noise_per_sc = noise / np.maximum(np.abs(h_safe) ** 2, 1e-15)
+    return symbols, noise_per_sc

@@ -1,0 +1,167 @@
+"""Constellation mapping and soft demapping (BPSK, QPSK, 16-QAM, 64-QAM).
+
+Mapping follows the 802.11a/g Gray-coded constellations with the standard
+normalisation factors so every constellation has unit average energy.  The
+demapper produces max-log LLRs (positive = bit 0 more likely), which is the
+input convention of :class:`repro.phy.coding.ConvolutionalCode`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Modulation",
+    "get_modulation",
+    "modulate",
+    "demodulate_soft",
+    "demodulate_hard",
+]
+
+
+class Modulation:
+    """A Gray-coded square QAM constellation.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name, e.g. ``"16QAM"``.
+    bits_per_symbol:
+        Number of coded bits per constellation point.
+    """
+
+    def __init__(self, name: str, bits_per_symbol: int):
+        self.name = name
+        self.bits_per_symbol = bits_per_symbol
+        self._points, self._bit_table = self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> tuple[np.ndarray, np.ndarray]:
+        m = self.bits_per_symbol
+        n_points = 1 << m
+        labels = np.arange(n_points, dtype=np.uint32)
+        bits = ((labels[:, None] >> np.arange(m)[None, :]) & 1).astype(np.uint8)
+        if m == 1:  # BPSK
+            points = 1.0 - 2.0 * bits[:, 0]
+            points = points.astype(np.complex128)
+            return points, bits
+        # Square QAM: split bits evenly between I and Q, Gray mapping per axis.
+        half = m // 2
+        if 2 * half != m:
+            raise ValueError("square QAM requires an even number of bits per symbol")
+        levels = 1 << half
+        amplitudes = np.arange(levels) * 2.0 - (levels - 1)
+        norm = np.sqrt((amplitudes**2).mean() * 2.0)
+        gray_axis = self._gray_axis(half)
+        i_bits = bits[:, :half]
+        q_bits = bits[:, half:]
+        i_level = gray_axis[self._bits_to_int(i_bits)]
+        q_level = gray_axis[self._bits_to_int(q_bits)]
+        points = (amplitudes[i_level] + 1j * amplitudes[q_level]) / norm
+        return points, bits
+
+    @staticmethod
+    def _bits_to_int(bits: np.ndarray) -> np.ndarray:
+        weights = 1 << np.arange(bits.shape[1])
+        return (bits * weights).sum(axis=1)
+
+    @staticmethod
+    def _gray_axis(n_bits: int) -> np.ndarray:
+        """Map a Gray label to its amplitude level index."""
+        levels = 1 << n_bits
+        # level index -> gray code
+        level = np.arange(levels)
+        gray = level ^ (level >> 1)
+        # invert: gray code -> level index
+        inverse = np.empty(levels, dtype=int)
+        inverse[gray] = level
+        return inverse
+
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray:
+        """Constellation points indexed by integer bit label."""
+        return self._points
+
+    @property
+    def bit_table(self) -> np.ndarray:
+        """Bit patterns (LSB first) for each constellation point."""
+        return self._bit_table
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map coded bits to complex constellation symbols."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        m = self.bits_per_symbol
+        if bits.size % m != 0:
+            raise ValueError(f"bit count {bits.size} is not a multiple of {m}")
+        groups = bits.reshape(-1, m)
+        labels = self._bits_to_int(groups)
+        return self._points[labels]
+
+    def demodulate_soft(self, symbols: np.ndarray, noise_var: float | np.ndarray = 1.0) -> np.ndarray:
+        """Max-log LLRs for each coded bit (positive = bit 0 more likely).
+
+        Parameters
+        ----------
+        symbols:
+            Equalised complex symbols.
+        noise_var:
+            Effective noise variance after equalisation; either a scalar or
+            one value per symbol.  Smaller noise variance yields larger
+            LLR magnitudes.
+        """
+        symbols = np.asarray(symbols, dtype=np.complex128).ravel()
+        noise = np.broadcast_to(np.asarray(noise_var, dtype=np.float64), symbols.shape)
+        noise = np.maximum(noise, 1e-12)
+        # distances: (n_symbols, n_points)
+        dist = np.abs(symbols[:, None] - self._points[None, :]) ** 2
+        m = self.bits_per_symbol
+        llrs = np.empty((symbols.size, m), dtype=np.float64)
+        for bit in range(m):
+            mask0 = self._bit_table[:, bit] == 0
+            d0 = dist[:, mask0].min(axis=1)
+            d1 = dist[:, ~mask0].min(axis=1)
+            llrs[:, bit] = (d1 - d0) / noise
+        return llrs.ravel()
+
+    def demodulate_hard(self, symbols: np.ndarray) -> np.ndarray:
+        """Nearest-point hard decisions returning coded bits."""
+        symbols = np.asarray(symbols, dtype=np.complex128).ravel()
+        dist = np.abs(symbols[:, None] - self._points[None, :]) ** 2
+        labels = dist.argmin(axis=1)
+        return self._bit_table[labels].ravel().astype(np.uint8)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Modulation({self.name}, {self.bits_per_symbol} bits/symbol)"
+
+
+_MODULATIONS = {
+    "BPSK": Modulation("BPSK", 1),
+    "QPSK": Modulation("QPSK", 2),
+    "16QAM": Modulation("16QAM", 4),
+    "64QAM": Modulation("64QAM", 6),
+}
+
+
+def get_modulation(name: str) -> Modulation:
+    """Look up a modulation by name (case-insensitive)."""
+    key = name.upper().replace("-", "")
+    try:
+        return _MODULATIONS[key]
+    except KeyError as exc:
+        raise ValueError(f"unknown modulation {name!r}") from exc
+
+
+def modulate(bits: np.ndarray, name: str) -> np.ndarray:
+    """Convenience wrapper: map bits with the named modulation."""
+    return get_modulation(name).modulate(bits)
+
+
+def demodulate_soft(symbols: np.ndarray, name: str, noise_var: float | np.ndarray = 1.0) -> np.ndarray:
+    """Convenience wrapper: soft-demap symbols with the named modulation."""
+    return get_modulation(name).demodulate_soft(symbols, noise_var)
+
+
+def demodulate_hard(symbols: np.ndarray, name: str) -> np.ndarray:
+    """Convenience wrapper: hard-demap symbols with the named modulation."""
+    return get_modulation(name).demodulate_hard(symbols)

@@ -1,0 +1,209 @@
+"""OFDM symbol assembly and disassembly.
+
+The functions here convert between frequency-domain subcarrier values and
+time-domain baseband samples: mapping data and pilot symbols onto the
+occupied subcarriers, taking the IFFT, prepending the cyclic prefix, and the
+inverse operations at the receiver.  They are shared by the standard 802.11
+chain (:mod:`repro.phy.transmitter`, :mod:`repro.phy.receiver`) and by the
+SourceSync joint-frame machinery (:mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+
+__all__ = [
+    "pilot_polarity",
+    "PILOT_VALUES",
+    "assemble_symbol",
+    "assemble_symbols",
+    "extract_symbol",
+    "extract_symbols",
+    "add_cyclic_prefix",
+    "remove_cyclic_prefix",
+    "symbols_to_samples",
+    "samples_to_symbols",
+]
+
+#: Base pilot values on the four 802.11 pilot subcarriers (-21, -7, 7, 21).
+PILOT_VALUES = np.array([1.0, 1.0, 1.0, -1.0], dtype=np.complex128)
+
+# 127-element pilot polarity sequence of 802.11a (17.3.5.10).
+_POLARITY = np.array(
+    [1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1, -1, -1, 1, 1, -1, 1, 1, -1,
+     1, 1, 1, 1, 1, 1, -1, 1, 1, 1, -1, 1, 1, -1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1, -1,
+     1, -1, -1, 1, -1, -1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, -1,
+     -1, -1, 1, 1, -1, -1, -1, -1, 1, -1, -1, 1, -1, 1, 1, 1, 1, -1, 1, -1, 1, -1, 1, -1,
+     -1, -1, -1, -1, 1, -1, 1, 1, -1, 1, -1, 1, 1, 1, -1, -1, 1, -1, -1, -1, 1, 1, 1, -1,
+     -1, -1, -1, -1, -1, -1],
+    dtype=np.float64,
+)
+
+
+def pilot_polarity(symbol_index: int) -> float:
+    """Polarity (+1/-1) applied to all pilots of the given OFDM symbol."""
+    return float(_POLARITY[symbol_index % _POLARITY.size])
+
+
+def assemble_symbol(
+    data_symbols: np.ndarray,
+    symbol_index: int = 0,
+    params: OFDMParams = DEFAULT_PARAMS,
+    pilot_values: np.ndarray | None = None,
+    pilot_scale: float = 1.0,
+) -> np.ndarray:
+    """Build the frequency-domain representation of one OFDM symbol.
+
+    Parameters
+    ----------
+    data_symbols:
+        Exactly ``params.n_data_subcarriers`` complex data symbols.
+    symbol_index:
+        Index of the symbol in the frame, used to select pilot polarity.
+    params:
+        OFDM numerology.
+    pilot_values:
+        Override for the pilot values (used by SourceSync's shared-pilot
+        scheme, §5); defaults to the standard 802.11 pilots.
+    pilot_scale:
+        Scaling applied to pilot values (0 silences the pilots, used when a
+        sender does not own the pilots of this symbol).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length ``params.n_fft`` frequency-domain vector (FFT bin order).
+    """
+    data_symbols = np.asarray(data_symbols, dtype=np.complex128)
+    if data_symbols.size != params.n_data_subcarriers:
+        raise ValueError(
+            f"expected {params.n_data_subcarriers} data symbols, got {data_symbols.size}"
+        )
+    freq = np.zeros(params.n_fft, dtype=np.complex128)
+    freq[params.data_bins()] = data_symbols
+    pilots = PILOT_VALUES if pilot_values is None else np.asarray(pilot_values, np.complex128)
+    if pilots.size != params.n_pilot_subcarriers:
+        raise ValueError("pilot_values length mismatch")
+    freq[params.pilot_bins()] = pilots * pilot_polarity(symbol_index) * pilot_scale
+    return freq
+
+
+def assemble_symbols(
+    data_symbols: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+    start_symbol_index: int = 0,
+    pilot_scale: float | np.ndarray = 1.0,
+) -> np.ndarray:
+    """Build frequency-domain vectors for a block of OFDM symbols.
+
+    ``data_symbols`` must have shape ``(n_symbols, n_data_subcarriers)``.
+    ``pilot_scale`` may be per-symbol (length ``n_symbols``).
+    """
+    data_symbols = np.asarray(data_symbols, dtype=np.complex128)
+    if data_symbols.ndim != 2 or data_symbols.shape[1] != params.n_data_subcarriers:
+        raise ValueError("data_symbols must have shape (n_symbols, n_data_subcarriers)")
+    n_symbols = data_symbols.shape[0]
+    scales = np.broadcast_to(np.asarray(pilot_scale, dtype=np.float64), (n_symbols,))
+    out = np.empty((n_symbols, params.n_fft), dtype=np.complex128)
+    for i in range(n_symbols):
+        out[i] = assemble_symbol(
+            data_symbols[i],
+            symbol_index=start_symbol_index + i,
+            params=params,
+            pilot_scale=float(scales[i]),
+        )
+    return out
+
+
+def add_cyclic_prefix(time_symbol: np.ndarray, params: OFDMParams = DEFAULT_PARAMS) -> np.ndarray:
+    """Prepend the cyclic prefix to a time-domain OFDM symbol."""
+    time_symbol = np.asarray(time_symbol, dtype=np.complex128)
+    if time_symbol.shape[-1] != params.n_fft:
+        raise ValueError(f"time symbol must have {params.n_fft} samples")
+    cp = time_symbol[..., -params.cp_samples :] if params.cp_samples else time_symbol[..., :0]
+    return np.concatenate([cp, time_symbol], axis=-1)
+
+
+def remove_cyclic_prefix(
+    samples: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+    fft_offset: int = 0,
+) -> np.ndarray:
+    """Strip the cyclic prefix from one received OFDM symbol.
+
+    Parameters
+    ----------
+    samples:
+        Exactly ``params.symbol_samples`` received samples.
+    fft_offset:
+        Where to place the FFT window inside the CP slack: 0 places it right
+        after the CP; negative values move it earlier into the CP (the valid
+        region illustrated in Fig. 3 of the paper).
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.size != params.symbol_samples:
+        raise ValueError(f"expected {params.symbol_samples} samples, got {samples.size}")
+    start = params.cp_samples + fft_offset
+    if start < 0 or start + params.n_fft > samples.size:
+        raise ValueError("fft_offset places the FFT window outside the symbol")
+    return samples[start : start + params.n_fft]
+
+
+def symbols_to_samples(
+    freq_symbols: np.ndarray, params: OFDMParams = DEFAULT_PARAMS
+) -> np.ndarray:
+    """IFFT + CP for a block of frequency-domain OFDM symbols.
+
+    ``freq_symbols`` has shape ``(n_symbols, n_fft)``; the result is a flat
+    array of ``n_symbols * symbol_samples`` time-domain samples.
+    """
+    freq_symbols = np.atleast_2d(np.asarray(freq_symbols, dtype=np.complex128))
+    if freq_symbols.shape[1] != params.n_fft:
+        raise ValueError("frequency symbols must have n_fft entries")
+    time = np.fft.ifft(freq_symbols, axis=1) * np.sqrt(params.n_fft)
+    with_cp = add_cyclic_prefix(time, params)
+    return with_cp.reshape(-1)
+
+
+def extract_symbol(
+    samples: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+    fft_offset: int = 0,
+) -> np.ndarray:
+    """FFT of one received OFDM symbol (CP removed), returning all bins."""
+    body = remove_cyclic_prefix(samples, params, fft_offset)
+    return np.fft.fft(body) / np.sqrt(params.n_fft)
+
+
+def extract_symbols(
+    samples: np.ndarray,
+    n_symbols: int,
+    params: OFDMParams = DEFAULT_PARAMS,
+    fft_offset: int = 0,
+) -> np.ndarray:
+    """FFT of a block of received OFDM symbols.
+
+    Returns an array of shape ``(n_symbols, n_fft)``.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    needed = n_symbols * params.symbol_samples
+    if samples.size < needed:
+        raise ValueError(f"need {needed} samples for {n_symbols} symbols, got {samples.size}")
+    out = np.empty((n_symbols, params.n_fft), dtype=np.complex128)
+    for i in range(n_symbols):
+        chunk = samples[i * params.symbol_samples : (i + 1) * params.symbol_samples]
+        out[i] = extract_symbol(chunk, params, fft_offset)
+    return out
+
+
+def samples_to_symbols(
+    samples: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+    fft_offset: int = 0,
+) -> np.ndarray:
+    """FFT of as many whole OFDM symbols as fit in ``samples``."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    n_symbols = samples.size // params.symbol_samples
+    return extract_symbols(samples[: n_symbols * params.symbol_samples], n_symbols, params, fft_offset)

@@ -1,0 +1,188 @@
+"""OFDM physical-layer parameters.
+
+This module defines the numerology of the simulated radio.  The defaults
+mirror an 802.11a/g 20 MHz channel (64-point FFT, 48 data subcarriers,
+4 pilots, 0.8 us cyclic prefix), which is also the configuration the
+SourceSync paper uses on the WiGLAN platform (§8a: radio configured to
+20 MHz of bandwidth).
+
+Everything downstream of this module (transmitter, receiver, channel,
+SourceSync core) reads its dimensions from an :class:`OFDMParams` instance,
+so alternative numerologies (e.g. a longer cyclic prefix negotiated by the
+multi-receiver synchronizer, §4.6) are expressed by deriving a new instance
+via :meth:`OFDMParams.with_cp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = [
+    "OFDMParams",
+    "DEFAULT_PARAMS",
+    "SPEED_OF_LIGHT",
+]
+
+#: Propagation speed used to convert distances to delays (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class OFDMParams:
+    """Numerology of the OFDM physical layer.
+
+    Parameters
+    ----------
+    bandwidth_hz:
+        Sampling rate / channel bandwidth in Hz.  20 MHz for 802.11a/g.
+    n_fft:
+        FFT size (number of subcarriers including unused guards).
+    n_data_subcarriers:
+        Number of subcarriers carrying data symbols.
+    n_pilot_subcarriers:
+        Number of subcarriers carrying known pilot symbols.
+    cp_samples:
+        Cyclic-prefix length in samples.  802.11a/g uses 16 (0.8 us).
+    pilot_indices:
+        Logical subcarrier indices (0..n_fft-1, DC at n_fft//2 removed)
+        reserved for pilots.
+    """
+
+    bandwidth_hz: float = 20e6
+    n_fft: int = 64
+    n_data_subcarriers: int = 48
+    n_pilot_subcarriers: int = 4
+    cp_samples: int = 16
+    guard_low: int = 6
+    guard_high: int = 5
+    pilot_offsets: tuple[int, ...] = (-21, -7, 7, 21)
+
+    def __post_init__(self) -> None:
+        if self.n_fft <= 0:
+            raise ValueError("n_fft must be positive")
+        if self.cp_samples < 0:
+            raise ValueError("cp_samples must be non-negative")
+        if self.cp_samples >= self.n_fft:
+            raise ValueError("cp_samples must be smaller than n_fft")
+        occupied = self.n_data_subcarriers + self.n_pilot_subcarriers
+        usable = self.n_fft - self.guard_low - self.guard_high - 1  # -1 for DC
+        if occupied > usable:
+            raise ValueError(
+                f"{occupied} occupied subcarriers do not fit in "
+                f"{usable} usable subcarriers"
+            )
+        if len(self.pilot_offsets) != self.n_pilot_subcarriers:
+            raise ValueError("pilot_offsets length must equal n_pilot_subcarriers")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def sample_period_s(self) -> float:
+        """Duration of one baseband sample in seconds."""
+        return 1.0 / self.bandwidth_hz
+
+    @property
+    def sample_period_ns(self) -> float:
+        """Duration of one baseband sample in nanoseconds."""
+        return self.sample_period_s * 1e9
+
+    @property
+    def symbol_samples(self) -> int:
+        """Samples per OFDM symbol including the cyclic prefix."""
+        return self.n_fft + self.cp_samples
+
+    @property
+    def symbol_duration_s(self) -> float:
+        """Duration of one OFDM symbol including CP, in seconds."""
+        return self.symbol_samples * self.sample_period_s
+
+    @property
+    def cp_duration_s(self) -> float:
+        """Duration of the cyclic prefix in seconds."""
+        return self.cp_samples * self.sample_period_s
+
+    @property
+    def cp_duration_ns(self) -> float:
+        """Duration of the cyclic prefix in nanoseconds."""
+        return self.cp_duration_s * 1e9
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        """Frequency spacing between adjacent subcarriers in Hz."""
+        return self.bandwidth_hz / self.n_fft
+
+    @property
+    def n_occupied_subcarriers(self) -> int:
+        """Total number of occupied (data + pilot) subcarriers."""
+        return self.n_data_subcarriers + self.n_pilot_subcarriers
+
+    # ------------------------------------------------------------------
+    # Subcarrier maps
+    # ------------------------------------------------------------------
+    def occupied_offsets(self) -> np.ndarray:
+        """Signed subcarrier offsets (excluding DC) that carry energy.
+
+        Offsets are in the range ``[-n_fft/2 + guard_low, n_fft/2 - guard_high]``
+        excluding 0 (the DC subcarrier).
+        """
+        low = -(self.n_fft // 2) + self.guard_low
+        high = (self.n_fft // 2) - self.guard_high
+        offsets = [k for k in range(low, high + 1) if k != 0]
+        # The occupied set is the centre-most `n_occupied_subcarriers` offsets.
+        offsets = sorted(offsets, key=lambda k: (abs(k), k))
+        chosen = sorted(offsets[: self.n_occupied_subcarriers])
+        return np.asarray(chosen, dtype=int)
+
+    def pilot_subcarrier_offsets(self) -> np.ndarray:
+        """Signed offsets of pilot subcarriers."""
+        return np.asarray(self.pilot_offsets, dtype=int)
+
+    def data_subcarrier_offsets(self) -> np.ndarray:
+        """Signed offsets of data subcarriers (occupied minus pilots)."""
+        occupied = self.occupied_offsets()
+        pilots = set(int(p) for p in self.pilot_offsets)
+        return np.asarray([k for k in occupied if int(k) not in pilots], dtype=int)
+
+    def offset_to_fft_bin(self, offsets: np.ndarray) -> np.ndarray:
+        """Map signed subcarrier offsets to FFT bin indices (0..n_fft-1)."""
+        offsets = np.asarray(offsets, dtype=int)
+        return np.mod(offsets, self.n_fft)
+
+    def occupied_bins(self) -> np.ndarray:
+        """FFT bin indices of all occupied subcarriers."""
+        return self.offset_to_fft_bin(self.occupied_offsets())
+
+    def pilot_bins(self) -> np.ndarray:
+        """FFT bin indices of pilot subcarriers."""
+        return self.offset_to_fft_bin(self.pilot_subcarrier_offsets())
+
+    def data_bins(self) -> np.ndarray:
+        """FFT bin indices of data subcarriers."""
+        return self.offset_to_fft_bin(self.data_subcarrier_offsets())
+
+    # ------------------------------------------------------------------
+    # Variants
+    # ------------------------------------------------------------------
+    def with_cp(self, cp_samples: int) -> "OFDMParams":
+        """Return a copy of this numerology with a different cyclic prefix.
+
+        SourceSync's multi-receiver synchronizer (§4.6) increases the CP by
+        the maximum residual misalignment; this helper produces the modified
+        numerology used for such joint frames.
+        """
+        return replace(self, cp_samples=int(cp_samples))
+
+    def samples_to_ns(self, samples: float) -> float:
+        """Convert a duration expressed in samples to nanoseconds."""
+        return float(samples) * self.sample_period_ns
+
+    def ns_to_samples(self, ns: float) -> float:
+        """Convert a duration in nanoseconds to (fractional) samples."""
+        return float(ns) / self.sample_period_ns
+
+
+#: Default numerology used throughout the library and tests.
+DEFAULT_PARAMS = OFDMParams()

@@ -1,0 +1,108 @@
+"""802.11a/g preamble generation: short and long training fields.
+
+The short training field (STF) is used for packet detection and coarse
+frequency-offset estimation; the long training field (LTF) provides channel
+estimation and fine timing.  SourceSync reuses the standard preamble for the
+lead sender's synchronization header and transmits additional LTF-style
+channel-estimation symbols for every co-sender (§4.4), so the LTF generator
+here is also the source of those per-sender training symbols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+
+__all__ = [
+    "short_training_field",
+    "long_training_sequence_freq",
+    "long_training_field",
+    "ltf_symbol",
+    "preamble",
+    "PREAMBLE_STF_SAMPLES",
+    "PREAMBLE_LTF_SAMPLES",
+]
+
+# Frequency-domain short training sequence (802.11a 17.3.3), defined on
+# subcarriers -26..26; non-zero every 4th subcarrier.
+_STF_FREQ_OFFSETS = {
+    -24: 1 + 1j, -20: -1 - 1j, -16: 1 + 1j, -12: -1 - 1j, -8: -1 - 1j, -4: 1 + 1j,
+    4: -1 - 1j, 8: -1 - 1j, 12: 1 + 1j, 16: 1 + 1j, 20: 1 + 1j, 24: 1 + 1j,
+}
+_STF_SCALE = np.sqrt(13.0 / 6.0)
+
+# Frequency-domain long training sequence (802.11a 17.3.3) on -26..26.
+_LTF_SEQ = np.array(
+    [1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+     0,
+     1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1],
+    dtype=np.float64,
+)
+# offsets -26..26 inclusive
+_LTF_OFFSETS = np.arange(-26, 27)
+
+
+def short_training_field(params: OFDMParams = DEFAULT_PARAMS, repetitions: int = 10) -> np.ndarray:
+    """Time-domain short training field.
+
+    The STF consists of ``repetitions`` copies of a 16-sample (for a 64-point
+    FFT) periodic sequence; 802.11a uses 10 repetitions (8 us).
+    """
+    freq = np.zeros(params.n_fft, dtype=np.complex128)
+    for offset, value in _STF_FREQ_OFFSETS.items():
+        freq[offset % params.n_fft] = value * _STF_SCALE
+    time = np.fft.ifft(freq) * np.sqrt(params.n_fft)
+    period = params.n_fft // 4
+    base = time[:period]
+    return np.tile(base, repetitions)
+
+
+def long_training_sequence_freq(params: OFDMParams = DEFAULT_PARAMS) -> np.ndarray:
+    """Frequency-domain long training sequence mapped to FFT bins.
+
+    The returned vector has length ``n_fft`` with +-1 on the occupied
+    subcarriers (and 0 elsewhere), so it can be used both for generating LTF
+    symbols and for least-squares channel estimation at the receiver.
+    """
+    freq = np.zeros(params.n_fft, dtype=np.complex128)
+    if params.n_fft == 64 and params.n_occupied_subcarriers == 52:
+        for offset, value in zip(_LTF_OFFSETS, _LTF_SEQ):
+            if offset == 0:
+                continue
+            freq[offset % params.n_fft] = value
+        return freq
+    # Generic numerology: use a pseudo-random BPSK sequence on the occupied
+    # subcarriers, deterministic so transmitter and receiver agree.
+    rng = np.random.default_rng(0x1F7)
+    bins = params.occupied_bins()
+    freq[bins] = 1.0 - 2.0 * rng.integers(0, 2, size=bins.size)
+    return freq
+
+
+def ltf_symbol(params: OFDMParams = DEFAULT_PARAMS) -> np.ndarray:
+    """One time-domain LTF symbol (64 samples for the default numerology)."""
+    freq = long_training_sequence_freq(params)
+    return np.fft.ifft(freq) * np.sqrt(params.n_fft)
+
+
+def long_training_field(params: OFDMParams = DEFAULT_PARAMS, repetitions: int = 2) -> np.ndarray:
+    """Time-domain long training field: a double-length CP plus repetitions."""
+    symbol = ltf_symbol(params)
+    cp = symbol[-2 * params.cp_samples :] if params.cp_samples else symbol[:0]
+    return np.concatenate([cp] + [symbol] * repetitions)
+
+
+def preamble(params: OFDMParams = DEFAULT_PARAMS) -> np.ndarray:
+    """Full 802.11-style preamble: STF followed by LTF."""
+    return np.concatenate([short_training_field(params), long_training_field(params)])
+
+
+def PREAMBLE_STF_SAMPLES(params: OFDMParams = DEFAULT_PARAMS) -> int:
+    """Number of samples in the short training field."""
+    return short_training_field(params).size
+
+
+def PREAMBLE_LTF_SAMPLES(params: OFDMParams = DEFAULT_PARAMS) -> int:
+    """Number of samples in the long training field."""
+    return long_training_field(params).size

@@ -1,0 +1,88 @@
+"""802.11a/g transmission rate table.
+
+Each :class:`Rate` bundles a modulation order and a convolutional code rate,
+mirroring the eight mandatory/optional rates of 802.11a/g at 20 MHz.  The
+SourceSync evaluation runs the mesh experiments at 6 and 12 Mbps (§8.4) and
+lets SampleRate pick among all rates for the last-hop experiments (§8.3), so
+the full table is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+__all__ = ["Rate", "RATE_TABLE", "rate_for_mbps", "rates_sorted", "min_snr_db"]
+
+
+@dataclass(frozen=True)
+class Rate:
+    """A PHY transmission rate (modulation + coding)."""
+
+    mbps: float
+    modulation: str
+    bits_per_symbol: int
+    code_rate: Fraction
+    #: Approximate SNR (dB) required for a ~10% PER on an AWGN-ish channel.
+    #: Values follow the commonly used 802.11a receiver sensitivity deltas.
+    min_snr_db: float
+
+    @property
+    def coded_bits_per_subcarrier(self) -> int:
+        """Coded bits carried by one data subcarrier in one OFDM symbol."""
+        return self.bits_per_symbol
+
+    def data_bits_per_ofdm_symbol(self, n_data_subcarriers: int = 48) -> float:
+        """Information (pre-FEC) bits carried by one OFDM symbol."""
+        coded = self.bits_per_symbol * n_data_subcarriers
+        return float(coded * self.code_rate)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mbps:g} Mbps ({self.modulation}, r={self.code_rate})"
+
+
+#: The 802.11a/g rate set.
+RATE_TABLE: tuple[Rate, ...] = (
+    Rate(6.0, "BPSK", 1, Fraction(1, 2), 5.0),
+    Rate(9.0, "BPSK", 1, Fraction(3, 4), 6.0),
+    Rate(12.0, "QPSK", 2, Fraction(1, 2), 8.0),
+    Rate(18.0, "QPSK", 2, Fraction(3, 4), 10.0),
+    Rate(24.0, "16QAM", 4, Fraction(1, 2), 13.0),
+    Rate(36.0, "16QAM", 4, Fraction(3, 4), 17.0),
+    Rate(48.0, "64QAM", 6, Fraction(2, 3), 21.0),
+    Rate(54.0, "64QAM", 6, Fraction(3, 4), 23.0),
+)
+
+_BY_MBPS = {rate.mbps: rate for rate in RATE_TABLE}
+
+
+def rate_for_mbps(mbps: float) -> Rate:
+    """Look up the :class:`Rate` for a nominal bit rate in Mbps."""
+    try:
+        return _BY_MBPS[float(mbps)]
+    except KeyError as exc:
+        valid = ", ".join(f"{r.mbps:g}" for r in RATE_TABLE)
+        raise ValueError(f"unknown rate {mbps} Mbps; valid rates: {valid}") from exc
+
+
+def rates_sorted() -> list[Rate]:
+    """All rates sorted from slowest to fastest."""
+    return sorted(RATE_TABLE, key=lambda r: r.mbps)
+
+
+def min_snr_db(mbps: float) -> float:
+    """Approximate SNR (dB) required to sustain the given rate."""
+    return rate_for_mbps(mbps).min_snr_db
+
+
+def best_rate_for_snr(snr_db: float, margin_db: float = 0.0) -> Rate | None:
+    """Highest rate whose SNR requirement is met with the given margin.
+
+    Returns ``None`` when even the lowest rate is not supported, which the
+    MAC layer interprets as an undecodable link.
+    """
+    best: Rate | None = None
+    for rate in rates_sorted():
+        if snr_db >= rate.min_snr_db + margin_db:
+            best = rate
+    return best

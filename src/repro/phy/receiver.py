@@ -1,0 +1,187 @@
+"""Standard single-sender 802.11-style OFDM receive chain.
+
+The chain mirrors :mod:`repro.phy.transmitter`: packet detection, coarse CFO
+estimation and correction, LTF channel and noise estimation, per-symbol FFT,
+pilot phase tracking, equalisation, soft demapping, deinterleaving,
+depuncturing, Viterbi decoding, descrambling and CRC check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.phy import bits as bitutils
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.coding.interleaver import deinterleave
+from repro.phy.coding.puncturing import depuncture
+from repro.phy.detection import (
+    DetectionResult,
+    detect_packet_autocorrelation,
+    detect_packet_crosscorrelation,
+    estimate_coarse_cfo,
+    fine_timing_ltf,
+)
+from repro.phy.equalizer import (
+    ChannelEstimate,
+    equalize_symbol,
+    estimate_channel_ltf,
+    estimate_noise_from_ltf,
+)
+from repro.phy.modulation import get_modulation
+from repro.phy.ofdm import extract_symbols
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.phy.preamble import (
+    long_training_field,
+    short_training_field,
+)
+from repro.phy.transmitter import FrameConfig
+
+__all__ = ["ReceiveResult", "Receiver", "apply_cfo_correction"]
+
+_CODE = ConvolutionalCode()
+
+
+@dataclass
+class ReceiveResult:
+    """Outcome of attempting to decode one frame."""
+
+    detected: bool
+    crc_ok: bool
+    payload: bytes
+    detection: DetectionResult | None = None
+    channel: ChannelEstimate | None = None
+    cfo_hz: float = 0.0
+    snr_db: float = float("nan")
+    equalized_symbols: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def success(self) -> bool:
+        """True when the frame was detected and passed its CRC."""
+        return self.detected and self.crc_ok
+
+
+def apply_cfo_correction(samples: np.ndarray, cfo_hz: float, sample_period_s: float) -> np.ndarray:
+    """Remove a carrier frequency offset from a sample stream."""
+    samples = np.asarray(samples, dtype=np.complex128)
+    n = np.arange(samples.size)
+    return samples * np.exp(-2j * np.pi * cfo_hz * n * sample_period_s)
+
+
+class Receiver:
+    """Standard OFDM receiver for single-sender frames."""
+
+    def __init__(
+        self,
+        params: OFDMParams = DEFAULT_PARAMS,
+        use_matched_filter_detection: bool = False,
+        correct_cfo: bool = True,
+    ):
+        self.params = params
+        self.use_matched_filter_detection = use_matched_filter_detection
+        self.correct_cfo = correct_cfo
+
+    # ------------------------------------------------------------------
+    def detect(self, samples: np.ndarray) -> DetectionResult:
+        """Run packet detection over a sample stream."""
+        if self.use_matched_filter_detection:
+            return detect_packet_crosscorrelation(samples, self.params)
+        return detect_packet_autocorrelation(samples, self.params)
+
+    # ------------------------------------------------------------------
+    def receive(self, samples: np.ndarray, config: FrameConfig, start_index: int | None = None) -> ReceiveResult:
+        """Attempt to decode a frame from the received samples.
+
+        Parameters
+        ----------
+        samples:
+            Received baseband samples (channel output plus noise).
+        config:
+            Frame configuration (rate, payload length), normally known from
+            the PLCP SIGNAL field; carried out-of-band in the simulation.
+        start_index:
+            Optional externally supplied frame start (e.g. from a genie or a
+            MAC-level scheduler); when omitted the receiver detects it.
+        """
+        params = self.params
+        samples = np.asarray(samples, dtype=np.complex128)
+
+        detection: DetectionResult
+        if start_index is None:
+            detection = self.detect(samples)
+            if not detection.detected:
+                return ReceiveResult(False, False, b"", detection=detection)
+            start = fine_timing_ltf(samples, detection.start_index, params)
+            start = max(start, 0)
+        else:
+            start = int(start_index)
+            detection = DetectionResult(True, start, start, 1.0)
+
+        stf_len = short_training_field(params).size
+        ltf = long_training_field(params)
+        ltf_len = ltf.size
+        n_data_samples = config.n_data_symbols * params.symbol_samples
+        end = start + stf_len + ltf_len + n_data_samples
+        if end > samples.size:
+            return ReceiveResult(False, False, b"", detection=detection)
+
+        frame = samples[start:end]
+        cfo_hz = 0.0
+        if self.correct_cfo:
+            try:
+                cfo_hz = estimate_coarse_cfo(samples, start, params)
+            except ValueError:
+                cfo_hz = 0.0
+            frame = apply_cfo_correction(frame, cfo_hz, params.sample_period_s)
+
+        # --- channel estimation from the two LTF repetitions
+        ltf_start = stf_len + 2 * params.cp_samples
+        ltf_syms = np.empty((2, params.n_fft), dtype=np.complex128)
+        for rep in range(2):
+            chunk = frame[ltf_start + rep * params.n_fft : ltf_start + (rep + 1) * params.n_fft]
+            ltf_syms[rep] = np.fft.fft(chunk) / np.sqrt(params.n_fft)
+        channel = estimate_channel_ltf(ltf_syms, params)
+        channel.noise_var = estimate_noise_from_ltf(ltf_syms, params)
+
+        # --- data symbols
+        data_start = stf_len + ltf_len
+        data_samples = frame[data_start : data_start + n_data_samples]
+        freq_symbols = extract_symbols(data_samples, config.n_data_symbols, params)
+
+        modulation = get_modulation(config.rate.modulation)
+        n_cbps = config.coded_bits_per_symbol
+        llrs = np.empty(config.n_data_symbols * n_cbps, dtype=np.float64)
+        eq_store = np.empty((config.n_data_symbols, params.n_data_subcarriers), dtype=np.complex128)
+        for i in range(config.n_data_symbols):
+            eq, noise_per_sc = equalize_symbol(freq_symbols[i], channel, i, params)
+            eq_store[i] = eq
+            soft = modulation.demodulate_soft(eq, noise_per_sc)
+            llrs[i * n_cbps : (i + 1) * n_cbps] = deinterleave(soft, config.rate.bits_per_symbol)
+
+        original_len = _CODE.coded_length(config.n_info_bits + config.n_pad_bits)
+        soft_full = depuncture(llrs, config.rate.code_rate, original_len)
+        decoded = _CODE.decode(soft_full, terminated=True)
+        descrambled = bitutils.descramble(decoded, config.scrambler_seed)
+        info_bits = descrambled[: config.n_info_bits]
+        frame_bytes = bitutils.bits_to_bytes(info_bits)
+        payload, crc_ok = bitutils.check_crc(frame_bytes)
+
+        snr_db = self._estimate_snr_db(channel)
+        return ReceiveResult(
+            detected=True,
+            crc_ok=crc_ok,
+            payload=payload if crc_ok else frame_bytes[:-4],
+            detection=detection,
+            channel=channel,
+            cfo_hz=cfo_hz,
+            snr_db=snr_db,
+            equalized_symbols=eq_store,
+        )
+
+    # ------------------------------------------------------------------
+    def _estimate_snr_db(self, channel: ChannelEstimate) -> float:
+        occupied = self.params.occupied_bins()
+        signal = float(np.mean(np.abs(channel.on_bins(occupied)) ** 2))
+        noise = max(channel.noise_var, 1e-15)
+        return 10.0 * np.log10(max(signal / noise, 1e-15))

@@ -1,0 +1,152 @@
+"""Standard single-sender 802.11-style OFDM transmit chain.
+
+The chain is: payload -> CRC-32 -> scramble -> convolutional encode ->
+puncture -> per-symbol interleave -> constellation mapping -> subcarrier
+mapping with pilots -> IFFT + CP -> preamble prepend.
+
+The SourceSync joint frame (:mod:`repro.core.frame`) reuses every block of
+this chain but arranges the preamble/training sections differently and
+applies space-time coding before subcarrier mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.phy import bits as bitutils
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.coding.interleaver import interleave
+from repro.phy.coding.puncturing import puncture
+from repro.phy.modulation import get_modulation
+from repro.phy.ofdm import assemble_symbols, symbols_to_samples
+from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.phy.preamble import preamble
+from repro.phy.rates import Rate, rate_for_mbps
+
+__all__ = ["FrameConfig", "EncodedFrame", "Transmitter", "encode_payload_to_symbols"]
+
+_CODE = ConvolutionalCode()
+
+
+@dataclass(frozen=True)
+class FrameConfig:
+    """Everything the receiver must know to decode a frame.
+
+    In a real system most of this travels in the PLCP SIGNAL field; in the
+    simulation it is carried alongside the transmission.
+    """
+
+    rate: Rate
+    n_payload_bytes: int
+    params: OFDMParams = DEFAULT_PARAMS
+    scrambler_seed: int = 0x5D
+
+    @property
+    def n_info_bits(self) -> int:
+        """Information bits including the CRC-32 trailer."""
+        return 8 * (self.n_payload_bytes + 4)
+
+    @property
+    def coded_bits_per_symbol(self) -> int:
+        """Coded bits per OFDM symbol (N_CBPS)."""
+        return self.params.n_data_subcarriers * self.rate.bits_per_symbol
+
+    @property
+    def data_bits_per_symbol(self) -> int:
+        """Information bits per OFDM symbol (N_DBPS)."""
+        value = self.coded_bits_per_symbol * self.rate.code_rate
+        if value.denominator != 1:
+            raise ValueError("rate/numerology combination yields fractional N_DBPS")
+        return int(value)
+
+    @property
+    def n_data_symbols(self) -> int:
+        """Number of OFDM data symbols needed for the payload."""
+        needed = self.n_info_bits + _CODE.tail_bits
+        return int(np.ceil(needed / self.data_bits_per_symbol))
+
+    @property
+    def n_pad_bits(self) -> int:
+        """Zero pad bits appended before encoding to fill the last symbol."""
+        return self.n_data_symbols * self.data_bits_per_symbol - self.n_info_bits - _CODE.tail_bits
+
+    def airtime_us(self, include_preamble: bool = True) -> float:
+        """Frame duration on the air in microseconds."""
+        samples = self.n_data_symbols * self.params.symbol_samples
+        if include_preamble:
+            samples += preamble(self.params).size
+        return samples * self.params.sample_period_s * 1e6
+
+
+@dataclass
+class EncodedFrame:
+    """A frame after the transmit chain, ready to be sent over a channel."""
+
+    config: FrameConfig
+    payload: bytes
+    data_symbols: np.ndarray = field(repr=False)
+    samples: np.ndarray = field(repr=False)
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of baseband samples including the preamble."""
+        return int(self.samples.size)
+
+
+def encode_payload_to_symbols(payload: bytes, config: FrameConfig) -> np.ndarray:
+    """Run the bit-domain chain and return constellation symbols per OFDM symbol.
+
+    Returns an array of shape ``(n_data_symbols, n_data_subcarriers)``.
+    """
+    if len(payload) != config.n_payload_bytes:
+        raise ValueError(
+            f"payload length {len(payload)} does not match config ({config.n_payload_bytes})"
+        )
+    frame_bytes = bitutils.append_crc(payload)
+    info_bits = bitutils.bytes_to_bits(frame_bytes)
+    padded = np.concatenate([info_bits, np.zeros(config.n_pad_bits, dtype=np.uint8)])
+    scrambled = bitutils.scramble(padded, config.scrambler_seed)
+    encoded = _CODE.encode(scrambled, terminate=True)
+    punctured = puncture(encoded, config.rate.code_rate)
+
+    n_cbps = config.coded_bits_per_symbol
+    if punctured.size != config.n_data_symbols * n_cbps:
+        raise AssertionError(
+            f"internal length mismatch: {punctured.size} coded bits for "
+            f"{config.n_data_symbols} symbols of {n_cbps} bits"
+        )
+    modulation = get_modulation(config.rate.modulation)
+    symbols = np.empty(
+        (config.n_data_symbols, config.params.n_data_subcarriers), dtype=np.complex128
+    )
+    for i in range(config.n_data_symbols):
+        chunk = punctured[i * n_cbps : (i + 1) * n_cbps]
+        interleaved = interleave(chunk, config.rate.bits_per_symbol)
+        symbols[i] = modulation.modulate(interleaved)
+    return symbols
+
+
+class Transmitter:
+    """Standard OFDM transmitter producing baseband samples for a payload."""
+
+    def __init__(self, params: OFDMParams = DEFAULT_PARAMS):
+        self.params = params
+
+    def make_config(self, payload: bytes, rate_mbps: float) -> FrameConfig:
+        """Build a :class:`FrameConfig` for a payload at a nominal bit rate."""
+        return FrameConfig(
+            rate=rate_for_mbps(rate_mbps),
+            n_payload_bytes=len(payload),
+            params=self.params,
+        )
+
+    def transmit(self, payload: bytes, rate_mbps: float = 6.0) -> EncodedFrame:
+        """Encode a payload into a complete baseband frame."""
+        config = self.make_config(payload, rate_mbps)
+        data_symbols = encode_payload_to_symbols(payload, config)
+        freq = assemble_symbols(data_symbols, self.params)
+        data_samples = symbols_to_samples(freq, self.params)
+        samples = np.concatenate([preamble(self.params), data_samples])
+        return EncodedFrame(config=config, payload=payload, data_symbols=data_symbols, samples=samples)

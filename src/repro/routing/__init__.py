@@ -1,0 +1,15 @@
+"""Routing protocols: single path, ExOR, and ExOR + SourceSync."""
+
+from repro.routing.exor import ExorConfig, ExorResult, simulate_exor
+from repro.routing.exor_sourcesync import cp_increase_for_forwarders, simulate_exor_sourcesync
+from repro.routing.single_path import SinglePathResult, simulate_single_path
+
+__all__ = [
+    "ExorConfig",
+    "ExorResult",
+    "simulate_exor",
+    "simulate_exor_sourcesync",
+    "cp_increase_for_forwarders",
+    "SinglePathResult",
+    "simulate_single_path",
+]

@@ -1,0 +1,84 @@
+"""ExOR extended with SourceSync sender diversity (§7.2, scheme (c) of §8.4).
+
+The protocol keeps ExOR's MAC and scheduler but lets every candidate
+forwarder that overheard a packet join the lead forwarder's transmission.
+Concretely, relative to plain ExOR:
+
+* co-forwarders synchronize to the lead forwarder's synchronization header
+  using the Symbol Level Synchronizer, so their signals combine at the
+  receivers (the wait times and the CP increase come from the §4.6 linear
+  program over the set of potential receivers);
+* the delivery probability of a joint transmission uses the combined
+  per-subcarrier SNR of all participating senders (power + diversity gain);
+* every joint transmission is charged the §4.4 synchronization overhead
+  (SIFS plus two channel-estimation symbols per co-sender) plus the CP
+  increase chosen by the wait-time optimiser.
+
+The implementation wraps :func:`repro.routing.exor.simulate_exor` with
+``sender_diversity=True`` and adds the helper that computes the CP increase
+for a forwarder set from the testbed's propagation delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.sync.multi_receiver import optimize_wait_times
+from repro.net.mac import MacTiming
+from repro.net.topology import Testbed
+from repro.routing.exor import ExorConfig, ExorResult, simulate_exor
+
+__all__ = ["cp_increase_for_forwarders", "simulate_exor_sourcesync"]
+
+
+def cp_increase_for_forwarders(
+    testbed: Testbed,
+    lead: int,
+    cosenders: list[int],
+    receivers: list[int],
+) -> int:
+    """Cyclic-prefix increase needed for a forwarder set (§4.6).
+
+    The lead forwarder solves the wait-time linear program over the
+    potential receivers and announces the residual maximum misalignment
+    (rounded up to samples) as the CP increase in its synchronization
+    header.
+    """
+    if not cosenders or not receivers:
+        return 0
+    t = np.array(
+        [[testbed.link_delay_samples(c, r) for r in receivers] for c in cosenders],
+        dtype=np.float64,
+    )
+    lead_delays = np.array(
+        [testbed.link_delay_samples(lead, r) for r in receivers], dtype=np.float64
+    )
+    solution = optimize_wait_times(t, lead_delays)
+    return solution.cp_increase_samples()
+
+
+def simulate_exor_sourcesync(
+    testbed: Testbed,
+    src: int,
+    dst: int,
+    rate_mbps: float,
+    relays: list[int],
+    config: ExorConfig | None = None,
+    rng: np.random.Generator | None = None,
+    timing: MacTiming | None = None,
+) -> ExorResult:
+    """Simulate ExOR + SourceSync over one batch (the paper's combined scheme)."""
+    base = config if config is not None else ExorConfig()
+    joint_config = replace(base, sender_diversity=True)
+    return simulate_exor(
+        testbed,
+        src,
+        dst,
+        rate_mbps,
+        relays,
+        config=joint_config,
+        rng=rng,
+        timing=timing,
+    )

@@ -1,0 +1,3 @@
+"""Library version."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,154 @@
+"""Tests for analysis utilities: CDFs, SNR profiles, error models, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EmpiricalCDF,
+    average_snr_db,
+    combined_subcarrier_snr,
+    delivery_probability,
+    effective_snr_db,
+    evm_db,
+    evm_to_snr_db,
+    flatness_db,
+    median_gain,
+    packet_error_rate,
+    percentile,
+    snr_regime,
+    subcarrier_snr_profile,
+    throughput_mbps,
+)
+from repro.phy.rates import rate_for_mbps
+
+
+class TestCdf:
+    def test_quantiles_and_median(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert cdf.median == pytest.approx(3.0)
+        assert cdf.quantile(0.0) == pytest.approx(1.0)
+        assert cdf.quantile(1.0) == pytest.approx(5.0)
+
+    def test_evaluate_monotone(self):
+        cdf = EmpiricalCDF(np.random.default_rng(0).normal(size=200))
+        xs = np.linspace(-3, 3, 50)
+        values = cdf.evaluate(xs)
+        assert np.all(np.diff(values) >= 0)
+        assert values[0] >= 0 and values[-1] <= 1
+
+    def test_median_gain_over(self):
+        base = EmpiricalCDF([1.0, 2.0, 3.0])
+        better = EmpiricalCDF([2.0, 4.0, 6.0])
+        assert better.median_gain_over(base) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([])
+
+    def test_curve_and_table(self):
+        cdf = EmpiricalCDF([1.0, 2.0, 3.0])
+        xs, ys = cdf.curve(10)
+        assert xs.size == ys.size == 10
+        table = cdf.table()
+        assert table[0.5] == pytest.approx(2.0)
+
+
+class TestSnrProfiles:
+    def test_profile_has_target_average(self):
+        rng = np.random.default_rng(1)
+        profile = subcarrier_snr_profile(12.0, rng)
+        assert average_snr_db(profile) == pytest.approx(12.0, abs=0.3)
+
+    def test_profile_is_frequency_selective(self):
+        rng = np.random.default_rng(2)
+        profile = subcarrier_snr_profile(10.0, rng)
+        assert flatness_db(profile) > 1.0
+
+    def test_regime_classification(self):
+        assert snr_regime(3.0) == "low"
+        assert snr_regime(8.0) == "medium"
+        assert snr_regime(20.0) == "high"
+
+
+class TestErrorModels:
+    def test_effective_snr_of_flat_profile_is_average(self):
+        flat = np.full(52, 15.0)
+        assert effective_snr_db(flat, "QPSK") == pytest.approx(15.0, abs=0.1)
+
+    def test_faded_profile_penalised(self):
+        rng = np.random.default_rng(3)
+        selective = subcarrier_snr_profile(15.0, rng)
+        assert effective_snr_db(selective, "QPSK") < 15.0
+
+    def test_per_monotone_in_snr(self):
+        rate = rate_for_mbps(12.0)
+        pers = [packet_error_rate(snr, rate) for snr in (0.0, 5.0, 10.0, 20.0)]
+        assert all(a > b for a, b in zip(pers, pers[1:]))
+
+    def test_per_monotone_in_rate(self):
+        assert packet_error_rate(12.0, rate_for_mbps(6.0)) < packet_error_rate(12.0, rate_for_mbps(54.0))
+
+    def test_per_grows_with_packet_size(self):
+        rate = rate_for_mbps(12.0)
+        assert packet_error_rate(10.0, rate, 256) < packet_error_rate(10.0, rate, 2048)
+
+    def test_delivery_probability_bounds(self):
+        rng = np.random.default_rng(4)
+        profile = subcarrier_snr_profile(10.0, rng)
+        p = delivery_probability(profile, 6.0)
+        assert 0.0 <= p <= 1.0
+
+    def test_combined_snr_adds_power(self):
+        a = np.full(52, 10.0)
+        b = np.full(52, 10.0)
+        combined = combined_subcarrier_snr([a, b])
+        assert np.allclose(combined, 10.0 + 10 * np.log10(2.0), atol=1e-9)
+
+    def test_combined_snr_flattens_fades(self):
+        rng = np.random.default_rng(5)
+        a = subcarrier_snr_profile(10.0, rng)
+        b = subcarrier_snr_profile(10.0, rng)
+        combined = combined_subcarrier_snr([a, b])
+        assert flatness_db(combined) < max(flatness_db(a), flatness_db(b))
+
+    def test_joint_delivery_better_than_individual(self):
+        rng = np.random.default_rng(6)
+        a = subcarrier_snr_profile(7.0, rng)
+        b = subcarrier_snr_profile(7.0, rng)
+        joint = delivery_probability(combined_subcarrier_snr([a, b]), 12.0)
+        assert joint >= max(delivery_probability(a, 12.0), delivery_probability(b, 12.0))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            effective_snr_db(np.array([]))
+        with pytest.raises(ValueError):
+            combined_subcarrier_snr([])
+
+
+class TestMetrics:
+    def test_evm_zero_error(self):
+        ref = np.ones(16, dtype=complex)
+        assert evm_db(ref, ref) <= -290.0
+
+    def test_evm_to_snr(self):
+        rng = np.random.default_rng(7)
+        ref = np.exp(1j * rng.uniform(0, 2 * np.pi, 4000))
+        noisy = ref + 0.1 * (rng.normal(size=4000) + 1j * rng.normal(size=4000)) / np.sqrt(2)
+        assert evm_to_snr_db(noisy, ref) == pytest.approx(20.0, abs=1.0)
+
+    def test_evm_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evm_db(np.ones(4), np.ones(5))
+
+    def test_throughput(self):
+        assert throughput_mbps(1e6, 1e6) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            throughput_mbps(1.0, 0.0)
+
+    def test_median_gain_paired(self):
+        new = np.array([2.0, 4.0, 8.0])
+        base = np.array([1.0, 2.0, 2.0])
+        assert median_gain(new, base) == pytest.approx(2.0)
+
+    def test_percentile_empty(self):
+        assert np.isnan(percentile(np.array([]), 95))

@@ -1,0 +1,204 @@
+"""Tests for the Smart Combiner: Alamouti, QOSTBC and codeword assignment (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.combining import (
+    SmartCombiner,
+    alamouti_decode,
+    alamouti_effective_gain,
+    alamouti_encode_branch,
+    pad_to_even_symbols,
+    qostbc_decode,
+    qostbc_encode_branch,
+    qostbc_equivalent_matrix,
+)
+from repro.phy.modulation import get_modulation
+
+
+def _random_symbols(rng, n_symbols, n_sc=48):
+    return (rng.normal(size=(n_symbols, n_sc)) + 1j * rng.normal(size=(n_symbols, n_sc))) / np.sqrt(2)
+
+
+def _received(data, channels, encoder, n_branches):
+    received = np.zeros_like(data)
+    for branch in range(n_branches):
+        received = received + channels[branch] * encoder(data, branch)
+    return received
+
+
+class TestAlamouti:
+    def test_branch0_is_identity(self):
+        rng = np.random.default_rng(0)
+        data = _random_symbols(rng, 4)
+        assert np.allclose(alamouti_encode_branch(data, 0), data)
+
+    def test_branch1_structure(self):
+        rng = np.random.default_rng(1)
+        data = _random_symbols(rng, 2)
+        coded = alamouti_encode_branch(data, 1)
+        assert np.allclose(coded[0], -np.conj(data[1]))
+        assert np.allclose(coded[1], np.conj(data[0]))
+
+    def test_decode_recovers_data(self):
+        rng = np.random.default_rng(2)
+        data = _random_symbols(rng, 6)
+        h1 = rng.normal(size=48) + 1j * rng.normal(size=48)
+        h2 = rng.normal(size=48) + 1j * rng.normal(size=48)
+        received = h1 * alamouti_encode_branch(data, 0) + h2 * alamouti_encode_branch(data, 1)
+        decoded = alamouti_decode(received, h1, h2)
+        assert np.allclose(decoded, data, atol=1e-9)
+
+    def test_decode_with_missing_branch(self):
+        rng = np.random.default_rng(3)
+        data = _random_symbols(rng, 4)
+        h1 = rng.normal(size=48) + 1j * rng.normal(size=48)
+        received = h1 * alamouti_encode_branch(data, 0)
+        decoded = alamouti_decode(received, h1, np.zeros(48, dtype=complex))
+        assert np.allclose(decoded, data, atol=1e-9)
+
+    def test_destructive_channels_still_decodable(self):
+        # The §6 motivating example: h2 = -h1 cancels a naive transmission
+        # but the Alamouti-coded one decodes perfectly.
+        rng = np.random.default_rng(4)
+        data = _random_symbols(rng, 2)
+        h1 = np.ones(48, dtype=complex)
+        h2 = -np.ones(48, dtype=complex)
+        naive = h1 * data + h2 * data
+        assert np.allclose(naive, 0.0)
+        received = h1 * alamouti_encode_branch(data, 0) + h2 * alamouti_encode_branch(data, 1)
+        decoded = alamouti_decode(received, h1, h2)
+        assert np.allclose(decoded, data, atol=1e-9)
+
+    def test_gain_is_sum_of_powers(self):
+        h1 = np.full(48, 2.0, dtype=complex)
+        h2 = np.full(48, 1.0 + 1.0j, dtype=complex)
+        assert np.allclose(alamouti_effective_gain(h1, h2), 4.0 + 2.0)
+
+    def test_return_gain_shape(self):
+        rng = np.random.default_rng(5)
+        data = _random_symbols(rng, 4)
+        h = rng.normal(size=48) + 1j * rng.normal(size=48)
+        decoded, gain = alamouti_decode(h * data, h, np.zeros(48, complex), return_gain=True)
+        assert gain.shape == data.shape
+
+    def test_odd_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            alamouti_encode_branch(np.zeros((3, 48), dtype=complex), 0)
+
+    def test_pad_to_even(self):
+        padded = pad_to_even_symbols(np.ones((3, 48), dtype=complex))
+        assert padded.shape == (4, 48)
+        assert np.allclose(padded[3], 0.0)
+
+
+class TestQostbc:
+    def test_encode_shapes(self):
+        rng = np.random.default_rng(6)
+        data = _random_symbols(rng, 8, 10)
+        for branch in range(4):
+            assert qostbc_encode_branch(data, branch).shape == data.shape
+
+    def test_equivalent_matrix_consistent_with_encoding(self):
+        rng = np.random.default_rng(7)
+        data = _random_symbols(rng, 4, 1)
+        h = rng.normal(size=4) + 1j * rng.normal(size=4)
+        received = np.zeros((4, 1), dtype=complex)
+        for branch in range(4):
+            received[:, 0] += h[branch] * qostbc_encode_branch(data, branch)[:, 0]
+        y_lin = received[:, 0].copy()
+        y_lin[1] = np.conj(y_lin[1])
+        y_lin[3] = np.conj(y_lin[3])
+        z = np.array([data[0, 0], np.conj(data[1, 0]), data[2, 0], np.conj(data[3, 0])])
+        assert np.allclose(qostbc_equivalent_matrix(h) @ z, y_lin, atol=1e-9)
+
+    def test_zero_forcing_decode(self):
+        rng = np.random.default_rng(8)
+        data = _random_symbols(rng, 4, 12)
+        channels = rng.normal(size=(4, 12)) + 1j * rng.normal(size=(4, 12))
+        received = _received(data, channels, qostbc_encode_branch, 4)
+        decoded = qostbc_decode(received, channels)
+        assert np.allclose(decoded, data, atol=1e-6)
+
+    def test_ml_decode_with_constellation(self):
+        rng = np.random.default_rng(9)
+        mod = get_modulation("QPSK")
+        bits = rng.integers(0, 2, 2 * 4 * 8).astype(np.uint8)
+        data = mod.modulate(bits).reshape(4, 8)
+        channels = rng.normal(size=(4, 8)) + 1j * rng.normal(size=(4, 8))
+        received = _received(data, channels, qostbc_encode_branch, 4)
+        noisy = received + 0.01 * (rng.normal(size=received.shape) + 1j * rng.normal(size=received.shape))
+        decoded = qostbc_decode(noisy, channels, constellation=mod.points)
+        assert np.allclose(decoded, data, atol=1e-9)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            qostbc_decode(np.zeros((3, 4), dtype=complex), np.zeros((4, 4), dtype=complex))
+        with pytest.raises(ValueError):
+            qostbc_encode_branch(np.zeros((4, 4), dtype=complex), 5)
+
+
+class TestSmartCombiner:
+    def test_codeword_to_branch_mapping(self):
+        combiner = SmartCombiner("replicated_alamouti")
+        assert [combiner.branch_for_codeword(i) for i in range(5)] == [0, 1, 0, 1, 0]
+
+    def test_naive_scheme_single_branch(self):
+        combiner = SmartCombiner("naive")
+        assert combiner.branch_for_codeword(3) == 0
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            SmartCombiner("beamforming")
+
+    def test_two_sender_encode_decode(self):
+        rng = np.random.default_rng(10)
+        combiner = SmartCombiner()
+        data = _random_symbols(rng, 6)
+        h = [rng.normal(size=48) + 1j * rng.normal(size=48) for _ in range(2)]
+        received = sum(h[i] * combiner.encode(data, i) for i in range(2))
+        decoded = combiner.decode(received, h, codeword_indices=[0, 1])
+        assert np.allclose(decoded, data, atol=1e-9)
+
+    def test_three_sender_replicated_codebook(self):
+        rng = np.random.default_rng(11)
+        combiner = SmartCombiner()
+        data = _random_symbols(rng, 4)
+        h = [rng.normal(size=48) + 1j * rng.normal(size=48) for _ in range(3)]
+        received = sum(h[i] * combiner.encode(data, i) for i in range(3))
+        decoded = combiner.decode(received, h, codeword_indices=[0, 1, 2])
+        assert np.allclose(decoded, data, atol=1e-9)
+
+    def test_subset_of_senders_decodable(self):
+        # §6: the receiver can decode even if only a subset of intended
+        # senders participate.
+        rng = np.random.default_rng(12)
+        combiner = SmartCombiner()
+        data = _random_symbols(rng, 4)
+        h0 = rng.normal(size=48) + 1j * rng.normal(size=48)
+        received = h0 * combiner.encode(data, 0)  # only the lead transmitted
+        decoded = combiner.decode(received, [h0], codeword_indices=[0])
+        assert np.allclose(decoded, data, atol=1e-9)
+
+    def test_effective_gain_never_fades_for_alamouti(self):
+        rng = np.random.default_rng(13)
+        combiner = SmartCombiner()
+        h1 = rng.normal(size=48) + 1j * rng.normal(size=48)
+        h2 = -h1  # perfectly destructive for naive combining
+        gain = combiner.effective_gain([h1, h2], [0, 1])
+        assert np.all(gain >= np.abs(h1) ** 2)
+
+    def test_pad_symbols_to_block(self):
+        combiner = SmartCombiner()
+        padded = combiner.pad_symbols(np.ones((5, 48), dtype=complex))
+        assert padded.shape[0] == 6
+
+    def test_per_symbol_channels_accepted(self):
+        rng = np.random.default_rng(14)
+        combiner = SmartCombiner()
+        data = _random_symbols(rng, 4)
+        h_static = rng.normal(size=48) + 1j * rng.normal(size=48)
+        h_per_symbol = np.broadcast_to(h_static, (4, 48)).copy()
+        received = h_static * combiner.encode(data, 0)
+        decoded = combiner.decode(received, [h_per_symbol], codeword_indices=[0])
+        assert np.allclose(decoded, data, atol=1e-9)

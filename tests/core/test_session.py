@@ -1,0 +1,152 @@
+"""End-to-end tests of the SourceSync session (joint transmissions over simulated links)."""
+
+import numpy as np
+import pytest
+
+from repro.core import JointTopology, SourceSyncConfig, SourceSyncSession
+from repro.phy import bits as bitutils
+from repro.phy.params import DEFAULT_PARAMS as P
+
+
+@pytest.fixture(scope="module")
+def session():
+    rng = np.random.default_rng(100)
+    topo = JointTopology.from_snrs(
+        rng,
+        lead_rx_snr_db=16.0,
+        cosender_rx_snr_db=[16.0],
+        lead_cosender_snr_db=[22.0],
+    )
+    sess = SourceSyncSession(topo, SourceSyncConfig(), rng=rng)
+    sess.measure_delays()
+    sess.converge_tracking(rounds=5)
+    return sess
+
+
+class TestTopology:
+    def test_from_snrs_builds_all_links(self):
+        rng = np.random.default_rng(0)
+        topo = JointTopology.from_snrs(rng, 10.0, [8.0, 12.0])
+        assert topo.n_cosenders == 2
+        assert len(topo.links_cosender_rx) == 2
+        assert len(topo.links_lead_cosender) == 2
+        assert topo.link_lead_rx.snr_db(topo.noise_power) == pytest.approx(10.0, abs=1e-6)
+
+    def test_inconsistent_links_rejected(self):
+        rng = np.random.default_rng(1)
+        topo = JointTopology.from_snrs(rng, 10.0, [8.0])
+        with pytest.raises(ValueError):
+            JointTopology(
+                lead=topo.lead,
+                cosenders=topo.cosenders,
+                receiver=topo.receiver,
+                link_lead_rx=topo.link_lead_rx,
+                links_cosender_rx=[],
+                links_lead_cosender=topo.links_lead_cosender,
+                links_cosender_lead=topo.links_cosender_lead,
+                link_rx_lead=topo.link_rx_lead,
+                links_rx_cosender=topo.links_rx_cosender,
+            )
+
+
+class TestDelayMeasurement:
+    def test_probe_based_delays_close_to_truth(self, session):
+        state = session._states[0]
+        topo = session.topology
+        assert state.lead_to_cosender_samples == pytest.approx(
+            topo.links_lead_cosender[0].delay_samples, abs=2.0
+        )
+        assert state.lead_to_receiver_samples == pytest.approx(
+            topo.link_lead_rx.delay_samples, abs=2.0
+        )
+        assert state.cosender_to_receiver_samples == pytest.approx(
+            topo.links_cosender_rx[0].delay_samples, abs=2.0
+        )
+
+    def test_cfo_estimate_close_to_truth(self, session):
+        state = session._states[0]
+        true_value = -session.topology.links_lead_cosender[0].cfo_hz
+        assert state.cfo_to_lead_hz == pytest.approx(true_value, abs=4e3)
+
+    def test_use_true_delays_shortcut(self):
+        rng = np.random.default_rng(2)
+        topo = JointTopology.from_snrs(rng, 12.0, [12.0])
+        sess = SourceSyncSession(topo, rng=rng)
+        sess.measure_delays(use_true_delays=True)
+        assert sess._states[0].lead_to_receiver_samples == topo.link_lead_rx.delay_samples
+
+
+class TestHeaderExchange:
+    def test_tracking_keeps_measured_misalignment_small(self, session):
+        residuals = []
+        for _ in range(8):
+            outcome = session.run_header_exchange(apply_tracking_feedback=True)
+            if outcome.measured_misalignment and outcome.measured_misalignment.misalignments_samples:
+                residuals.append(abs(outcome.measured_misalignment.misalignments_samples[0]))
+        assert residuals, "no header exchange produced a measurement"
+        # Converged tracking holds the measured misalignment well inside one
+        # sample (50 ns), consistent with Fig. 12.
+        assert np.median(residuals) < 1.0
+
+    def test_channels_exposed(self, session):
+        outcome = session.run_header_exchange(apply_tracking_feedback=False)
+        assert outcome.channels is not None
+        assert outcome.channels.n_active_senders == 2
+
+    def test_uncompensated_baseline_is_worse(self):
+        rng = np.random.default_rng(3)
+        topo = JointTopology.from_snrs(rng, 18.0, [18.0], lead_cosender_snr_db=[22.0])
+        sess = SourceSyncSession(topo, rng=rng)
+        sess.measure_delays()
+        sess.converge_tracking(rounds=4)
+        sync_errors = []
+        base_errors = []
+        for _ in range(6):
+            sync = sess.run_header_exchange(compensate=True, apply_tracking_feedback=True)
+            base = sess.run_header_exchange(compensate=False, apply_tracking_feedback=False)
+            sync_errors.append(abs(sync.true_misalignment_samples[0]))
+            base_errors.append(abs(base.true_misalignment_samples[0]))
+        assert np.median(base_errors) > 4 * np.median(sync_errors)
+
+
+class TestJointFrames:
+    def test_joint_frame_decodes(self, session):
+        rng = np.random.default_rng(4)
+        payload = bitutils.random_payload(80, rng)
+        outcome = session.run_joint_frame(payload, rate_mbps=6.0, genie_timing=True)
+        assert outcome.result.success
+        assert outcome.result.payload == payload
+
+    def test_joint_frame_with_receiver_timing(self, session):
+        rng = np.random.default_rng(5)
+        payload = bitutils.random_payload(60, rng)
+        outcome = session.run_joint_frame(payload, rate_mbps=12.0)
+        assert outcome.result.success
+
+    def test_joint_beats_single_sender_snr(self, session):
+        rng = np.random.default_rng(6)
+        payload = bitutils.random_payload(50, rng)
+        joint = session.run_joint_frame(payload, 6.0, genie_timing=True)
+        single = session.run_single_sender_frame(payload, 6.0, genie_timing=True)
+        assert joint.result.snr_db > single.result.snr_db + 1.0
+
+    def test_partial_participation(self, session):
+        rng = np.random.default_rng(7)
+        payload = bitutils.random_payload(60, rng)
+        outcome = session.run_joint_frame(payload, 6.0, active_cosenders=[], genie_timing=True)
+        assert outcome.result.success  # lead alone still decodable (§6)
+        assert outcome.result.channels.n_active_senders == 1
+
+    def test_increased_cp_frame_decodes(self, session):
+        rng = np.random.default_rng(8)
+        payload = bitutils.random_payload(40, rng)
+        outcome = session.run_joint_frame(payload, 6.0, data_cp_samples=24, genie_timing=True)
+        assert outcome.result.success
+        assert outcome.layout.effective_data_cp == 24
+
+    def test_misalignment_reported_per_cosender(self, session):
+        rng = np.random.default_rng(9)
+        payload = bitutils.random_payload(30, rng)
+        outcome = session.run_joint_frame(payload, 6.0, genie_timing=True)
+        assert len(outcome.true_misalignment_samples) == 1
+        assert outcome.result.misalignment is not None

@@ -1,0 +1,77 @@
+"""Tests for the radio hardware models (front end and sample clock)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import DetectionLatencyModel, RadioFrontend, SampleClock
+
+
+class TestDetectionLatency:
+    def test_latency_decreases_with_snr(self):
+        model = DetectionLatencyModel()
+        assert model.mean_latency_samples(0.0) > model.mean_latency_samples(25.0)
+
+    def test_latency_bounded(self):
+        model = DetectionLatencyModel()
+        rng = np.random.default_rng(0)
+        draws = [model.sample(5.0, rng) for _ in range(200)]
+        assert min(draws) >= 0.0
+        assert max(draws) <= model.max_samples
+
+    def test_jitter_present(self):
+        model = DetectionLatencyModel()
+        rng = np.random.default_rng(1)
+        draws = [model.sample(15.0, rng) for _ in range(100)]
+        assert np.std(draws) > 0.2
+
+
+class TestRadioFrontend:
+    def test_random_turnaround_within_bounds(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            fe = RadioFrontend.random(rng, min_turnaround_us=2.0, max_turnaround_us=8.0)
+            assert 2.0 <= fe.turnaround_s * 1e6 <= 8.0
+
+    def test_turnaround_below_sifs(self):
+        # 802.11 requires nodes to respond within a SIFS; the co-sender wait
+        # time computation (§4.3) relies on the turnaround fitting in SIFS.
+        rng = np.random.default_rng(3)
+        fe = RadioFrontend.random(rng)
+        assert fe.turnaround_s <= 10e-6
+
+    def test_measure_turnaround_exact(self):
+        fe = RadioFrontend(turnaround_samples=123.4)
+        assert fe.measure_turnaround_samples() == pytest.approx(123.4)
+
+    def test_measure_turnaround_quantized(self):
+        fe = RadioFrontend(turnaround_samples=123.4)
+        measured = fe.measure_turnaround_samples(quantization_samples=1.0)
+        assert measured == pytest.approx(123.0)
+
+    def test_units(self):
+        fe = RadioFrontend(turnaround_samples=200.0, sample_rate_hz=20e6)
+        assert fe.turnaround_s == pytest.approx(10e-6)
+        assert fe.turnaround_ns == pytest.approx(10000.0)
+
+
+class TestSampleClock:
+    def test_perfect_clock(self):
+        clock = SampleClock(ppm=0.0)
+        assert clock.measurement_error_s(1.0) == pytest.approx(0.0)
+
+    def test_ppm_error_accumulates(self):
+        clock = SampleClock(ppm=10.0)
+        error_short = abs(clock.measurement_error_s(1e-3))
+        error_long = abs(clock.measurement_error_s(1.0))
+        assert error_long > error_short
+
+    def test_tick_duration_roundtrip(self):
+        clock = SampleClock(ppm=5.0)
+        assert clock.duration_for_ticks(clock.ticks_for_duration(0.01)) == pytest.approx(0.01)
+
+    def test_rejects_negative(self):
+        clock = SampleClock()
+        with pytest.raises(ValueError):
+            clock.ticks_for_duration(-1.0)
+        with pytest.raises(ValueError):
+            clock.duration_for_ticks(-1.0)

@@ -1,0 +1,152 @@
+"""Tests for last-hop diversity: SampleRate, controller/association, downlink simulation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.propagation import PathLossModel
+from repro.lasthop import SampleRate, SourceSyncController, simulate_downlink
+from repro.net.mac import MacTiming
+from repro.net.topology import Testbed
+from repro.phy.rates import rate_for_mbps, rates_sorted
+
+
+def _wlan(seed=0, client_pos=(20.0, 18.0)):
+    rng = np.random.default_rng(seed)
+    testbed = Testbed.from_positions(
+        [(0.0, 0.0), (40.0, 0.0), client_pos],
+        rng=rng,
+        path_loss=PathLossModel(exponent=3.5, shadowing_sigma_db=5.0),
+    )
+    return testbed, rng
+
+
+class TestSampleRate:
+    def test_starts_at_a_valid_rate(self):
+        adapter = SampleRate(rng=np.random.default_rng(0))
+        assert adapter.choose_rate() in rates_sorted()
+
+    def test_converges_down_when_high_rates_fail(self):
+        rng = np.random.default_rng(1)
+        adapter = SampleRate(rng=rng, sample_every=0)
+        for _ in range(60):
+            rate = adapter.choose_rate()
+            adapter.report(rate, success=rate.mbps <= 12.0, n_attempts=1 if rate.mbps <= 12.0 else 3)
+        chosen = [adapter.choose_rate().mbps for _ in range(10)]
+        assert max(chosen) <= 12.0
+
+    def test_converges_up_when_everything_succeeds(self):
+        rng = np.random.default_rng(2)
+        adapter = SampleRate(rng=rng)
+        for _ in range(100):
+            rate = adapter.choose_rate()
+            adapter.report(rate, success=True)
+        chosen = [adapter.choose_rate().mbps for _ in range(10)]
+        assert np.median(chosen) >= 36.0
+
+    def test_sampling_explores_other_rates(self):
+        rng = np.random.default_rng(3)
+        adapter = SampleRate(rng=rng, sample_every=5)
+        seen = set()
+        for _ in range(60):
+            rate = adapter.choose_rate()
+            seen.add(rate.mbps)
+            adapter.report(rate, success=True)
+        assert len(seen) > 1
+
+    def test_report_validates_attempts(self):
+        adapter = SampleRate()
+        with pytest.raises(ValueError):
+            adapter.report(rate_for_mbps(6.0), True, n_attempts=0)
+
+    def test_statistics_exposed(self):
+        adapter = SampleRate(rng=np.random.default_rng(4))
+        rate = adapter.choose_rate()
+        adapter.report(rate, True)
+        stats = adapter.statistics()
+        assert stats[rate.mbps][0] == 1
+
+
+class TestController:
+    def test_association_picks_best_lead(self):
+        testbed, _ = _wlan(client_pos=(5.0, 5.0))
+        controller = SourceSyncController(testbed, ap_ids=[0, 1], max_aps_per_client=2)
+        association = controller.associate(2)
+        assert association.lead_ap == 0  # much closer AP
+        assert association.cosender_aps == (1,)
+        assert association.k == 2
+
+    def test_association_cached(self):
+        testbed, _ = _wlan()
+        controller = SourceSyncController(testbed, ap_ids=[0, 1])
+        first = controller.association_for(2)
+        second = controller.association_for(2)
+        assert first is second
+
+    def test_best_single_ap_matches_lead(self):
+        testbed, _ = _wlan(client_pos=(33.0, 3.0))
+        controller = SourceSyncController(testbed, ap_ids=[0, 1])
+        assert controller.best_single_ap(2) == controller.associate(2).lead_ap
+
+    def test_k_limits_ap_count(self):
+        testbed, _ = _wlan()
+        controller = SourceSyncController(testbed, ap_ids=[0, 1], max_aps_per_client=1)
+        assert controller.associate(2).k == 1
+
+    def test_client_cannot_be_ap(self):
+        testbed, _ = _wlan()
+        controller = SourceSyncController(testbed, ap_ids=[0, 1])
+        with pytest.raises(ValueError):
+            controller.associate(0)
+
+    def test_requires_aps(self):
+        testbed, _ = _wlan()
+        with pytest.raises(ValueError):
+            SourceSyncController(testbed, ap_ids=[])
+
+
+class TestDownlinkSimulation:
+    def test_sourcesync_beats_best_ap_for_cell_edge_client(self):
+        # Client roughly equidistant and far from both APs: the combined
+        # transmission supports a higher rate (the §8.3 effect).
+        best_total, joint_total = 0.0, 0.0
+        for seed in range(4):
+            testbed, rng = _wlan(seed=seed, client_pos=(20.0, 26.0))
+            controller = SourceSyncController(testbed, ap_ids=[0, 1])
+            best = simulate_downlink(testbed, controller, 2, "best_ap", n_packets=100, rng=rng)
+            joint = simulate_downlink(testbed, controller, 2, "sourcesync", n_packets=100, rng=rng)
+            best_total += best.throughput_mbps
+            joint_total += joint.throughput_mbps
+        assert joint_total > best_total
+
+    def test_schemes_report_their_senders(self):
+        testbed, rng = _wlan(5)
+        controller = SourceSyncController(testbed, ap_ids=[0, 1])
+        joint = simulate_downlink(testbed, controller, 2, "sourcesync", n_packets=10, rng=rng)
+        best = simulate_downlink(testbed, controller, 2, "best_ap", n_packets=10, rng=rng)
+        forced = simulate_downlink(testbed, controller, 2, "single_ap:1", n_packets=10, rng=rng)
+        assert len(joint.senders) == 2
+        assert len(best.senders) == 1
+        assert forced.senders == (1,)
+
+    def test_unknown_scheme_rejected(self):
+        testbed, rng = _wlan(6)
+        controller = SourceSyncController(testbed, ap_ids=[0, 1])
+        with pytest.raises(ValueError):
+            simulate_downlink(testbed, controller, 2, "beamforming", rng=rng)
+
+    def test_delivery_ratio_and_counts(self):
+        testbed, rng = _wlan(7)
+        controller = SourceSyncController(testbed, ap_ids=[0, 1])
+        result = simulate_downlink(testbed, controller, 2, "sourcesync", n_packets=40, rng=rng)
+        assert result.total_packets == 40
+        assert 0.0 <= result.delivery_ratio <= 1.0
+        assert result.transmissions >= result.delivered_packets
+
+    def test_custom_timing_respected(self):
+        testbed, rng = _wlan(8)
+        controller = SourceSyncController(testbed, ap_ids=[0, 1])
+        timing = MacTiming(sifs_us=16.0)
+        result = simulate_downlink(
+            testbed, controller, 2, "sourcesync", n_packets=10, rng=rng, timing=timing
+        )
+        assert result.total_packets == 10

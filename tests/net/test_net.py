@@ -1,0 +1,237 @@
+"""Tests for the network substrate: topology, ETX, MAC timing, event scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    CsmaState,
+    EventScheduler,
+    MacTiming,
+    MeshNode,
+    Packet,
+    Testbed,
+    best_route,
+    etx_graph,
+    etx_to_destination,
+    forwarder_order,
+    link_etx,
+)
+from repro.phy.rates import rate_for_mbps
+
+
+@pytest.fixture(scope="module")
+def line_testbed():
+    """Four nodes on a line: 0 -- 2 -- 3 -- 1 with a long, weak 0-1 link.
+
+    Shadowing is disabled so the link-quality ordering follows distance
+    deterministically.
+    """
+    from repro.channel.propagation import PathLossModel
+
+    rng = np.random.default_rng(0)
+    return Testbed.from_positions(
+        [(0, 0), (90, 0), (30, 0), (60, 0)],
+        rng=rng,
+        path_loss=PathLossModel(shadowing_sigma_db=0.0),
+    )
+
+
+class TestNodesAndPackets:
+    def test_distance(self):
+        a, b = MeshNode(0, 0.0, 0.0), MeshNode(1, 3.0, 4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_random_node_in_area(self):
+        rng = np.random.default_rng(1)
+        node = MeshNode.random(5, rng, area_m=30.0)
+        assert 0 <= node.x <= 30 and 0 <= node.y <= 30
+
+    def test_packet_sequence_increases(self):
+        a = Packet(src=0, dst=1)
+        b = Packet(src=0, dst=1)
+        assert b.seq > a.seq
+        assert a.payload_bits == 1460 * 8
+
+    def test_packet_rejects_empty_payload(self):
+        with pytest.raises(ValueError):
+            Packet(src=0, dst=1, payload_bytes=0)
+
+
+class TestTestbed:
+    def test_snr_decreases_with_distance(self, line_testbed):
+        near = line_testbed.link_average_snr_db(0, 2)
+        far = line_testbed.link_average_snr_db(0, 1)
+        assert near > far
+
+    def test_snr_is_reciprocal_and_cached(self, line_testbed):
+        assert line_testbed.link_average_snr_db(0, 2) == line_testbed.link_average_snr_db(2, 0)
+        assert line_testbed.link_average_snr_db(0, 2) == line_testbed.link_average_snr_db(0, 2)
+
+    def test_profiles_are_directional_but_stable(self, line_testbed):
+        forward = line_testbed.link_profile(0, 2)
+        again = line_testbed.link_profile(0, 2)
+        assert np.array_equal(forward, again)
+        assert forward.size == line_testbed.params.n_occupied_subcarriers
+
+    def test_delivery_probability_ordering(self, line_testbed):
+        good = line_testbed.delivery_probability(0, 2, 6.0)
+        bad = line_testbed.delivery_probability(0, 1, 6.0)
+        assert good > bad
+
+    def test_joint_delivery_at_least_best_single(self, line_testbed):
+        single = max(
+            line_testbed.delivery_probability(2, 1, 12.0),
+            line_testbed.delivery_probability(3, 1, 12.0),
+        )
+        joint = line_testbed.joint_delivery_probability([2, 3], 1, 12.0)
+        assert joint >= single - 1e-9
+
+    def test_self_link_rejected(self, line_testbed):
+        with pytest.raises(ValueError):
+            line_testbed.delivery_probability(0, 0, 6.0)
+        with pytest.raises(ValueError):
+            line_testbed.joint_delivery_probability([1], 1, 6.0)
+
+    def test_attempt_delivery_is_bernoulli(self, line_testbed):
+        rng = np.random.default_rng(2)
+        outcomes = [line_testbed.attempt_delivery(0, 2, 6.0, 1460, rng) for _ in range(100)]
+        prob = line_testbed.delivery_probability(0, 2, 6.0)
+        assert abs(np.mean(outcomes) - prob) < 0.2
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Testbed(nodes=[MeshNode(0, 0, 0), MeshNode(0, 1, 1)])
+
+    def test_random_testbed(self):
+        rng = np.random.default_rng(3)
+        tb = Testbed.random(6, rng)
+        assert len(tb.node_ids) == 6
+
+
+class TestEtx:
+    def test_link_etx_formula(self):
+        assert link_etx(0.5, 0.5) == pytest.approx(4.0)
+        assert link_etx(0.0, 1.0) == float("inf")
+
+    def test_graph_and_best_route(self, line_testbed):
+        graph = etx_graph(line_testbed)
+        route = best_route(graph, 0, 1)
+        assert route is not None
+        assert route[0] == 0 and route[-1] == 1
+        # The multi-hop route through the intermediate nodes must be chosen
+        # over the weak direct link (if the direct link is usable at all).
+        assert len(route) >= 3
+
+    def test_etx_distance_ordering(self, line_testbed):
+        graph = etx_graph(line_testbed)
+        distances = etx_to_destination(graph, 1)
+        assert distances[3] < distances[2] < distances[0]
+
+    def test_forwarder_order(self, line_testbed):
+        graph = etx_graph(line_testbed)
+        order = forwarder_order(graph, [2, 3], 1)
+        assert order == [3, 2]
+
+    def test_disconnected_route(self):
+        rng = np.random.default_rng(4)
+        tb = Testbed.from_positions([(0, 0), (5000, 0)], rng=rng)
+        graph = etx_graph(tb)
+        assert best_route(graph, 0, 1) is None
+
+
+class TestMacTiming:
+    def test_frame_airtime_decreases_with_rate(self):
+        timing = MacTiming()
+        assert timing.frame_airtime_us(1460, 54.0) < timing.frame_airtime_us(1460, 6.0)
+
+    def test_transaction_includes_overheads(self):
+        timing = MacTiming()
+        frame = timing.frame_airtime_us(1460, 12.0)
+        transaction = timing.single_transaction_us(1460, 12.0)
+        assert transaction > frame + timing.difs_us
+
+    def test_joint_overhead_positive_and_small(self):
+        timing = MacTiming()
+        overhead = timing.sourcesync_overhead_us(n_cosenders=1)
+        assert 10.0 < overhead < 60.0
+        joint = timing.joint_transaction_us(1460, 12.0, n_cosenders=1)
+        single = timing.single_transaction_us(1460, 12.0)
+        assert joint == pytest.approx(single + overhead)
+
+    def test_joint_overhead_fraction_matches_paper_ballpark(self):
+        timing = MacTiming()
+        two = timing.joint_overhead_fraction(1460, 12.0, n_cosenders=1)
+        five = timing.joint_overhead_fraction(1460, 12.0, n_cosenders=4)
+        assert 0.01 < two < 0.03
+        assert two < five < 0.06
+
+    def test_rejects_negative_cosenders(self):
+        with pytest.raises(ValueError):
+            MacTiming().sourcesync_overhead_us(-1)
+
+    def test_csma_state_accounting(self):
+        state = CsmaState()
+        state.account(100.0, True)
+        state.account(100.0, False)
+        assert state.transmissions == 2
+        assert state.failures == 1
+        assert state.throughput_mbps(100.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            state.account(-1.0, True)
+
+
+class TestEventScheduler:
+    def test_events_run_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.schedule_at(5.0, lambda: order.append("b"))
+        sched.schedule_at(1.0, lambda: order.append("a"))
+        sched.schedule_at(9.0, lambda: order.append("c"))
+        sched.run()
+        assert order == ["a", "b", "c"]
+        assert sched.now_us == pytest.approx(9.0)
+
+    def test_schedule_in_relative(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule_in(2.0, lambda: times.append(sched.now_us))
+        sched.run()
+        assert times == [pytest.approx(2.0)]
+
+    def test_cancelled_event_skipped(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule_at(1.0, lambda: fired.append(1))
+        event.cancel()
+        sched.run()
+        assert fired == []
+
+    def test_run_until(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(1.0, lambda: fired.append(1))
+        sched.schedule_at(10.0, lambda: fired.append(2))
+        sched.run(until_us=5.0)
+        assert fired == [1]
+        assert sched.now_us == pytest.approx(5.0)
+        sched.run()
+        assert fired == [1, 2]
+
+    def test_cannot_schedule_in_past(self):
+        sched = EventScheduler()
+        sched.schedule_at(5.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sched = EventScheduler()
+        seen = []
+
+        def first():
+            seen.append("first")
+            sched.schedule_in(1.0, lambda: seen.append("second"))
+
+        sched.schedule_at(0.0, first)
+        sched.run()
+        assert seen == ["first", "second"]

@@ -1,0 +1,89 @@
+"""Tests for bit utilities, scrambler and CRC (repro.phy.bits)."""
+
+import numpy as np
+import pytest
+
+from repro.phy import bits as b
+
+
+class TestBitPacking:
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert b.bits_to_bytes(b.bytes_to_bits(data)) == data
+
+    def test_lsb_first(self):
+        bits = b.bytes_to_bits(b"\x01")
+        assert bits.tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_bits_to_bytes_rejects_partial_byte(self):
+        with pytest.raises(ValueError):
+            b.bits_to_bytes(np.array([1, 0, 1]))
+
+    def test_empty(self):
+        assert b.bits_to_bytes(b.bytes_to_bits(b"")) == b""
+
+
+class TestScrambler:
+    def test_self_inverse(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 1000).astype(np.uint8)
+        assert np.array_equal(b.descramble(b.scramble(bits)), bits)
+
+    def test_changes_bits(self):
+        bits = np.zeros(200, dtype=np.uint8)
+        scrambled = b.scramble(bits)
+        assert scrambled.sum() > 50  # roughly half ones
+
+    def test_period_127(self):
+        bits = np.zeros(127 * 3, dtype=np.uint8)
+        seq = b.scramble(bits)
+        assert np.array_equal(seq[:127], seq[127:254])
+
+    def test_different_seeds_differ(self):
+        bits = np.zeros(100, dtype=np.uint8)
+        assert not np.array_equal(b.scramble(bits, seed=0x5D), b.scramble(bits, seed=0x3A))
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValueError):
+            b.scramble(np.zeros(8, dtype=np.uint8), seed=0)
+        with pytest.raises(ValueError):
+            b.scramble(np.zeros(8, dtype=np.uint8), seed=128)
+
+
+class TestCrc:
+    def test_known_value(self):
+        # IEEE CRC-32 of "123456789" is 0xCBF43926.
+        assert b.crc32(b"123456789") == 0xCBF43926
+
+    def test_append_and_check(self):
+        payload = b"hello sourcesync"
+        frame = b.append_crc(payload)
+        recovered, ok = b.check_crc(frame)
+        assert ok
+        assert recovered == payload
+
+    def test_detects_corruption(self):
+        frame = bytearray(b.append_crc(b"hello sourcesync"))
+        frame[3] ^= 0x40
+        _, ok = b.check_crc(bytes(frame))
+        assert not ok
+
+    def test_short_frame_fails(self):
+        payload, ok = b.check_crc(b"ab")
+        assert not ok
+        assert payload == b""
+
+    def test_empty_payload_roundtrip(self):
+        frame = b.append_crc(b"")
+        payload, ok = b.check_crc(frame)
+        assert ok and payload == b""
+
+
+class TestRandomPayload:
+    def test_length(self):
+        assert len(b.random_payload(57)) == 57
+
+    def test_deterministic_with_rng(self):
+        a = b.random_payload(32, np.random.default_rng(1))
+        c = b.random_payload(32, np.random.default_rng(1))
+        assert a == c

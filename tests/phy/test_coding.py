@@ -1,0 +1,137 @@
+"""Tests for convolutional coding, puncturing and interleaving."""
+
+import numpy as np
+import pytest
+
+from repro.phy.coding import (
+    ConvolutionalCode,
+    deinterleave,
+    depuncture,
+    interleave,
+    puncture,
+    puncture_pattern,
+)
+from repro.phy.coding.puncturing import punctured_length
+
+
+@pytest.fixture(scope="module")
+def code():
+    return ConvolutionalCode()
+
+
+class TestConvolutionalEncoder:
+    def test_rate_half_length(self, code):
+        bits = np.zeros(100, dtype=np.uint8)
+        assert code.encode(bits).size == 2 * (100 + code.tail_bits)
+
+    def test_all_zero_input_gives_all_zero_output(self, code):
+        coded = code.encode(np.zeros(50, dtype=np.uint8))
+        assert not coded.any()
+
+    def test_known_impulse_response(self, code):
+        # A single 1 followed by zeros produces the generator sequences.
+        coded = code.encode(np.array([1, 0, 0, 0, 0, 0, 0], dtype=np.uint8), terminate=False)
+        pairs = coded.reshape(-1, 2)
+        # First output pair must be (1, 1): both polynomials tap the input bit.
+        assert pairs[0].tolist() == [1, 1]
+
+    def test_coded_length_helper(self, code):
+        assert code.coded_length(100) == code.encode(np.zeros(100, dtype=np.uint8)).size
+
+
+class TestViterbiDecoder:
+    def test_noiseless_roundtrip(self, code):
+        rng = np.random.default_rng(1)
+        info = rng.integers(0, 2, 400).astype(np.uint8)
+        coded = code.encode(info)
+        decoded = code.decode(1.0 - 2.0 * coded.astype(float))
+        assert np.array_equal(decoded, info)
+
+    def test_hard_decision_roundtrip(self, code):
+        rng = np.random.default_rng(2)
+        info = rng.integers(0, 2, 200).astype(np.uint8)
+        assert np.array_equal(code.decode_hard(code.encode(info)), info)
+
+    def test_corrects_bit_errors(self, code):
+        rng = np.random.default_rng(3)
+        info = rng.integers(0, 2, 300).astype(np.uint8)
+        coded = code.encode(info).astype(float)
+        llrs = 1.0 - 2.0 * coded
+        # flip 8 well-separated coded bits
+        for idx in range(0, 320, 40):
+            llrs[idx] = -llrs[idx]
+        assert np.array_equal(code.decode(llrs), info)
+
+    def test_soft_information_beats_hard(self, code):
+        rng = np.random.default_rng(4)
+        info = rng.integers(0, 2, 600).astype(np.uint8)
+        coded = code.encode(info).astype(float)
+        noisy = (1.0 - 2.0 * coded) + rng.normal(0, 0.7, coded.size)
+        soft_errors = int(np.sum(code.decode(noisy) != info))
+        hard_errors = int(np.sum(code.decode(np.sign(noisy)) != info))
+        assert soft_errors <= hard_errors
+
+    def test_empty_input(self, code):
+        assert code.decode(np.zeros(0)).size == 0
+
+    def test_rejects_bad_length(self, code):
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(7))
+
+
+class TestPuncturing:
+    @pytest.mark.parametrize("rate", ["1/2", "2/3", "3/4"])
+    def test_roundtrip_through_decoder(self, code, rate):
+        rng = np.random.default_rng(5)
+        info = rng.integers(0, 2, 300).astype(np.uint8)
+        coded = code.encode(info)
+        punctured = puncture(coded, rate)
+        llrs = depuncture(1.0 - 2.0 * punctured.astype(float), rate, coded.size)
+        assert np.array_equal(code.decode(llrs), info)
+
+    def test_punctured_length_consistency(self):
+        for rate, expected_ratio in (("1/2", 1.0), ("2/3", 0.75), ("3/4", 2.0 / 3.0)):
+            n = punctured_length(1200, rate)
+            assert n == pytest.approx(1200 * expected_ratio)
+
+    def test_pattern_for_unknown_rate(self):
+        with pytest.raises(ValueError):
+            puncture_pattern("5/6")
+
+    def test_depuncture_length_check(self):
+        with pytest.raises(ValueError):
+            depuncture(np.zeros(10), "3/4", 12)
+
+    def test_erasures_inserted(self):
+        coded = np.arange(12, dtype=float) + 1.0
+        punctured = puncture(coded, "3/4")
+        restored = depuncture(punctured, "3/4", 12, erasure=0.0)
+        assert np.sum(restored == 0.0) == 12 - punctured.size
+
+
+class TestInterleaver:
+    @pytest.mark.parametrize("bps", [1, 2, 4, 6])
+    def test_roundtrip(self, bps):
+        rng = np.random.default_rng(6)
+        bits = rng.integers(0, 2, 48 * bps).astype(np.uint8)
+        assert np.array_equal(deinterleave(interleave(bits, bps), bps), bits)
+
+    def test_is_permutation(self):
+        bits = np.arange(96)
+        out = interleave(bits, 2)
+        assert sorted(out.tolist()) == sorted(bits.tolist())
+
+    def test_adjacent_bits_spread_apart(self):
+        # Adjacent coded bits must not land on the same subcarrier.
+        n_cbps, bps = 96, 2
+        bits = np.arange(n_cbps)
+        out = interleave(bits, bps)
+        positions = {int(v): i for i, v in enumerate(out)}
+        for k in range(n_cbps - 1):
+            sc_a = positions[k] // bps
+            sc_b = positions[k + 1] // bps
+            assert sc_a != sc_b
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros(50, dtype=np.uint8), 1)

@@ -1,0 +1,85 @@
+"""Tests for constellation mapping and soft demapping."""
+
+import numpy as np
+import pytest
+
+from repro.phy.modulation import get_modulation, modulate, demodulate_hard, demodulate_soft
+
+ALL = ["BPSK", "QPSK", "16QAM", "64QAM"]
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("name,bps", [("BPSK", 1), ("QPSK", 2), ("16QAM", 4), ("64QAM", 6)])
+    def test_bits_per_symbol(self, name, bps):
+        assert get_modulation(name).bits_per_symbol == bps
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_unit_average_energy(self, name):
+        points = get_modulation(name).points
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_points_distinct(self, name):
+        points = get_modulation(name).points
+        assert len(set(np.round(points, 9).tolist())) == points.size
+
+    def test_gray_mapping_neighbors_differ_by_one_bit(self):
+        # In a Gray-coded QAM, nearest neighbours differ in exactly one bit.
+        mod = get_modulation("16QAM")
+        points = mod.points
+        bits = mod.bit_table
+        for i in range(points.size):
+            dists = np.abs(points - points[i])
+            dists[i] = np.inf
+            nearest = np.argmin(dists)
+            assert np.sum(bits[i] != bits[nearest]) == 1
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_modulation("bpsk") is get_modulation("BPSK")
+
+    def test_unknown_modulation(self):
+        with pytest.raises(ValueError):
+            get_modulation("8PSK")
+
+
+class TestMapDemap:
+    @pytest.mark.parametrize("name", ALL)
+    def test_hard_roundtrip(self, name):
+        rng = np.random.default_rng(0)
+        mod = get_modulation(name)
+        bits = rng.integers(0, 2, 96 * mod.bits_per_symbol).astype(np.uint8)
+        assert np.array_equal(mod.demodulate_hard(mod.modulate(bits)), bits)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_soft_signs_match_bits(self, name):
+        rng = np.random.default_rng(1)
+        mod = get_modulation(name)
+        bits = rng.integers(0, 2, 48 * mod.bits_per_symbol).astype(np.uint8)
+        llrs = mod.demodulate_soft(mod.modulate(bits), noise_var=0.1)
+        assert np.all((llrs > 0) == (bits == 0))
+
+    def test_soft_magnitude_scales_with_noise(self):
+        mod = get_modulation("QPSK")
+        symbols = mod.modulate(np.array([0, 0, 1, 1], dtype=np.uint8))
+        strong = mod.demodulate_soft(symbols, noise_var=0.01)
+        weak = mod.demodulate_soft(symbols, noise_var=1.0)
+        assert np.all(np.abs(strong) > np.abs(weak))
+
+    def test_modulate_rejects_partial_symbol(self):
+        with pytest.raises(ValueError):
+            get_modulation("16QAM").modulate(np.array([1, 0, 1], dtype=np.uint8))
+
+    def test_convenience_wrappers(self):
+        bits = np.array([0, 1, 1, 0], dtype=np.uint8)
+        symbols = modulate(bits, "QPSK")
+        assert np.array_equal(demodulate_hard(symbols, "QPSK"), bits)
+        assert demodulate_soft(symbols, "QPSK").size == bits.size
+
+    def test_noisy_hard_decisions_mostly_correct(self):
+        rng = np.random.default_rng(2)
+        mod = get_modulation("16QAM")
+        bits = rng.integers(0, 2, 4 * 500).astype(np.uint8)
+        symbols = mod.modulate(bits)
+        noisy = symbols + (rng.normal(size=symbols.size) + 1j * rng.normal(size=symbols.size)) * 0.05
+        errors = np.sum(mod.demodulate_hard(noisy) != bits)
+        assert errors / bits.size < 0.01

@@ -1,0 +1,149 @@
+"""Tests for OFDM symbol assembly/extraction and the preamble."""
+
+import numpy as np
+import pytest
+
+from repro.phy.ofdm import (
+    PILOT_VALUES,
+    add_cyclic_prefix,
+    assemble_symbol,
+    assemble_symbols,
+    extract_symbol,
+    extract_symbols,
+    pilot_polarity,
+    remove_cyclic_prefix,
+    symbols_to_samples,
+)
+from repro.phy.params import DEFAULT_PARAMS as P
+from repro.phy.preamble import (
+    long_training_field,
+    long_training_sequence_freq,
+    ltf_symbol,
+    preamble,
+    short_training_field,
+)
+
+
+def _random_data(rng, n_symbols=1):
+    data = (rng.normal(size=(n_symbols, P.n_data_subcarriers))
+            + 1j * rng.normal(size=(n_symbols, P.n_data_subcarriers))) / np.sqrt(2)
+    return data
+
+
+class TestSymbolAssembly:
+    def test_data_lands_on_data_bins(self):
+        rng = np.random.default_rng(0)
+        data = _random_data(rng)[0]
+        freq = assemble_symbol(data, 0, P)
+        assert np.allclose(freq[P.data_bins()], data)
+
+    def test_pilots_present(self):
+        freq = assemble_symbol(np.zeros(48, dtype=complex), 0, P)
+        assert np.allclose(freq[P.pilot_bins()], PILOT_VALUES * pilot_polarity(0))
+
+    def test_pilot_scale_zero_silences_pilots(self):
+        freq = assemble_symbol(np.zeros(48, dtype=complex), 0, P, pilot_scale=0.0)
+        assert np.allclose(freq[P.pilot_bins()], 0.0)
+
+    def test_guard_bins_empty(self):
+        rng = np.random.default_rng(1)
+        freq = assemble_symbol(_random_data(rng)[0], 0, P)
+        occupied = set(P.occupied_bins().tolist())
+        for bin_index in range(P.n_fft):
+            if bin_index not in occupied:
+                assert freq[bin_index] == 0
+
+    def test_wrong_data_length_rejected(self):
+        with pytest.raises(ValueError):
+            assemble_symbol(np.zeros(47, dtype=complex), 0, P)
+
+    def test_pilot_polarity_alternates(self):
+        values = {pilot_polarity(i) for i in range(20)}
+        assert values == {1.0, -1.0}
+
+
+class TestCyclicPrefix:
+    def test_add_remove_roundtrip(self):
+        rng = np.random.default_rng(2)
+        symbol = rng.normal(size=P.n_fft) + 1j * rng.normal(size=P.n_fft)
+        with_cp = add_cyclic_prefix(symbol, P)
+        assert with_cp.size == P.symbol_samples
+        assert np.allclose(remove_cyclic_prefix(with_cp, P), symbol)
+
+    def test_cp_is_tail_copy(self):
+        rng = np.random.default_rng(3)
+        symbol = rng.normal(size=P.n_fft) + 1j * rng.normal(size=P.n_fft)
+        with_cp = add_cyclic_prefix(symbol, P)
+        assert np.allclose(with_cp[: P.cp_samples], symbol[-P.cp_samples:])
+
+    def test_fft_offset_within_cp_is_valid(self):
+        # Any FFT window within the CP slack decodes correctly (Fig. 3).
+        rng = np.random.default_rng(4)
+        data = _random_data(rng)[0]
+        samples = symbols_to_samples(assemble_symbols(data[None, :], P), P)
+        for offset in (0, -3, -8):
+            freq = extract_symbol(samples, P, fft_offset=offset)
+            equalized = freq[P.data_bins()] * np.exp(
+                -2j * np.pi * np.arange(P.n_fft)[P.data_bins()] * offset / P.n_fft
+            )
+            assert np.allclose(equalized, data, atol=1e-9)
+
+    def test_remove_rejects_bad_offset(self):
+        samples = np.zeros(P.symbol_samples, dtype=complex)
+        with pytest.raises(ValueError):
+            remove_cyclic_prefix(samples, P, fft_offset=-P.cp_samples - 1)
+
+
+class TestBlockRoundTrip:
+    def test_multi_symbol_roundtrip(self):
+        rng = np.random.default_rng(5)
+        data = _random_data(rng, 5)
+        freq = assemble_symbols(data, P)
+        samples = symbols_to_samples(freq, P)
+        assert samples.size == 5 * P.symbol_samples
+        back = extract_symbols(samples, 5, P)
+        assert np.allclose(back, freq)
+        assert np.allclose(back[:, P.data_bins()], data)
+
+    def test_extract_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            extract_symbols(np.zeros(10, dtype=complex), 2, P)
+
+    def test_power_preserved(self):
+        rng = np.random.default_rng(6)
+        data = _random_data(rng, 3)
+        samples = symbols_to_samples(assemble_symbols(data, P), P)
+        freq_power = np.mean(np.abs(data) ** 2) * P.n_data_subcarriers / P.n_fft
+        time_power = np.mean(np.abs(samples) ** 2)
+        assert time_power == pytest.approx(freq_power, rel=0.15)
+
+
+class TestPreamble:
+    def test_stf_length(self):
+        assert short_training_field(P).size == 160
+
+    def test_stf_periodicity(self):
+        stf = short_training_field(P)
+        assert np.allclose(stf[:16], stf[16:32])
+
+    def test_ltf_length(self):
+        assert long_training_field(P).size == 2 * P.cp_samples + 2 * P.n_fft
+
+    def test_ltf_repetitions_identical(self):
+        ltf = long_training_field(P)
+        assert np.allclose(ltf[32:96], ltf[96:160])
+
+    def test_ltf_guard_is_cyclic_extension(self):
+        ltf = long_training_field(P)
+        symbol = ltf_symbol(P)
+        assert np.allclose(ltf[: 2 * P.cp_samples], symbol[-2 * P.cp_samples :])
+
+    def test_ltf_freq_is_bpsk_on_occupied(self):
+        freq = long_training_sequence_freq(P)
+        occupied = P.occupied_bins()
+        assert np.allclose(np.abs(freq[occupied]), 1.0)
+        assert freq[0] == 0  # DC empty
+
+    def test_preamble_is_stf_then_ltf(self):
+        full = preamble(P)
+        assert full.size == short_training_field(P).size + long_training_field(P).size

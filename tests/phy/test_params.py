@@ -1,0 +1,91 @@
+"""Tests for the OFDM numerology (repro.phy.params)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.params import DEFAULT_PARAMS, OFDMParams
+
+
+class TestDefaults:
+    def test_default_matches_80211ag(self):
+        assert DEFAULT_PARAMS.n_fft == 64
+        assert DEFAULT_PARAMS.n_data_subcarriers == 48
+        assert DEFAULT_PARAMS.n_pilot_subcarriers == 4
+        assert DEFAULT_PARAMS.cp_samples == 16
+        assert DEFAULT_PARAMS.bandwidth_hz == pytest.approx(20e6)
+
+    def test_symbol_duration_is_4us(self):
+        assert DEFAULT_PARAMS.symbol_duration_s == pytest.approx(4e-6)
+
+    def test_cp_duration_is_800ns(self):
+        assert DEFAULT_PARAMS.cp_duration_ns == pytest.approx(800.0)
+
+    def test_sample_period_is_50ns(self):
+        assert DEFAULT_PARAMS.sample_period_ns == pytest.approx(50.0)
+
+    def test_subcarrier_spacing(self):
+        assert DEFAULT_PARAMS.subcarrier_spacing_hz == pytest.approx(312.5e3)
+
+
+class TestSubcarrierMaps:
+    def test_occupied_count(self):
+        assert DEFAULT_PARAMS.occupied_offsets().size == 52
+
+    def test_occupied_excludes_dc(self):
+        assert 0 not in DEFAULT_PARAMS.occupied_offsets()
+
+    def test_occupied_range_matches_80211(self):
+        offsets = DEFAULT_PARAMS.occupied_offsets()
+        assert offsets.min() == -26
+        assert offsets.max() == 26
+
+    def test_pilots_are_occupied(self):
+        occupied = set(DEFAULT_PARAMS.occupied_offsets().tolist())
+        for pilot in DEFAULT_PARAMS.pilot_subcarrier_offsets():
+            assert int(pilot) in occupied
+
+    def test_data_and_pilot_partition_occupied(self):
+        data = set(DEFAULT_PARAMS.data_subcarrier_offsets().tolist())
+        pilots = set(DEFAULT_PARAMS.pilot_subcarrier_offsets().tolist())
+        occupied = set(DEFAULT_PARAMS.occupied_offsets().tolist())
+        assert data | pilots == occupied
+        assert not data & pilots
+
+    def test_data_count(self):
+        assert DEFAULT_PARAMS.data_subcarrier_offsets().size == 48
+
+    def test_offset_to_bin_wraps_negative(self):
+        bins = DEFAULT_PARAMS.offset_to_fft_bin(np.array([-1, 1]))
+        assert bins.tolist() == [63, 1]
+
+    def test_bins_unique(self):
+        bins = DEFAULT_PARAMS.occupied_bins()
+        assert len(set(bins.tolist())) == bins.size
+
+
+class TestVariantsAndValidation:
+    def test_with_cp(self):
+        longer = DEFAULT_PARAMS.with_cp(32)
+        assert longer.cp_samples == 32
+        assert longer.symbol_samples == 96
+        assert DEFAULT_PARAMS.cp_samples == 16  # original untouched
+
+    def test_ns_conversion_roundtrip(self):
+        ns = DEFAULT_PARAMS.samples_to_ns(3.5)
+        assert DEFAULT_PARAMS.ns_to_samples(ns) == pytest.approx(3.5)
+
+    def test_rejects_cp_larger_than_fft(self):
+        with pytest.raises(ValueError):
+            OFDMParams(cp_samples=64)
+
+    def test_rejects_negative_cp(self):
+        with pytest.raises(ValueError):
+            OFDMParams(cp_samples=-1)
+
+    def test_rejects_too_many_subcarriers(self):
+        with pytest.raises(ValueError):
+            OFDMParams(n_data_subcarriers=60)
+
+    def test_rejects_bad_pilot_count(self):
+        with pytest.raises(ValueError):
+            OFDMParams(pilot_offsets=(-21, -7, 7))

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for core data paths and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.error_models import combined_subcarrier_snr, effective_snr_db, packet_error_rate
+from repro.channel.awgn import db_to_linear, linear_to_db
+from repro.core.combining.alamouti import alamouti_decode, alamouti_encode_branch
+from repro.core.combining.stbc import SmartCombiner
+from repro.core.sync.detection_delay import delay_samples_to_slope, slope_to_delay_samples
+from repro.core.sync.multi_receiver import misalignment_matrix, optimize_wait_times
+from repro.phy import bits as bitutils
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.coding.interleaver import deinterleave, interleave
+from repro.phy.coding.puncturing import depuncture, puncture
+from repro.phy.modulation import get_modulation
+from repro.phy.params import DEFAULT_PARAMS as P
+
+_CODE = ConvolutionalCode()
+
+
+@st.composite
+def bit_arrays(draw, min_size=1, max_size=400):
+    n = draw(st.integers(min_size, max_size))
+    return np.array(draw(st.lists(st.integers(0, 1), min_size=n, max_size=n)), dtype=np.uint8)
+
+
+class TestBitDomainProperties:
+    @given(data=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_bits_roundtrip(self, data):
+        assert bitutils.bits_to_bytes(bitutils.bytes_to_bits(data)) == data
+
+    @given(bits=bit_arrays(), seed=st.integers(1, 127))
+    @settings(max_examples=30, deadline=None)
+    def test_scrambler_involution(self, bits, seed):
+        assert np.array_equal(bitutils.descramble(bitutils.scramble(bits, seed), seed), bits)
+
+    @given(payload=st.binary(min_size=0, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_crc_roundtrip(self, payload):
+        recovered, ok = bitutils.check_crc(bitutils.append_crc(payload))
+        assert ok and recovered == payload
+
+    @given(bits=bit_arrays(min_size=1, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_viterbi_inverts_encoder(self, bits):
+        coded = _CODE.encode(bits)
+        assert np.array_equal(_CODE.decode(1.0 - 2.0 * coded.astype(float)), bits)
+
+    @given(bits=bit_arrays(min_size=12, max_size=200), rate=st.sampled_from(["1/2", "2/3", "3/4"]))
+    @settings(max_examples=20, deadline=None)
+    def test_puncture_depuncture_positions(self, bits, rate):
+        coded = _CODE.encode(bits)
+        punctured = puncture(coded, rate)
+        restored = depuncture(1.0 - 2.0 * punctured.astype(float), rate, coded.size)
+        kept = restored != 0.0
+        assert np.array_equal(np.abs(restored[kept]), np.ones(int(kept.sum())))
+        assert restored.size == coded.size
+
+    @given(bps=st.sampled_from([1, 2, 4, 6]), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_interleaver_bijective(self, bps, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 48 * bps).astype(np.uint8)
+        assert np.array_equal(deinterleave(interleave(bits, bps), bps), bits)
+
+    @given(
+        name=st.sampled_from(["BPSK", "QPSK", "16QAM", "64QAM"]),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_modulation_roundtrip(self, name, seed):
+        rng = np.random.default_rng(seed)
+        mod = get_modulation(name)
+        bits = rng.integers(0, 2, 24 * mod.bits_per_symbol).astype(np.uint8)
+        assert np.array_equal(mod.demodulate_hard(mod.modulate(bits)), bits)
+
+
+class TestSignalProperties:
+    @given(value=st.floats(-40.0, 40.0))
+    @settings(max_examples=50, deadline=None)
+    def test_db_linear_roundtrip(self, value):
+        assert float(linear_to_db(db_to_linear(value))) == np.float64(value).item() or abs(
+            float(linear_to_db(db_to_linear(value))) - value
+        ) < 1e-9
+
+    @given(delay=st.floats(-20.0, 20.0))
+    @settings(max_examples=50, deadline=None)
+    def test_slope_delay_roundtrip(self, delay):
+        assert abs(slope_to_delay_samples(delay_samples_to_slope(delay, P), P) - delay) < 1e-9
+
+    @given(seed=st.integers(0, 10_000), n_pairs=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_alamouti_perfect_reconstruction(self, seed, n_pairs):
+        rng = np.random.default_rng(seed)
+        data = (rng.normal(size=(2 * n_pairs, 8)) + 1j * rng.normal(size=(2 * n_pairs, 8))) / np.sqrt(2)
+        h1 = rng.normal(size=8) + 1j * rng.normal(size=8)
+        h2 = rng.normal(size=8) + 1j * rng.normal(size=8)
+        received = h1 * alamouti_encode_branch(data, 0) + h2 * alamouti_encode_branch(data, 1)
+        assert np.allclose(alamouti_decode(received, h1, h2), data, atol=1e-8)
+
+    @given(seed=st.integers(0, 10_000), n_senders=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_combiner_gain_is_sum_of_sender_powers(self, seed, n_senders):
+        rng = np.random.default_rng(seed)
+        combiner = SmartCombiner()
+        channels = [rng.normal(size=16) + 1j * rng.normal(size=16) for _ in range(n_senders)]
+        gain = combiner.effective_gain(channels)
+        branches = combiner.combine_branch_channels(channels)
+        assert np.allclose(gain, np.sum(np.abs(branches) ** 2, axis=0))
+        # Power gain: total never less than the strongest branch alone.
+        assert np.all(gain >= np.max(np.abs(branches) ** 2, axis=0) - 1e-12)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n_cosenders=st.integers(1, 4),
+        n_receivers=st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lp_never_worse_than_zero_wait(self, seed, n_cosenders, n_receivers):
+        rng = np.random.default_rng(seed)
+        t = rng.uniform(0.0, 20.0, size=(n_cosenders, n_receivers))
+        lead = rng.uniform(0.0, 20.0, size=n_receivers)
+        solution = optimize_wait_times(t, lead)
+        zero_wait_worst = misalignment_matrix(np.zeros(n_cosenders), t, lead).max()
+        assert solution.max_misalignment <= zero_wait_worst + 1e-6
+        assert solution.cp_increase_samples() >= 0
+
+    @given(seed=st.integers(0, 10_000), n_senders=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_combined_snr_at_least_best_sender(self, seed, n_senders):
+        rng = np.random.default_rng(seed)
+        profiles = [rng.uniform(-5.0, 25.0, size=52) for _ in range(n_senders)]
+        combined = combined_subcarrier_snr(profiles)
+        best = np.max(np.stack(profiles), axis=0)
+        assert np.all(combined >= best - 1e-9)
+
+    @given(snr=st.floats(-10.0, 40.0), payload=st.integers(1, 3000))
+    @settings(max_examples=50, deadline=None)
+    def test_per_is_a_probability(self, snr, payload):
+        per = packet_error_rate(snr, 12.0, payload)
+        assert 0.0 <= per <= 1.0
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_effective_snr_between_min_and_max(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = rng.uniform(-5.0, 30.0, size=52)
+        esnr = effective_snr_db(profile, "QPSK")
+        assert profile.min() - 0.5 <= esnr <= profile.max() + 0.5
