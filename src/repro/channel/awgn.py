@@ -1,4 +1,16 @@
-"""Additive white Gaussian noise and SNR helpers."""
+"""Additive white Gaussian noise and SNR helpers.
+
+Batch API
+---------
+:func:`awgn` accepts a shape tuple, and :func:`awgn_ensemble` draws noise
+for a whole ``(n_packets, n_samples)`` ensemble in one generator call while
+reproducing the *exact* draw order of ``n_packets`` sequential :func:`awgn`
+calls (real part then imaginary part per packet), so batched and per-packet
+Monte-Carlo runs consume the RNG stream identically and produce
+bit-identical noise under a fixed seed.  :func:`add_noise_for_snr` is
+batch-aware along the same lines: given a 2-D input it references the SNR
+to each row's signal power and draws per-row noise in per-packet order.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +18,7 @@ import numpy as np
 
 __all__ = [
     "awgn",
+    "awgn_ensemble",
     "noise_power_for_snr",
     "add_noise_for_snr",
     "measure_snr_db",
@@ -25,16 +38,50 @@ def linear_to_db(value: float | np.ndarray, floor: float = 1e-15) -> float | np.
 
 
 def awgn(
-    n_samples: int,
+    n_samples: int | tuple[int, ...],
     noise_power: float,
     rng: np.random.Generator | None = None,
 ) -> np.ndarray:
-    """Complex AWGN samples with the given total (complex) power per sample."""
+    """Complex AWGN samples with the given total (complex) power per sample.
+
+    ``n_samples`` may be a shape tuple; note that a multi-dimensional draw
+    consumes the RNG stream in a different order than sequential per-packet
+    draws — use :func:`awgn_ensemble` when draw-order compatibility with
+    per-packet simulation matters.
+    """
     if noise_power < 0:
         raise ValueError("noise_power must be non-negative")
     rng = rng if rng is not None else np.random.default_rng()
     scale = np.sqrt(noise_power / 2.0)
     return scale * (rng.normal(size=n_samples) + 1j * rng.normal(size=n_samples))
+
+
+def awgn_ensemble(
+    n_packets: int,
+    n_samples: int,
+    noise_power: float | np.ndarray,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Complex AWGN for a packet ensemble, drawn in per-packet order.
+
+    One ``rng.normal(size=(n_packets, 2, n_samples))`` call produces, in C
+    order, exactly the sequence of draws that ``n_packets`` successive
+    :func:`awgn` calls would make (each packet draws its real samples, then
+    its imaginary samples), so a batched ensemble is bit-identical to the
+    per-packet loop under the same generator state.
+
+    ``noise_power`` may be a scalar or one value per packet.
+    """
+    noise_power = np.asarray(noise_power, dtype=np.float64)
+    if np.any(noise_power < 0):
+        raise ValueError("noise_power must be non-negative")
+    rng = rng if rng is not None else np.random.default_rng()
+    scale = np.sqrt(noise_power / 2.0)
+    draws = rng.normal(size=(n_packets, 2, n_samples))
+    noise = draws[:, 0, :] + 1j * draws[:, 1, :]
+    if scale.ndim:
+        return scale[:, None] * noise
+    return scale * noise
 
 
 def noise_power_for_snr(signal_power: float, snr_db: float) -> float:
@@ -57,13 +104,29 @@ def add_noise_for_snr(
     samples:
         Signal samples (may include silent gaps; pass ``signal_power`` to
         reference the SNR to the active part of the waveform instead of the
-        empirical mean power).
+        empirical mean power).  A 2-D ``(n_packets, n_samples)`` input is
+        treated as a packet ensemble: the SNR is referenced to each row's
+        own signal power and the noise is drawn in per-packet order
+        (:func:`awgn_ensemble`), making the batched call bit-identical to a
+        per-packet loop under the same generator state.
     snr_db:
         Target signal-to-noise ratio in dB.
     signal_power:
-        Reference signal power; defaults to the mean power of ``samples``.
+        Reference signal power; defaults to the mean power of ``samples``
+        (per row for a 2-D input).  May be per-packet for 2-D inputs.
     """
     samples = np.asarray(samples, dtype=np.complex128)
+    if samples.ndim == 2:
+        if signal_power is None:
+            power = np.mean(np.abs(samples) ** 2, axis=1)
+        else:
+            power = np.broadcast_to(
+                np.asarray(signal_power, dtype=np.float64), (samples.shape[0],)
+            )
+        if np.any(power < 0):
+            raise ValueError("signal_power must be non-negative")
+        noise_power = power / db_to_linear(snr_db)
+        return samples + awgn_ensemble(samples.shape[0], samples.shape[1], noise_power, rng)
     if signal_power is None:
         signal_power = float(np.mean(np.abs(samples) ** 2))
     noise_power = noise_power_for_snr(signal_power, snr_db)

@@ -6,6 +6,11 @@ signal between one sender and one receiver (path-loss gain, multipath,
 carrier-frequency offset, propagation delay), and :func:`combine_at_receiver`
 sums the contributions of several concurrent senders at a receiver — the
 "composite channel" of §5 of the paper — and adds thermal noise.
+
+For Monte-Carlo ensembles, :func:`link_ensemble_for_snr` draws all link
+realisations of a batch with one generator call and
+:func:`propagate_ensemble` carries a whole ``(n_packets, n_samples)``
+ensemble through per-packet links with one batched noise draw.
 """
 
 from __future__ import annotations
@@ -14,13 +19,26 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.channel.awgn import awgn, db_to_linear
-from repro.channel.multipath import DEFAULT_PROFILE, MultipathChannel, MultipathProfile
+from repro.channel.awgn import awgn, awgn_ensemble, db_to_linear
+from repro.channel.multipath import (
+    DEFAULT_PROFILE,
+    MultipathChannel,
+    MultipathEnsemble,
+    MultipathProfile,
+    rayleigh_taps_batch,
+)
 from repro.channel.oscillator import apply_cfo
 from repro.channel.propagation import fractional_delay
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 
-__all__ = ["Link", "Transmission", "combine_at_receiver", "link_for_snr"]
+__all__ = [
+    "Link",
+    "Transmission",
+    "combine_at_receiver",
+    "link_for_snr",
+    "link_ensemble_for_snr",
+    "propagate_ensemble",
+]
 
 
 @dataclass
@@ -178,3 +196,81 @@ def link_for_snr(
         initial_phase=initial_phase,
         sample_rate_hz=params.bandwidth_hz,
     )
+
+
+def link_ensemble_for_snr(
+    snr_db: float,
+    n_links: int,
+    noise_power: float = 1.0,
+    profile: MultipathProfile = DEFAULT_PROFILE,
+    rng: np.random.Generator | None = None,
+    delay_samples: float = 0.0,
+    cfo_hz: float = 0.0,
+    params: OFDMParams = DEFAULT_PARAMS,
+) -> list[Link]:
+    """Draw an ensemble of independent random links at a target average SNR.
+
+    All tap realisations come from one :func:`rayleigh_taps_batch` call and
+    all initial phases from one uniform draw, so drawing an ensemble of N
+    links costs two generator calls instead of 2N.  (The stream order
+    differs from N sequential :func:`link_for_snr` calls — taps first, then
+    phases — which matters only if the caller interleaves other draws.)
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    ensemble = MultipathEnsemble(rayleigh_taps_batch(profile, n_links, rng)).normalized()
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=n_links)
+    gain = float(np.sqrt(db_to_linear(snr_db) * noise_power))
+    return [
+        Link(
+            channel=ensemble.channel(i),
+            gain=gain,
+            delay_samples=delay_samples,
+            cfo_hz=cfo_hz,
+            initial_phase=float(phases[i]),
+            sample_rate_hz=params.bandwidth_hz,
+        )
+        for i in range(n_links)
+    ]
+
+
+def propagate_ensemble(
+    links: list[Link],
+    samples: np.ndarray,
+    noise_power: float = 0.0,
+    rng: np.random.Generator | None = None,
+    leading_silence: int = 0,
+    total_length: int | None = None,
+) -> np.ndarray:
+    """Send packet ``i`` of an ensemble through link ``i`` and add noise.
+
+    The Monte-Carlo counterpart of :func:`combine_at_receiver`: instead of
+    superimposing many senders at one receiver, each row of ``samples`` is
+    an independent packet observed through its own link realisation (the
+    typical link-level BER/PER ensemble).  Per-link propagation loops over
+    rows (each is a handful of C-speed vector ops and stays bit-identical
+    to :meth:`Link.propagate`), while the noise for the whole ensemble is
+    one batched draw in per-packet order (:func:`awgn_ensemble`).
+
+    Returns a ``(n_packets, length)`` array of received waveforms, where
+    ``length`` is ``total_length`` grown, if necessary, to cover the last
+    contribution — the same clamping convention as
+    :func:`combine_at_receiver`.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.ndim != 2 or samples.shape[0] != len(links):
+        raise ValueError("samples must have shape (n_links, n_samples)")
+    rng = rng if rng is not None else np.random.default_rng()
+    waveforms: list[tuple[int, np.ndarray]] = []
+    end = 0
+    for link, row in zip(links, samples):
+        waveform, start = link.propagate(row)
+        start_idx = int(start) + leading_silence
+        waveforms.append((start_idx, waveform))
+        end = max(end, start_idx + waveform.size)
+    length = max(total_length if total_length is not None else end, end)
+    received = np.zeros((samples.shape[0], length), dtype=np.complex128)
+    for i, (start_idx, waveform) in enumerate(waveforms):
+        received[i, start_idx : start_idx + waveform.size] = waveform
+    if noise_power > 0:
+        received += awgn_ensemble(samples.shape[0], length, noise_power, rng)
+    return received

@@ -16,6 +16,12 @@ Two stock profiles are provided:
 * :data:`WIGLAN_PROFILE` — the same physical delay spread expressed at the
   128 MHz sampling rate of the paper's WiGLAN platform, where it spans
   roughly 15 significant taps, matching Fig. 14 of the paper.
+
+Monte-Carlo ensembles should draw all realisations at once with
+:func:`rayleigh_taps_batch` / :class:`MultipathEnsemble` — one generator
+call for the whole batch, with the same draw order (and therefore the same
+taps under a fixed seed) as a loop of per-realisation draws for Rayleigh
+profiles.
 """
 
 from __future__ import annotations
@@ -27,7 +33,9 @@ import numpy as np
 __all__ = [
     "MultipathProfile",
     "MultipathChannel",
+    "MultipathEnsemble",
     "rayleigh_taps",
+    "rayleigh_taps_batch",
     "DEFAULT_PROFILE",
     "WIGLAN_PROFILE",
 ]
@@ -78,19 +86,39 @@ def rayleigh_taps(
 
     The first tap optionally has a Ricean (line-of-sight) component whose
     relative power is set by the profile's K factor.
+
+    Thin wrapper over :func:`rayleigh_taps_batch` with one realisation (the
+    batched draw consumes the RNG stream in exactly the same order).
+    """
+    return rayleigh_taps_batch(profile, 1, rng)[0]
+
+
+def rayleigh_taps_batch(
+    profile: MultipathProfile,
+    n_realizations: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw an ensemble of tap-gain realisations in one generator call.
+
+    Returns a ``(n_realizations, n_taps)`` array.  The Gaussian draw uses
+    shape ``(n_realizations, 2, n_taps)``, whose C order reproduces exactly
+    the sequence of per-realisation draws (real taps then imaginary taps),
+    so for Rayleigh profiles a batched ensemble is bit-identical to a loop
+    of :func:`rayleigh_taps` calls under the same generator state.  Ricean
+    profiles draw all line-of-sight phases *after* the Gaussians, which is
+    statistically equivalent but consumes the stream in a different order
+    than the per-realisation loop.
     """
     powers = profile.tap_powers()
-    scattered = (
-        rng.normal(size=profile.n_taps) + 1j * rng.normal(size=profile.n_taps)
-    ) / np.sqrt(2.0)
+    draws = rng.normal(size=(n_realizations, 2, profile.n_taps))
+    scattered = (draws[:, 0, :] + 1j * draws[:, 1, :]) / np.sqrt(2.0)
     taps = scattered * np.sqrt(powers)
     if np.isfinite(profile.k_factor_db):
         k = 10.0 ** (profile.k_factor_db / 10.0)
         p0 = powers[0]
-        los = np.sqrt(p0 * k / (k + 1.0)) * np.exp(1j * rng.uniform(0, 2 * np.pi))
-        nlos = taps[0] * np.sqrt(1.0 / (k + 1.0))
-        taps = taps.copy()
-        taps[0] = los + nlos
+        phases = rng.uniform(0, 2 * np.pi, size=n_realizations)
+        los = np.sqrt(p0 * k / (k + 1.0)) * np.exp(1j * phases)
+        taps[:, 0] = los + taps[:, 0] * np.sqrt(1.0 / (k + 1.0))
     return taps
 
 
@@ -177,3 +205,87 @@ class MultipathChannel:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MultipathChannel(n_taps={self.n_taps}, power={self.average_power():.3f})"
+
+
+class MultipathEnsemble:
+    """A batch of static multipath realisations, one per packet.
+
+    Holds a ``(n_channels, n_taps)`` tap matrix so a whole Monte-Carlo
+    ensemble is drawn with one generator call
+    (:func:`rayleigh_taps_batch`) and its frequency responses / delay
+    statistics are computed with batched numpy operations.  Per-packet
+    convolution (:meth:`apply`) intentionally loops ``np.convolve`` over
+    rows: each convolution is a single C call, and reusing the scalar
+    kernel keeps the ensemble output bit-identical to per-packet
+    :meth:`MultipathChannel.apply` calls.
+    """
+
+    def __init__(self, taps: np.ndarray, gain: float | np.ndarray = 1.0):
+        taps = np.asarray(taps, dtype=np.complex128)
+        if taps.ndim != 2 or taps.shape[1] == 0:
+            raise ValueError("taps must be a non-empty (n_channels, n_taps) array")
+        gain = np.asarray(gain, dtype=np.float64)
+        self.taps = taps * (gain[:, None] if gain.ndim else gain)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        profile: MultipathProfile = DEFAULT_PROFILE,
+        n_channels: int = 1,
+        rng: np.random.Generator | None = None,
+        gain: float | np.ndarray = 1.0,
+    ) -> "MultipathEnsemble":
+        """Draw an ensemble of random channel realisations from a profile."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return cls(rayleigh_taps_batch(profile, n_channels, rng), gain=gain)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_channels(self) -> int:
+        """Number of channel realisations in the ensemble."""
+        return int(self.taps.shape[0])
+
+    @property
+    def n_taps(self) -> int:
+        """Number of taps per realisation."""
+        return int(self.taps.shape[1])
+
+    def average_power(self) -> np.ndarray:
+        """Total average power gain per realisation, shape ``(n_channels,)``."""
+        return np.sum(np.abs(self.taps) ** 2, axis=1)
+
+    def normalized(self) -> "MultipathEnsemble":
+        """Return a copy with every realisation scaled to unit average power."""
+        power = self.average_power()
+        if np.any(power <= 0):
+            raise ValueError("cannot normalise a zero channel")
+        return MultipathEnsemble(self.taps / np.sqrt(power)[:, None])
+
+    def channel(self, index: int) -> MultipathChannel:
+        """Single-packet view of one realisation."""
+        return MultipathChannel(self.taps[index])
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Convolve each row of ``samples`` with its own impulse response.
+
+        ``samples`` has shape ``(n_channels, n_samples)``; the output has
+        ``n_taps - 1`` extra trailing samples per row (full convolution),
+        matching :meth:`MultipathChannel.apply` bit-for-bit per row.
+        """
+        samples = np.asarray(samples, dtype=np.complex128)
+        if samples.ndim != 2 or samples.shape[0] != self.n_channels:
+            raise ValueError("samples must have shape (n_channels, n_samples)")
+        out = np.empty(
+            (self.n_channels, samples.shape[1] + self.n_taps - 1), dtype=np.complex128
+        )
+        for i in range(self.n_channels):
+            out[i] = np.convolve(samples[i], self.taps[i])
+        return out
+
+    def frequency_response(self, n_fft: int) -> np.ndarray:
+        """Per-realisation frequency response, shape ``(n_channels, n_fft)``."""
+        return np.fft.fft(self.taps, n_fft, axis=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MultipathEnsemble(n_channels={self.n_channels}, n_taps={self.n_taps})"

@@ -35,8 +35,8 @@ from repro.core.frame import JointFrameLayout
 from repro.core.sync.detection_delay import estimate_detection_delay
 from repro.core.sync.tracking import MisalignmentReport, measure_misalignment
 from repro.phy import bits as bitutils
-from repro.phy.coding.convolutional import ConvolutionalCode
-from repro.phy.coding.interleaver import deinterleave
+from repro.phy.coding.convolutional import get_code
+from repro.phy.coding.interleaver import interleaver_permutation
 from repro.phy.coding.puncturing import depuncture
 from repro.phy.detection import detect_packet_autocorrelation
 from repro.phy.equalizer import ChannelEstimate, estimate_channel_ltf, estimate_noise_from_ltf
@@ -47,7 +47,7 @@ from repro.phy.transmitter import FrameConfig
 
 __all__ = ["JointReceiveResult", "JointReceiver"]
 
-_CODE = ConvolutionalCode()
+_CODE = get_code()
 
 
 @dataclass
@@ -279,26 +279,36 @@ class JointReceiver:
             for ch in cosender_channels
         ]
 
+        # One gather + one batched FFT for every data symbol window; only the
+        # pilot phase tracker stays sequential (each update unwraps relative
+        # to the previous phase of the owning sender).
+        windows = (
+            layout.data_offset
+            + np.arange(n_symbols_tx)[:, None] * layout.data_symbol_samples
+            + data_params.cp_samples
+            - backoff
+            + np.arange(params.n_fft)[None, :]
+        )
+        freq_all = np.fft.fft(frame[windows], axis=-1) / np.sqrt(params.n_fft)
+        phase_track = np.empty((n_symbols_tx, n_intended), dtype=np.float64)
         for t in range(n_symbols_tx):
-            begin = layout.data_offset + t * layout.data_symbol_samples
-            window = begin + data_params.cp_samples - backoff
-            chunk = frame[window : window + params.n_fft]
-            freq = np.fft.fft(chunk) / np.sqrt(params.n_fft)
             if self.config.pilot_sharing:
                 owner = pilot_owner(t, n_intended)
                 if active_mask[owner]:
-                    tracker.update(freq, intended_channels, t)
+                    tracker.update(freq_all[t], intended_channels, t)
             else:
-                tracker.update(freq, intended_channels, t)
-            phases = tracker.phases
-            raw_symbols[t] = freq[data_bins]
-            active_idx = 0
-            for sender, channel in enumerate(intended_channels):
-                if not active_mask[sender]:
-                    continue
-                rotated = channel.on_bins(data_bins) * np.exp(1j * phases[sender])
-                per_symbol_channels[active_idx][t] = rotated
-                active_idx += 1
+                tracker.update(freq_all[t], intended_channels, t)
+            phase_track[t] = tracker.phases
+        raw_symbols[:] = freq_all[:, data_bins]
+        active_idx = 0
+        for sender, channel in enumerate(intended_channels):
+            if not active_mask[sender]:
+                continue
+            rotation = np.exp(1j * phase_track[:, sender])
+            per_symbol_channels[active_idx][:] = (
+                channel.on_bins(data_bins)[None, :] * rotation[:, None]
+            )
+            active_idx += 1
 
         decoded_symbols, gain = self.combiner.decode(
             raw_symbols,
@@ -308,14 +318,21 @@ class JointReceiver:
             return_gain=True,
         )
 
-        # --- bit-domain processing (identical to the single-sender chain)
+        # --- bit-domain processing (identical to the single-sender chain);
+        # all data symbols are soft-demapped in one vectorised call and
+        # deinterleaved with a single permutation of the (n_symbols, n_cbps)
+        # block instead of a per-symbol Python loop.
         modulation = get_modulation(frame_config.rate.modulation)
         n_cbps = frame_config.coded_bits_per_symbol
-        llrs = np.empty(frame_config.n_data_symbols * n_cbps, dtype=np.float64)
-        for t in range(frame_config.n_data_symbols):
-            noise_eff = noise_var / np.maximum(gain[t], 1e-12)
-            soft = modulation.demodulate_soft(decoded_symbols[t], noise_eff)
-            llrs[t * n_cbps : (t + 1) * n_cbps] = deinterleave(soft, frame_config.rate.bits_per_symbol)
+        n_sym = frame_config.n_data_symbols
+        noise_eff = np.broadcast_to(
+            noise_var / np.maximum(gain[:n_sym], 1e-12), decoded_symbols[:n_sym].shape
+        )
+        soft = modulation.demodulate_soft(
+            decoded_symbols[:n_sym].reshape(-1), noise_eff.reshape(-1)
+        ).reshape(n_sym, n_cbps)
+        perm = interleaver_permutation(n_cbps, frame_config.rate.bits_per_symbol)
+        llrs = soft[:, perm].reshape(-1)
 
         original_len = _CODE.coded_length(frame_config.n_info_bits + frame_config.n_pad_bits)
         soft_full = depuncture(llrs, frame_config.rate.code_rate, original_len)

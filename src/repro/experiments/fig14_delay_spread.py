@@ -8,13 +8,19 @@ synchronization (the CP has to cover the channel's own multipath spread).
 We reproduce the figure from the WiGLAN-rate multipath profile
 (:data:`repro.channel.multipath.WIGLAN_PROFILE`), averaging the tap powers
 of many channel realisations and reporting how many taps remain significant.
+
+The whole Monte-Carlo ensemble is drawn with one batched generator call
+(:func:`repro.experiments.batch.draw_tap_ensemble`), which consumes the RNG
+stream in the same order as the per-realisation loop it replaced, so the
+seeded channel realisations are unchanged.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.channel.multipath import MultipathChannel, WIGLAN_PROFILE, MultipathProfile
+from repro.channel.multipath import WIGLAN_PROFILE, MultipathProfile
+from repro.experiments.batch import draw_tap_ensemble
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["run", "average_tap_powers", "count_significant_taps"]
@@ -27,13 +33,11 @@ def average_tap_powers(
     seed: int = 14,
 ) -> np.ndarray:
     """Average ``|h_k|^2`` over channel realisations, padded to the plot length."""
-    rng = np.random.default_rng(seed)
+    ensemble = draw_tap_ensemble(profile, n_realizations, np.random.default_rng(seed))
+    tap_powers = np.abs(ensemble.taps[:, :n_taps_plotted]) ** 2
     powers = np.zeros(n_taps_plotted)
-    for _ in range(n_realizations):
-        channel = MultipathChannel.random(profile, rng).normalized()
-        taps = np.abs(channel.taps) ** 2
-        powers[: min(taps.size, n_taps_plotted)] += taps[:n_taps_plotted]
-    return powers / n_realizations
+    powers[: tap_powers.shape[1]] = tap_powers.mean(axis=0)
+    return powers
 
 
 def count_significant_taps(tap_powers: np.ndarray, threshold_fraction: float = 0.02) -> int:

@@ -43,7 +43,10 @@ class SampleRate:
     Parameters
     ----------
     payload_bytes:
-        Packet size used to compute per-rate transmission times.
+        Packet size used to compute per-rate transmission times.  Per-rate
+        airtimes are precomputed at construction, so ``payload_bytes`` and
+        ``timing`` must not be mutated afterwards — build a new adapter for
+        a different packet size.
     timing:
         MAC timing model used to translate attempts into airtime.
     sample_every:
@@ -63,12 +66,19 @@ class SampleRate:
     _packets_sent: int = 0
 
     def __post_init__(self) -> None:
-        for rate in rates_sorted():
+        self._rates = rates_sorted()
+        self._lossless_us = {
+            rate.mbps: self.timing.single_transaction_us(self.payload_bytes, rate)
+            for rate in self._rates
+        }
+        for rate in self._rates:
             self._stats[rate.mbps] = _RateStats()
 
     # ------------------------------------------------------------------
     def _lossless_tx_time_us(self, rate: Rate) -> float:
-        return self.timing.single_transaction_us(self.payload_bytes, rate)
+        # Precomputed at init: this is called several times per simulated
+        # packet and the airtime model is static for a given payload size.
+        return self._lossless_us[rate.mbps]
 
     def _current_best(self) -> Rate:
         """Rate with the lowest average transmission time so far.
@@ -79,7 +89,7 @@ class SampleRate:
         SampleRate behaviour.
         """
         candidates = []
-        for rate in rates_sorted():
+        for rate in self._rates:
             stats = self._stats[rate.mbps]
             if stats.successive_failures >= self.max_successive_failures:
                 continue
@@ -88,7 +98,7 @@ class SampleRate:
                 average = self._lossless_tx_time_us(rate) * 1.2
             candidates.append((average, -rate.mbps, rate))
         if not candidates:
-            return rates_sorted()[0]
+            return self._rates[0]
         candidates.sort()
         return candidates[0][2]
 
@@ -98,7 +108,7 @@ class SampleRate:
         self._packets_sent += 1
         if self.sample_every > 0 and self._packets_sent % self.sample_every == 0:
             best = self._current_best()
-            others = [r for r in rates_sorted() if r.mbps != best.mbps]
+            others = [r for r in self._rates if r.mbps != best.mbps]
             if others:
                 # Sample a rate that could plausibly beat the current best:
                 # SampleRate does not waste samples on rates whose lossless

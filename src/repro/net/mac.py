@@ -10,6 +10,7 @@ same way.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.core.frame import JointFrameLayout
@@ -44,12 +45,14 @@ class MacTiming:
     params: OFDMParams = DEFAULT_PARAMS
 
     # ------------------------------------------------------------------
+    @functools.lru_cache(maxsize=4096)
     def preamble_us(self) -> float:
         """Airtime of the PLCP preamble plus SIGNAL-like header symbol."""
         samples = (self.params.n_fft // 4) * 10 + 2 * self.params.cp_samples + 2 * self.params.n_fft
         samples += self.params.symbol_samples  # header / SIGNAL symbol
         return samples * self.params.sample_period_s * 1e6
 
+    @functools.lru_cache(maxsize=4096)
     def data_airtime_us(self, payload_bytes: int, rate: Rate | float) -> float:
         """Airtime of the data symbols of a frame (no preamble)."""
         rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
@@ -58,6 +61,7 @@ class MacTiming:
         n_symbols = int(-(-bits // n_dbps))
         return n_symbols * self.params.symbol_duration_s * 1e6
 
+    @functools.lru_cache(maxsize=4096)
     def frame_airtime_us(self, payload_bytes: int, rate: Rate | float) -> float:
         """Airtime of a standard (single-sender) data frame."""
         return self.preamble_us() + self.data_airtime_us(payload_bytes, rate)
@@ -66,6 +70,7 @@ class MacTiming:
         """Average random backoff before a transmission attempt."""
         return (self.cw_min / 2.0) * self.slot_us
 
+    @functools.lru_cache(maxsize=4096)
     def single_transaction_us(self, payload_bytes: int, rate: Rate | float, with_ack: bool = True) -> float:
         """Total medium time of one standard transmission attempt.
 
@@ -77,6 +82,7 @@ class MacTiming:
         return total
 
     # ------------------------------------------------------------------
+    @functools.lru_cache(maxsize=4096)
     def sourcesync_overhead_us(self, n_cosenders: int, extra_cp_samples: int = 0, n_data_symbols: int = 0) -> float:
         """Extra airtime a SourceSync joint frame adds over a standard frame.
 
@@ -91,6 +97,7 @@ class MacTiming:
         extra_samples = training + extra_cp
         return self.sifs_us + extra_samples * self.params.sample_period_s * 1e6
 
+    @functools.lru_cache(maxsize=4096)
     def joint_transaction_us(
         self,
         payload_bytes: int,

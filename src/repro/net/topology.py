@@ -62,6 +62,11 @@ class Testbed:
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
     _snr_cache: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
     _profile_cache: dict[tuple[int, int], np.ndarray] = field(default_factory=dict, repr=False)
+    # Delivery probabilities are pure functions of the cached link profiles,
+    # so they are memoised too: the per-packet Monte-Carlo loops of the
+    # last-hop and mesh experiments ask for the same (senders, dst, rate,
+    # length) combination thousands of times.
+    _delivery_cache: dict[tuple, float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if len({node.node_id for node in self.nodes}) != len(self.nodes):
@@ -163,9 +168,19 @@ class Testbed:
         rate: Rate | float,
         payload_bytes: int = 1460,
     ) -> float:
-        """Probability that a single-sender packet on ``src -> dst`` is received."""
+        """Probability that a single-sender packet on ``src -> dst`` is received.
+
+        Memoised per (link, rate, payload length): link profiles are static
+        for the lifetime of the testbed, so the EESM computation only runs
+        once per combination.
+        """
         rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
-        return delivery_probability(self.link_profile(src, dst), rate_obj, payload_bytes)
+        key = (src, dst, rate_obj.mbps, payload_bytes)
+        if key not in self._delivery_cache:
+            self._delivery_cache[key] = delivery_probability(
+                self.link_profile(src, dst), rate_obj, payload_bytes
+            )
+        return self._delivery_cache[key]
 
     def joint_delivery_probability(
         self,
@@ -185,9 +200,14 @@ class Testbed:
         if dst in senders:
             raise ValueError("destination cannot also be a sender")
         rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
-        profiles = [self.link_profile(s, dst) for s in senders]
-        combined = combined_subcarrier_snr(profiles)
-        return delivery_probability(combined, rate_obj, payload_bytes)
+        # The combined SNR is a sum over senders, so permutations of the
+        # same sender set share one cache entry.
+        key = (tuple(sorted(senders)), dst, rate_obj.mbps, payload_bytes)
+        if key not in self._delivery_cache:
+            profiles = [self.link_profile(s, dst) for s in senders]
+            combined = combined_subcarrier_snr(profiles)
+            self._delivery_cache[key] = delivery_probability(combined, rate_obj, payload_bytes)
+        return self._delivery_cache[key]
 
     def loss_rate(self, src: int, dst: int, probe_rate_mbps: float = 6.0, probe_bytes: int = 1460) -> float:
         """Link loss rate as measured by routing-layer probes (for ETX)."""

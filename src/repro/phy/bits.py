@@ -26,6 +26,32 @@ __all__ = [
 _SCRAMBLER_LENGTH = 127
 
 
+def _build_scrambler_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Precompute one period of the scrambler PRBS and a seed-offset table.
+
+    The x^7 + x^4 + 1 LFSR is maximal length, so every non-zero 7-bit state
+    lies on a single cycle of period 127.  Rather than stepping the register
+    per output bit, we walk the cycle once at import time, record the output
+    sequence, and remember at which cycle offset each state occurs.  A
+    scramble of any length and seed is then a tile-and-XOR of the cached
+    sequence starting at the seed's offset.
+    """
+    cycle = np.empty(_SCRAMBLER_LENGTH, dtype=np.uint8)
+    offsets = np.zeros(128, dtype=np.int64)
+    state = 0x7F  # any non-zero state; all 127 states are visited
+    for i in range(_SCRAMBLER_LENGTH):
+        offsets[state] = i
+        feedback = ((state >> 6) ^ (state >> 3)) & 1  # x^7 + x^4 + 1
+        cycle[i] = feedback
+        state = ((state << 1) | feedback) & 0x7F
+    return cycle, offsets
+
+
+#: One full 127-bit period of the scrambler output, plus the offset at which
+#: each seed state enters the cycle.  Computed once at module import.
+_PRBS_CYCLE, _PRBS_SEED_OFFSET = _build_scrambler_tables()
+
+
 def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
     """Convert bytes to a bit array (LSB-first per byte, as in 802.11)."""
     arr = np.frombuffer(bytes(data), dtype=np.uint8)
@@ -45,22 +71,26 @@ def bits_to_bytes(bits: np.ndarray) -> bytes:
 
 
 def _scrambler_sequence(n_bits: int, seed: int) -> np.ndarray:
-    """Generate the 802.11 scrambler sequence of the requested length."""
+    """Generate the 802.11 scrambler sequence of the requested length.
+
+    The sequence is sliced out of the precomputed 127-bit PRBS cycle at the
+    seed's offset instead of stepping the LFSR per bit.
+    """
     if not 0 < seed < 128:
         raise ValueError("scrambler seed must be in 1..127")
-    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x1 ... state[6] = x7
-    out = np.empty(n_bits, dtype=np.uint8)
-    for i in range(n_bits):
-        feedback = state[6] ^ state[3]  # x^7 + x^4 + 1
-        out[i] = feedback
-        state = [feedback] + state[:6]
-    return out
+    offset = int(_PRBS_SEED_OFFSET[seed])
+    return np.resize(np.roll(_PRBS_CYCLE, -offset), n_bits)
 
 
 def scramble(bits: np.ndarray, seed: int = 0x5D) -> np.ndarray:
-    """Scramble a bit sequence with the 802.11 127-bit scrambler."""
+    """Scramble a bit sequence with the 802.11 127-bit scrambler.
+
+    ``bits`` may have any leading batch dimensions; the scrambler sequence
+    is applied along the last axis (every packet of a batch starts from the
+    same seed, as in the standard transmit chain).
+    """
     bits = np.asarray(bits, dtype=np.uint8)
-    sequence = _scrambler_sequence(bits.size, seed)
+    sequence = _scrambler_sequence(bits.shape[-1] if bits.ndim else bits.size, seed)
     return np.bitwise_xor(bits, sequence)
 
 

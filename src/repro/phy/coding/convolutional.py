@@ -4,16 +4,37 @@ This is the mandatory 802.11a/g code (generator polynomials 133/171 octal).
 Higher code rates (2/3, 3/4) are obtained by puncturing the rate-1/2 output
 (see :mod:`repro.phy.coding.puncturing`).
 
-The Viterbi decoder operates on soft inputs (log-likelihood ratios, positive
-meaning "bit 0 more likely") and is vectorised over the 64 trellis states so
-full packets decode in milliseconds with numpy.
+Both halves of the codec are batch-friendly:
+
+* :meth:`ConvolutionalCode.encode` accepts ``(..., n_bits)`` arrays and is
+  fully vectorised — each output stream is an XOR of shifted copies of the
+  (zero-padded) input, so an ensemble of packets encodes in a handful of
+  numpy calls with no per-bit Python loop.
+* :meth:`ConvolutionalCode.decode_batch` runs a block-parallel Viterbi pass
+  over a ``(n_packets, n_llrs)`` batch: the add-compare-select recursion
+  keeps a ``(n_packets, n_states)`` metric array, so the single remaining
+  Python loop over trellis steps is amortised across every packet of the
+  ensemble, and the traceback is vectorised over packets as well.
+  :meth:`ConvolutionalCode.decode` is a thin single-packet wrapper, which
+  guarantees the batched and per-packet paths are bit-identical.
+
+Experiments should obtain codes through :func:`get_code` so identical
+trellis tables are built once per process instead of once per packet.
 """
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
-__all__ = ["ConvolutionalCode"]
+__all__ = ["ConvolutionalCode", "get_code"]
+
+#: Cap on decisions-array elements (steps x packets x states) held live per
+#: decode_batch call; larger ensembles are split into packet chunks, which
+#: changes nothing numerically (every packet's recursion is independent) but
+#: bounds memory the same way the receiver chunks its soft demapper.
+_DECODE_CHUNK_ELEMS = 1 << 26
 
 
 class ConvolutionalCode:
@@ -70,6 +91,8 @@ class ConvolutionalCode:
             prev = self._prev_states[choice]
             bits = self._entry_bit
             self._prev_outputs[choice] = self._output[bits, prev]
+        # Branch metric signs (1-2*bit) used by the soft decoder.
+        self._prev_sign = 1.0 - 2.0 * self._prev_outputs.astype(np.float64)
 
     # ------------------------------------------------------------------
     # Encoding
@@ -80,23 +103,38 @@ class ConvolutionalCode:
         Parameters
         ----------
         bits:
-            Information bits (0/1).
+            Information bits (0/1), shape ``(..., n_bits)``; leading axes
+            are treated as independent packets of a batch.
         terminate:
             When True (default) the encoder appends ``constraint_length - 1``
             zero tail bits so the trellis ends in the all-zero state, which
             is what 802.11 does and what the decoder assumes.
+
+        Notes
+        -----
+        Because the encoder starts in the all-zero state, output stream
+        ``j`` is simply the XOR of delayed copies of the zero-padded input
+        selected by polynomial ``j``'s taps, which vectorises over both the
+        bit axis and any batch axes.
         """
         bits = np.asarray(bits, dtype=np.uint8)
+        memory = self.constraint_length - 1
         if terminate:
-            tail = np.zeros(self.constraint_length - 1, dtype=np.uint8)
-            bits = np.concatenate([bits, tail])
-        coded = np.empty(bits.size * self.n_outputs, dtype=np.uint8)
-        state = 0
-        next_state = self._next_state
-        output = self._output
-        for i, bit in enumerate(bits):
-            coded[i * self.n_outputs : (i + 1) * self.n_outputs] = output[bit, state]
-            state = next_state[bit, state]
+            tail_shape = bits.shape[:-1] + (memory,)
+            bits = np.concatenate([bits, np.zeros(tail_shape, dtype=np.uint8)], axis=-1)
+        n_bits = bits.shape[-1]
+        padded = np.concatenate(
+            [np.zeros(bits.shape[:-1] + (memory,), dtype=np.uint8), bits], axis=-1
+        )
+        coded = np.empty(bits.shape[:-1] + (n_bits * self.n_outputs,), dtype=np.uint8)
+        for j, poly in enumerate(self.polynomials):
+            stream = np.zeros_like(bits)
+            # Register bit position p holds the input delayed by (memory - p)
+            # samples, i.e. padded[..., p : p + n_bits].
+            for p in range(self.constraint_length):
+                if (poly >> p) & 1:
+                    stream ^= padded[..., p : p + n_bits]
+            coded[..., j :: self.n_outputs] = stream
         return coded
 
     @property
@@ -118,7 +156,7 @@ class ConvolutionalCode:
         terminated: bool = True,
         strip_tail: bool = True,
     ) -> np.ndarray:
-        """Soft-decision Viterbi decode.
+        """Soft-decision Viterbi decode of a single packet.
 
         Parameters
         ----------
@@ -136,47 +174,111 @@ class ConvolutionalCode:
         -------
         numpy.ndarray
             The decoded information bits.
+
+        Notes
+        -----
+        This is a thin wrapper over :meth:`decode_batch` with a batch of
+        one, so single-packet and ensemble decoding are bit-identical by
+        construction.
         """
         llrs = np.asarray(llrs, dtype=np.float64)
-        if llrs.size % self.n_outputs != 0:
+        if llrs.ndim != 1:
+            raise ValueError("decode expects a 1-D LLR array; use decode_batch for batches")
+        return self.decode_batch(llrs[None, :], terminated=terminated, strip_tail=strip_tail)[0]
+
+    def decode_batch(
+        self,
+        llrs: np.ndarray,
+        terminated: bool = True,
+        strip_tail: bool = True,
+    ) -> np.ndarray:
+        """Block-parallel soft Viterbi decode of a packet ensemble.
+
+        Parameters
+        ----------
+        llrs:
+            ``(n_packets, n_llrs)`` log-likelihood ratios; every packet must
+            have the same length (pad or group by length upstream).
+        terminated, strip_tail:
+            As in :meth:`decode`.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_packets, n_info_bits)`` decoded bits.
+
+        Notes
+        -----
+        The add-compare-select recursion carries a ``(n_packets, n_states)``
+        path-metric array: the only Python loop is over trellis steps, and
+        each iteration advances *all* packets at once.  Every operation is
+        elementwise or a per-row reduction, so each batch row follows
+        exactly the float path a batch of one would — the basis for the
+        bit-identity guarantee tested against the single-packet decoder.
+        """
+        llrs = np.asarray(llrs, dtype=np.float64)
+        if llrs.ndim != 2:
+            raise ValueError("decode_batch expects a (n_packets, n_llrs) array")
+        n_packets = llrs.shape[0]
+        if llrs.shape[1] % self.n_outputs != 0:
             raise ValueError(
-                f"LLR length {llrs.size} is not a multiple of {self.n_outputs}"
+                f"LLR length {llrs.shape[1]} is not a multiple of {self.n_outputs}"
             )
-        n_steps = llrs.size // self.n_outputs
-        if n_steps == 0:
-            return np.zeros(0, dtype=np.uint8)
-        llrs = llrs.reshape(n_steps, self.n_outputs)
+        n_steps = llrs.shape[1] // self.n_outputs
+        if n_packets == 0 or n_steps == 0:
+            n_info = n_steps
+            if terminated and strip_tail:
+                n_info = max(n_steps - self.tail_bits, 0)
+            return np.zeros((n_packets, n_info), dtype=np.uint8)
+        chunk = max(_DECODE_CHUNK_ELEMS // max(n_steps * self.n_states, 1), 1)
+        if n_packets > chunk:
+            return np.concatenate(
+                [
+                    self.decode_batch(llrs[lo : lo + chunk], terminated, strip_tail)
+                    for lo in range(0, n_packets, chunk)
+                ]
+            )
+        steps = llrs.reshape(n_packets, n_steps, self.n_outputs)
 
         n_states = self.n_states
+        prev_states = self._prev_states  # (2, n_states)
         # Branch metric for output bit b given LLR l: correlation (1-2b)*l,
         # so larger is better and the path metric is maximised.
-        prev_states = self._prev_states  # (2, n_states)
-        prev_sign = 1.0 - 2.0 * self._prev_outputs.astype(np.float64)  # (2, n_states, n_out)
+        prev_sign = self._prev_sign  # (2, n_states, n_out)
 
         neg_inf = -1e18
-        metrics = np.full(n_states, neg_inf, dtype=np.float64)
-        metrics[0] = 0.0
-        decisions = np.empty((n_steps, n_states), dtype=np.uint8)
+        metrics = np.full((n_packets, n_states), neg_inf, dtype=np.float64)
+        metrics[:, 0] = 0.0
+        decisions = np.empty((n_steps, n_packets, n_states), dtype=np.uint8)
 
-        state_range = np.arange(n_states)
         for step in range(n_steps):
-            step_llr = llrs[step]  # (n_out,)
-            branch = prev_sign @ step_llr  # (2, n_states)
-            candidate = metrics[prev_states] + branch  # (2, n_states)
-            best_choice = np.argmax(candidate, axis=0).astype(np.uint8)
-            metrics = candidate[best_choice, state_range]
+            step_llr = steps[:, step, :]  # (n_packets, n_out)
+            # branch[b, c, s] = sum_o prev_sign[c, s, o] * step_llr[b, o],
+            # accumulated in output order with explicit broadcasting so each
+            # batch row's float path is independent of the batch size.
+            branch = step_llr[:, 0, None, None] * prev_sign[None, :, :, 0]
+            for o in range(1, self.n_outputs):
+                branch = branch + step_llr[:, o, None, None] * prev_sign[None, :, :, o]
+            candidate = metrics[:, prev_states] + branch  # (n_packets, 2, n_states)
+            best_choice = np.argmax(candidate, axis=1).astype(np.uint8)
+            metrics = np.take_along_axis(candidate, best_choice[:, None, :], axis=1)[:, 0, :]
             decisions[step] = best_choice
 
-        # Traceback
-        state = 0 if terminated else int(np.argmax(metrics))
-        bits = np.empty(n_steps, dtype=np.uint8)
+        # Vectorised traceback: one state per packet, walked backwards with
+        # fancy indexing instead of a per-packet Python loop.
+        if terminated:
+            state = np.zeros(n_packets, dtype=np.int64)
+        else:
+            state = np.argmax(metrics, axis=1)
+        rows = np.arange(n_packets)
+        bits = np.empty((n_packets, n_steps), dtype=np.uint8)
         for step in range(n_steps - 1, -1, -1):
-            bits[step] = self._entry_bit[state]
-            choice = decisions[step, state]
+            bits[:, step] = self._entry_bit[state]
+            choice = decisions[step, rows, state]
             state = prev_states[choice, state]
 
         if terminated and strip_tail:
-            bits = bits[: max(n_steps - self.tail_bits, 0)]
+            bits = bits[:, : max(n_steps - self.tail_bits, 0)]
         return bits
 
     def decode_hard(self, coded_bits: np.ndarray, terminated: bool = True) -> np.ndarray:
@@ -184,3 +286,16 @@ class ConvolutionalCode:
         coded_bits = np.asarray(coded_bits, dtype=np.float64)
         llrs = 1.0 - 2.0 * coded_bits
         return self.decode(llrs, terminated=terminated)
+
+
+@functools.lru_cache(maxsize=None)
+def get_code(
+    constraint_length: int = 7, polynomials: tuple[int, int] = (0o133, 0o171)
+) -> ConvolutionalCode:
+    """Shared :class:`ConvolutionalCode` instance for a given configuration.
+
+    Trellis construction walks every (state, input) pair in Python; caching
+    the built code lets experiments stop rebuilding identical tables per
+    packet or per module import.
+    """
+    return ConvolutionalCode(constraint_length, tuple(polynomials))

@@ -42,12 +42,17 @@ def _normalise_rate(code_rate: Fraction | float | str) -> Fraction:
 
 
 def puncture(coded_bits: np.ndarray, code_rate: Fraction | float | str) -> np.ndarray:
-    """Delete bits of a rate-1/2 coded stream according to the rate pattern."""
+    """Delete bits of a rate-1/2 coded stream according to the rate pattern.
+
+    ``coded_bits`` may have leading batch axes; puncturing is applied along
+    the last axis (every packet of a batch shares the same pattern).
+    """
     pattern = puncture_pattern(code_rate)
     coded_bits = np.asarray(coded_bits)
-    reps = int(np.ceil(coded_bits.size / pattern.size))
-    mask = np.tile(pattern, reps)[: coded_bits.size].astype(bool)
-    return coded_bits[mask]
+    n = coded_bits.shape[-1] if coded_bits.ndim else coded_bits.size
+    reps = int(np.ceil(n / pattern.size))
+    mask = np.tile(pattern, reps)[:n].astype(bool)
+    return coded_bits[..., mask]
 
 
 def depuncture(
@@ -75,13 +80,14 @@ def depuncture(
     reps = int(np.ceil(original_length / pattern.size))
     mask = np.tile(pattern, reps)[:original_length].astype(bool)
     expected = int(mask.sum())
-    if values.size != expected:
+    n = values.shape[-1] if values.ndim else values.size
+    if n != expected:
         raise ValueError(
-            f"punctured stream has {values.size} values, expected {expected} "
+            f"punctured stream has {n} values, expected {expected} "
             f"for original length {original_length} at rate {code_rate}"
         )
-    out = np.full(original_length, erasure, dtype=np.float64)
-    out[mask] = values
+    out = np.full(values.shape[:-1] + (original_length,), erasure, dtype=np.float64)
+    out[..., mask] = values
     return out
 
 

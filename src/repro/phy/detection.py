@@ -88,18 +88,21 @@ def detect_packet_autocorrelation(
     power = np.convolve(energy, window, mode="valid")
     metric = np.abs(corr) / np.maximum(power, min_energy)
 
-    above = metric > threshold
     # find the first index where `required_run` consecutive samples exceed the
-    # threshold and the window actually contains energy
-    run = 0
-    for idx in range(above.size):
-        if above[idx] and power[idx] > min_energy * lag:
-            run += 1
-            if run >= required_run:
-                detect = idx + lag  # align to the sample position in `samples`
-                return DetectionResult(True, detect, detect, float(metric[idx]))
-        else:
-            run = 0
+    # threshold and the window actually contains energy: a trailing window of
+    # `required_run` samples is all-valid exactly when the running count of
+    # valid samples grows by `required_run` over it, which turns the
+    # per-sample scan into one cumulative sum plus one argmax.
+    valid = (metric > threshold) & (power > min_energy * lag)
+    if valid.size >= required_run:
+        counts = np.cumsum(valid, dtype=np.int64)
+        window = counts[required_run - 1 :].copy()
+        window[1:] -= counts[: -required_run]
+        hits = window == required_run
+        if hits.any():
+            idx = int(np.argmax(hits)) + required_run - 1
+            detect = idx + lag  # align to the sample position in `samples`
+            return DetectionResult(True, detect, detect, float(metric[idx]))
     return DetectionResult(False, -1, -1, float(metric.max() if metric.size else 0.0))
 
 
@@ -170,17 +173,20 @@ def fine_timing_ltf(
     hi = min(nominal + search, samples.size - reference.size - params.n_fft)
     if hi <= lo:
         return int(coarse_start)
-    best_idx, best_metric = lo, -1.0
+    # Correlate both LTF repetitions against every candidate offset at once:
+    # the candidate windows form a (n_candidates, len(reference)) view and
+    # each correlation is one matrix-vector product.
     ref_conj = np.conj(reference)
-    for idx in range(lo, hi + 1):
-        first = np.abs(np.dot(ref_conj, samples[idx : idx + reference.size]))
-        second = np.abs(
-            np.dot(ref_conj, samples[idx + params.n_fft : idx + params.n_fft + reference.size])
-        )
-        metric = first + second
-        if metric > best_metric:
-            best_metric = metric
-            best_idx = idx
+    span = np.lib.stride_tricks.sliding_window_view(
+        samples[lo : hi + params.n_fft + reference.size], reference.size
+    )
+    n_candidates = hi + 1 - lo
+    first = np.abs(span[:n_candidates] @ ref_conj)
+    second = np.abs(span[params.n_fft : params.n_fft + n_candidates] @ ref_conj)
+    metric = first + second
+    # argmax returns the first maximum, matching the scalar scan's strict
+    # "improve only on >" update rule.
+    best_idx = lo + int(np.argmax(metric))
     return int(best_idx - ltf_offset)
 
 
@@ -189,18 +195,22 @@ def estimate_coarse_cfo(
     start_index: int,
     params: OFDMParams = DEFAULT_PARAMS,
     n_periods: int = 8,
-) -> float:
+) -> float | np.ndarray:
     """Coarse carrier-frequency-offset estimate from STF periodicity.
 
     Returns the CFO in Hz.  The estimate uses the phase of the
     autocorrelation at the STF period, averaged over ``n_periods`` periods.
+    ``samples`` may carry leading batch axes (frames already aligned so the
+    STF begins at ``start_index`` in every row), in which case one CFO per
+    packet is returned.
     """
     samples = np.asarray(samples, dtype=np.complex128)
     lag = params.n_fft // 4
     span = lag * n_periods
-    segment = samples[start_index : start_index + span + lag]
-    if segment.size < span + lag:
+    segment = samples[..., start_index : start_index + span + lag]
+    if segment.shape[-1] < span + lag:
         raise ValueError("not enough samples after start_index for CFO estimation")
-    prod = segment[lag:] * np.conj(segment[:-lag])
-    angle = np.angle(prod.sum())
-    return angle / (2.0 * np.pi * lag * params.sample_period_s)
+    prod = segment[..., lag:] * np.conj(segment[..., :-lag])
+    angle = np.angle(prod.sum(axis=-1))
+    cfo = angle / (2.0 * np.pi * lag * params.sample_period_s)
+    return float(cfo) if np.ndim(cfo) == 0 else cfo

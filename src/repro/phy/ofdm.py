@@ -6,6 +6,24 @@ occupied subcarriers, taking the IFFT, prepending the cyclic prefix, and the
 inverse operations at the receiver.  They are shared by the standard 802.11
 chain (:mod:`repro.phy.transmitter`, :mod:`repro.phy.receiver`) and by the
 SourceSync joint-frame machinery (:mod:`repro.core`).
+
+Batch API
+---------
+Every block function operates on arrays with arbitrary leading batch axes
+so a whole packet ensemble is one numpy call:
+
+* :func:`assemble_symbols` maps ``(..., n_symbols, n_data_subcarriers)``
+  data onto ``(..., n_symbols, n_fft)`` frequency-domain vectors with a
+  single scatter per bin set (no per-symbol Python loop);
+* :func:`symbols_to_samples` runs one batched ``np.fft.ifft`` plus a
+  vectorised cyclic-prefix insertion over all packets and symbols;
+* :func:`extract_symbols` reshapes ``(..., n_samples)`` into FFT windows and
+  runs one batched ``np.fft.fft`` with vectorised CP removal.
+
+Single-symbol helpers (:func:`assemble_symbol`, :func:`extract_symbol`) are
+thin wrappers over the batched implementations, which is what makes the
+batched and per-packet pipelines bit-identical (see
+``tests/phy/test_batch_pipeline.py``).
 """
 
 from __future__ import annotations
@@ -16,6 +34,7 @@ from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 
 __all__ = [
     "pilot_polarity",
+    "pilot_polarities",
     "PILOT_VALUES",
     "assemble_symbol",
     "assemble_symbols",
@@ -47,6 +66,46 @@ def pilot_polarity(symbol_index: int) -> float:
     return float(_POLARITY[symbol_index % _POLARITY.size])
 
 
+def pilot_polarities(n_symbols: int, start_symbol_index: int = 0) -> np.ndarray:
+    """Pilot polarities for a block of consecutive OFDM symbols."""
+    indices = (start_symbol_index + np.arange(n_symbols)) % _POLARITY.size
+    return _POLARITY[indices]
+
+
+def assemble_symbols(
+    data_symbols: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+    start_symbol_index: int = 0,
+    pilot_scale: float | np.ndarray = 1.0,
+    pilot_values: np.ndarray | None = None,
+) -> np.ndarray:
+    """Build frequency-domain vectors for a block (or batch) of OFDM symbols.
+
+    ``data_symbols`` must have shape ``(..., n_symbols, n_data_subcarriers)``
+    where the leading axes, if any, index packets of an ensemble.
+    ``pilot_scale`` may be per-symbol (broadcastable to ``(..., n_symbols)``).
+    ``pilot_values`` overrides the standard pilots (SourceSync's shared-pilot
+    scheme, §5).
+    """
+    data_symbols = np.asarray(data_symbols, dtype=np.complex128)
+    if data_symbols.ndim < 2 or data_symbols.shape[-1] != params.n_data_subcarriers:
+        raise ValueError("data_symbols must have shape (..., n_symbols, n_data_subcarriers)")
+    n_symbols = data_symbols.shape[-2]
+    scales = np.broadcast_to(
+        np.asarray(pilot_scale, dtype=np.float64), data_symbols.shape[:-1]
+    )
+    pilots = PILOT_VALUES if pilot_values is None else np.asarray(pilot_values, np.complex128)
+    if pilots.size != params.n_pilot_subcarriers:
+        raise ValueError("pilot_values length mismatch")
+    out = np.zeros(data_symbols.shape[:-1] + (params.n_fft,), dtype=np.complex128)
+    out[..., params.data_bins()] = data_symbols
+    polarity = pilot_polarities(n_symbols, start_symbol_index)
+    out[..., params.pilot_bins()] = (
+        pilots * polarity[:, None] * scales[..., :, None]
+    )
+    return out
+
+
 def assemble_symbol(
     data_symbols: np.ndarray,
     symbol_index: int = 0,
@@ -55,6 +114,8 @@ def assemble_symbol(
     pilot_scale: float = 1.0,
 ) -> np.ndarray:
     """Build the frequency-domain representation of one OFDM symbol.
+
+    Thin wrapper over :func:`assemble_symbols` with a block of one.
 
     Parameters
     ----------
@@ -81,44 +142,17 @@ def assemble_symbol(
         raise ValueError(
             f"expected {params.n_data_subcarriers} data symbols, got {data_symbols.size}"
         )
-    freq = np.zeros(params.n_fft, dtype=np.complex128)
-    freq[params.data_bins()] = data_symbols
-    pilots = PILOT_VALUES if pilot_values is None else np.asarray(pilot_values, np.complex128)
-    if pilots.size != params.n_pilot_subcarriers:
-        raise ValueError("pilot_values length mismatch")
-    freq[params.pilot_bins()] = pilots * pilot_polarity(symbol_index) * pilot_scale
-    return freq
-
-
-def assemble_symbols(
-    data_symbols: np.ndarray,
-    params: OFDMParams = DEFAULT_PARAMS,
-    start_symbol_index: int = 0,
-    pilot_scale: float | np.ndarray = 1.0,
-) -> np.ndarray:
-    """Build frequency-domain vectors for a block of OFDM symbols.
-
-    ``data_symbols`` must have shape ``(n_symbols, n_data_subcarriers)``.
-    ``pilot_scale`` may be per-symbol (length ``n_symbols``).
-    """
-    data_symbols = np.asarray(data_symbols, dtype=np.complex128)
-    if data_symbols.ndim != 2 or data_symbols.shape[1] != params.n_data_subcarriers:
-        raise ValueError("data_symbols must have shape (n_symbols, n_data_subcarriers)")
-    n_symbols = data_symbols.shape[0]
-    scales = np.broadcast_to(np.asarray(pilot_scale, dtype=np.float64), (n_symbols,))
-    out = np.empty((n_symbols, params.n_fft), dtype=np.complex128)
-    for i in range(n_symbols):
-        out[i] = assemble_symbol(
-            data_symbols[i],
-            symbol_index=start_symbol_index + i,
-            params=params,
-            pilot_scale=float(scales[i]),
-        )
-    return out
+    return assemble_symbols(
+        data_symbols.reshape(1, -1),
+        params=params,
+        start_symbol_index=symbol_index,
+        pilot_scale=pilot_scale,
+        pilot_values=pilot_values,
+    )[0]
 
 
 def add_cyclic_prefix(time_symbol: np.ndarray, params: OFDMParams = DEFAULT_PARAMS) -> np.ndarray:
-    """Prepend the cyclic prefix to a time-domain OFDM symbol."""
+    """Prepend the cyclic prefix to time-domain OFDM symbol(s) (last axis)."""
     time_symbol = np.asarray(time_symbol, dtype=np.complex128)
     if time_symbol.shape[-1] != params.n_fft:
         raise ValueError(f"time symbol must have {params.n_fft} samples")
@@ -154,17 +188,19 @@ def remove_cyclic_prefix(
 def symbols_to_samples(
     freq_symbols: np.ndarray, params: OFDMParams = DEFAULT_PARAMS
 ) -> np.ndarray:
-    """IFFT + CP for a block of frequency-domain OFDM symbols.
+    """IFFT + CP for a block (or batch) of frequency-domain OFDM symbols.
 
-    ``freq_symbols`` has shape ``(n_symbols, n_fft)``; the result is a flat
-    array of ``n_symbols * symbol_samples`` time-domain samples.
+    ``freq_symbols`` has shape ``(..., n_symbols, n_fft)``; the result has
+    shape ``(..., n_symbols * symbol_samples)`` — a flat sample stream per
+    packet.  A single batched ``np.fft.ifft`` covers every symbol of every
+    packet.
     """
     freq_symbols = np.atleast_2d(np.asarray(freq_symbols, dtype=np.complex128))
-    if freq_symbols.shape[1] != params.n_fft:
+    if freq_symbols.shape[-1] != params.n_fft:
         raise ValueError("frequency symbols must have n_fft entries")
-    time = np.fft.ifft(freq_symbols, axis=1) * np.sqrt(params.n_fft)
+    time = np.fft.ifft(freq_symbols, axis=-1) * np.sqrt(params.n_fft)
     with_cp = add_cyclic_prefix(time, params)
-    return with_cp.reshape(-1)
+    return with_cp.reshape(freq_symbols.shape[:-2] + (-1,))
 
 
 def extract_symbol(
@@ -183,19 +219,27 @@ def extract_symbols(
     params: OFDMParams = DEFAULT_PARAMS,
     fft_offset: int = 0,
 ) -> np.ndarray:
-    """FFT of a block of received OFDM symbols.
+    """FFT of a block (or batch) of received OFDM symbols.
 
-    Returns an array of shape ``(n_symbols, n_fft)``.
+    ``samples`` has shape ``(..., n_samples)``; the leading axes index
+    packets of an ensemble.  Returns ``(..., n_symbols, n_fft)``.  The
+    per-symbol loop of the scalar implementation is replaced by a reshape
+    into FFT windows plus a single batched ``np.fft.fft``.
     """
     samples = np.asarray(samples, dtype=np.complex128)
     needed = n_symbols * params.symbol_samples
-    if samples.size < needed:
-        raise ValueError(f"need {needed} samples for {n_symbols} symbols, got {samples.size}")
-    out = np.empty((n_symbols, params.n_fft), dtype=np.complex128)
-    for i in range(n_symbols):
-        chunk = samples[i * params.symbol_samples : (i + 1) * params.symbol_samples]
-        out[i] = extract_symbol(chunk, params, fft_offset)
-    return out
+    if samples.shape[-1] < needed:
+        raise ValueError(
+            f"need {needed} samples for {n_symbols} symbols, got {samples.shape[-1]}"
+        )
+    start = params.cp_samples + fft_offset
+    if start < 0 or start + params.n_fft > params.symbol_samples:
+        raise ValueError("fft_offset places the FFT window outside the symbol")
+    blocks = samples[..., :needed].reshape(
+        samples.shape[:-1] + (n_symbols, params.symbol_samples)
+    )
+    body = blocks[..., start : start + params.n_fft]
+    return np.fft.fft(body, axis=-1) / np.sqrt(params.n_fft)
 
 
 def samples_to_symbols(
@@ -203,7 +247,7 @@ def samples_to_symbols(
     params: OFDMParams = DEFAULT_PARAMS,
     fft_offset: int = 0,
 ) -> np.ndarray:
-    """FFT of as many whole OFDM symbols as fit in ``samples``."""
+    """FFT of as many whole OFDM symbols as fit in ``samples`` (last axis)."""
     samples = np.asarray(samples, dtype=np.complex128)
-    n_symbols = samples.size // params.symbol_samples
-    return extract_symbols(samples[: n_symbols * params.symbol_samples], n_symbols, params, fft_offset)
+    n_symbols = samples.shape[-1] // params.symbol_samples
+    return extract_symbols(samples, n_symbols, params, fft_offset)

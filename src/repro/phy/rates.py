@@ -9,6 +9,7 @@ the full table is needed.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from fractions import Fraction
 
@@ -32,8 +33,13 @@ class Rate:
         """Coded bits carried by one data subcarrier in one OFDM symbol."""
         return self.bits_per_symbol
 
+    @functools.lru_cache(maxsize=64)
     def data_bits_per_ofdm_symbol(self, n_data_subcarriers: int = 48) -> float:
-        """Information (pre-FEC) bits carried by one OFDM symbol."""
+        """Information (pre-FEC) bits carried by one OFDM symbol.
+
+        Cached: the ``Fraction`` arithmetic is surprisingly hot when MAC
+        airtime models call this per packet attempt.
+        """
         coded = self.bits_per_symbol * n_data_subcarriers
         return float(coded * self.code_rate)
 
@@ -65,9 +71,12 @@ def rate_for_mbps(mbps: float) -> Rate:
         raise ValueError(f"unknown rate {mbps} Mbps; valid rates: {valid}") from exc
 
 
+_RATES_SORTED: tuple[Rate, ...] = tuple(sorted(RATE_TABLE, key=lambda r: r.mbps))
+
+
 def rates_sorted() -> list[Rate]:
     """All rates sorted from slowest to fastest."""
-    return sorted(RATE_TABLE, key=lambda r: r.mbps)
+    return list(_RATES_SORTED)
 
 
 def min_snr_db(mbps: float) -> float:
