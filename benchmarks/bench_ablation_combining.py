@@ -2,13 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import ablation_combining
+from repro.experiments import registry
+
+SPEC = registry.get("ablation_combining")
 
 
 def test_ablation_combining(benchmark):
-    result = benchmark.pedantic(
-        lambda: ablation_combining.run(n_realizations=400), rounds=1, iterations=1
-    )
+    config = SPEC.make_config("quick", {"n_realizations": 400})
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # The Smart Combiner removes (nearly all) destructive deep fades.
     assert result.summary["alamouti_deep_fade_fraction"] < result.summary["naive_deep_fade_fraction"] / 3.0

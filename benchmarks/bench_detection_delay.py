@@ -2,15 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import ablation_slope
+from repro.experiments import registry
+
+SPEC = registry.get("ablation_slope")
 
 
 def test_detection_delay_estimators(benchmark):
-    result = benchmark.pedantic(
-        lambda: ablation_slope.run(delays_samples=(1.0, 2.0, 4.0, 8.0), n_trials=12),
-        rounds=1,
-        iterations=1,
-    )
+    config = SPEC.make_config("quick", {"n_trials": 12})
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # The windowed estimator resolves delays to a small fraction of a sample
     # (tens of nanoseconds), which is what enables symbol-level sync.

@@ -2,20 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import fig12_sync_error
+from repro.experiments import registry
+
+SPEC = registry.get("fig12")
 
 
 def test_fig12_sync_error(benchmark):
-    result = benchmark.pedantic(
-        lambda: fig12_sync_error.run(
-            snr_points_db=(6.0, 12.0, 20.0),
-            n_topologies=2,
-            n_measurements=4,
-            repetitions_per_measurement=3,
-        ),
-        rounds=1,
-        iterations=1,
-    )
+    config = SPEC.make_config("quick", {"repetitions_per_measurement": 3})
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # Shape check: the residual error stays far below a symbol time.  The
     # paper's FPGA prototype reports < 20 ns at the 95th percentile; our

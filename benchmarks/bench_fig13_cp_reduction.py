@@ -2,17 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import fig13_cp_reduction
+from repro.experiments import registry
+
+SPEC = registry.get("fig13")
 
 
 def test_fig13_cp_reduction(benchmark):
-    result = benchmark.pedantic(
-        lambda: fig13_cp_reduction.run(
-            cp_values_samples=(0, 2, 4, 8, 16, 24, 32), n_frames=2, seed=5
-        ),
-        rounds=1,
-        iterations=1,
-    )
+    config = SPEC.make_config("quick", {"n_frames": 2})
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # Shape check: SourceSync saturates at a (much) smaller CP than the
     # unsynchronized baseline (117 ns vs 469 ns in the paper).

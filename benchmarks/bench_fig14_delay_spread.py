@@ -2,13 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import fig14_delay_spread
+from repro.experiments import registry
+
+SPEC = registry.get("fig14")
 
 
 def test_fig14_delay_spread(benchmark):
-    result = benchmark.pedantic(
-        lambda: fig14_delay_spread.run(n_realizations=300), rounds=1, iterations=1
-    )
+    config = SPEC.make_config("quick", {"n_realizations": 300})
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # Shape check: roughly 15 significant taps as in the paper.
     assert 10 <= result.summary["significant_taps"] <= 20

@@ -2,13 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import fig15_power_gains
+from repro.experiments import registry
+
+SPEC = registry.get("fig15")
 
 
 def test_fig15_power_gains(benchmark):
-    result = benchmark.pedantic(
-        lambda: fig15_power_gains.run(n_placements=4), rounds=1, iterations=1
-    )
+    config = SPEC.make_config("quick", {"n_placements": 4})
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # Shape check: SourceSync gains roughly 2-3 dB of average SNR.
     assert result.summary["min_gain_db"] > 0.5

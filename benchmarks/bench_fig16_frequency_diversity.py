@@ -2,11 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import fig16_frequency_diversity
+from repro.experiments import registry
+
+SPEC = registry.get("fig16")
 
 
 def test_fig16_frequency_diversity(benchmark):
-    result = benchmark.pedantic(lambda: fig16_frequency_diversity.run(), rounds=1, iterations=1)
+    config = SPEC.make_config("quick")
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # Shape check: the joint profile is flatter than the single-sender ones
     # in at least one regime that produced a measurement.

@@ -2,13 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import fig17_lasthop
+from repro.experiments import registry
+
+SPEC = registry.get("fig17")
 
 
 def test_fig17_lasthop(benchmark):
-    result = benchmark.pedantic(
-        lambda: fig17_lasthop.run(n_placements=20, n_packets=120), rounds=1, iterations=1
-    )
+    config = SPEC.make_config("quick", {"n_placements": 20, "n_packets": 120})
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # Shape check: a clear median gain over the single best AP (paper: 1.57x).
     assert result.summary["median_gain"] > 1.1

@@ -2,15 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import fig18_opportunistic
+from repro.experiments import registry
+
+SPEC = registry.get("fig18")
 
 
 def test_fig18_opportunistic(benchmark):
-    result = benchmark.pedantic(
-        lambda: fig18_opportunistic.run(rates_mbps=(6.0, 12.0), n_topologies=15, batch_size=20),
-        rounds=1,
-        iterations=1,
-    )
+    config = SPEC.make_config("quick", {"n_topologies": 15, "batch_size": 20})
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # Shape checks: ExOR beats single path, and ExOR+SourceSync beats both
     # (paper: 1.26-1.4x and 1.7-2x over single path respectively).

@@ -2,11 +2,14 @@
 
 from bench_utils import report
 
-from repro.experiments import overhead
+from repro.experiments import registry
+
+SPEC = registry.get("overhead")
 
 
 def test_overhead_table(benchmark):
-    result = benchmark.pedantic(lambda: overhead.run(), rounds=1, iterations=1)
+    config = SPEC.make_config("quick")
+    result = benchmark.pedantic(lambda: SPEC.run(config), rounds=1, iterations=1)
     report(result)
     # Paper: 1.7% for two senders, 2.8% for five (1 us symbols); with 4 us
     # 802.11 symbols the same header costs a little more but stays small.

@@ -1,0 +1,68 @@
+"""Smoke benchmark: registry-dispatch and parallel-runner overhead.
+
+Two overheads of the declarative experiment API are tracked in
+``BENCH_runner.json``:
+
+* **dispatch** — the cost `ExperimentSpec.run` adds on top of calling the
+  implementation function directly (config type check + config/provenance
+  attachment).  Measured on the closed-form ``overhead`` experiment, whose
+  own work is microseconds, so the delta is an upper bound for every real
+  experiment.
+* **parallel** — wall-clock of `run_all(..., jobs=4)` vs the same
+  selection sequentially, at the smoke preset.  Smoke workloads are far
+  too small to amortise process-pool startup, so the recorded ratio is a
+  *cost* tracker (how much fork/pickle overhead the runner adds), not a
+  speedup claim; the committed numbers are rounded coarsely so the
+  artifact only changes when behaviour does.
+
+Both paths assert result equality so the parallel runner is also checked
+for determinism against the sequential one.
+"""
+
+from bench_utils import timed, write_baseline
+
+from repro.experiments import registry
+from repro.experiments.runner import run_all
+
+_DISPATCH_CALLS = 50
+_PARALLEL_NAMES = ["fig13", "fig15", "fig17", "ablation_slope"]
+
+
+def test_registry_dispatch_and_parallel_overhead(benchmark):
+    spec = registry.get("overhead")
+    config = spec.make_config("smoke")
+
+    raw_s, _ = timed(lambda: [spec.fn(config) for _ in range(_DISPATCH_CALLS)], repeats=3)
+    wrapped_s, _ = timed(lambda: [spec.run(config) for _ in range(_DISPATCH_CALLS)], repeats=3)
+    dispatch_us = max(wrapped_s - raw_s, 0.0) / _DISPATCH_CALLS * 1e6
+
+    seq_s, seq = timed(lambda: run_all(_PARALLEL_NAMES, preset="smoke", jobs=1))
+    par_s, par = timed(lambda: run_all(_PARALLEL_NAMES, preset="smoke", jobs=4))
+
+    # The parallel runner must be a pure execution-strategy change: every
+    # experiment seeds its own RNGs, so results are identical across jobs.
+    assert seq.keys() == par.keys()
+    for name in seq:
+        assert seq[name].summary == par[name].summary, f"{name} differs between jobs=1 and jobs=4"
+
+    write_baseline(
+        "runner",
+        {
+            "dispatch_calls": _DISPATCH_CALLS,
+            "parallel_experiments": _PARALLEL_NAMES,
+            "preset": "smoke",
+            # Coarse buckets: the committed file should change only when the
+            # runner's behaviour changes, not with scheduler jitter.
+            "dispatch_overhead_us_bucket": int(round(dispatch_us / 50.0) * 50),
+            "parallel_over_sequential_ratio": int(round(par_s / max(seq_s, 1e-9))),
+        },
+    )
+    print(
+        f"\ndispatch overhead: {dispatch_us:.0f} us/run, "
+        f"sequential: {seq_s*1e3:.0f} ms, parallel(4): {par_s*1e3:.0f} ms"
+    )
+    # Dispatch must stay negligible next to any real experiment (the
+    # cheapest quick run is ~30 ms); the bound is loose for noisy CI boxes.
+    assert dispatch_us < 5000.0
+
+    benchmark.pedantic(lambda: run_all(_PARALLEL_NAMES, preset="smoke", jobs=1), rounds=1, iterations=1)

@@ -1,12 +1,13 @@
 """Last-hop sender diversity: two APs jointly serve a WLAN client (§7.1, Fig. 17).
 
-A wired-side SourceSync controller associates a client with its two nearest
-APs, designates a lead AP, and has both APs transmit every downlink packet
-simultaneously.  The script compares the downlink goodput against the
-selective-diversity baseline (single best AP) for several client positions,
-with SampleRate adapting the bit rate in both cases.
+Runs the registered ``fig17`` experiment: for random client placements a
+wired-side SourceSync controller associates the client with its two
+nearest APs and has both transmit every downlink packet simultaneously,
+with SampleRate adapting the bit rate; the baseline serves the client from
+its single best AP.  The per-placement throughputs of both schemes form
+the CDFs of Fig. 17.
 
-Run with:  python examples/lasthop_diversity.py
+Run with:  python examples/lasthop_diversity.py [smoke|quick|full]
 """
 
 import os
@@ -14,37 +15,28 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-import numpy as np
-
-from repro.channel.propagation import PathLossModel
-from repro.lasthop import SourceSyncController, simulate_downlink
-from repro.net.topology import Testbed
+from repro.experiments import registry
 
 
-def main() -> None:
-    rng = np.random.default_rng(17)
-    client_positions = [(12.0, 20.0), (22.0, 28.0), (30.0, 15.0), (20.0, 38.0), (35.0, 30.0)]
+def main(preset: str = "quick") -> None:
+    spec = registry.get("fig17")
+    config = spec.make_config(preset)
+    print(f"running {spec.name} at the {preset!r} preset: "
+          f"{config.n_placements} placements x {config.n_packets} packets, seed {config.seed}")
+    result = spec.run(config)
 
-    print(f"{'client position':>18s} | {'best AP (Mbps)':>15s} | {'SourceSync (Mbps)':>18s} | {'gain':>6s}")
-    print("-" * 68)
-    gains = []
-    for position in client_positions:
-        testbed = Testbed.from_positions(
-            [(0.0, 0.0), (45.0, 0.0), position],
-            rng=rng,
-            path_loss=PathLossModel(exponent=3.5, shadowing_sigma_db=5.0),
-        )
-        controller = SourceSyncController(testbed, ap_ids=[0, 1], max_aps_per_client=2)
-        best = simulate_downlink(testbed, controller, 2, scheme="best_ap", n_packets=200, rng=rng)
-        joint = simulate_downlink(testbed, controller, 2, scheme="sourcesync", n_packets=200, rng=rng)
-        gain = joint.throughput_mbps / max(best.throughput_mbps, 1e-9)
-        gains.append(gain)
-        print(f"{str(position):>18s} | {best.throughput_mbps:15.2f} | {joint.throughput_mbps:18.2f} | {gain:5.2f}x")
-
-    print("-" * 68)
-    print(f"median gain over these placements: {np.median(gains):.2f}x "
+    best = result.series["best_ap_mbps"]
+    joint = result.series["sourcesync_mbps"]
+    print()
+    print(f"{'placement':>10s} | {'best AP (Mbps)':>15s} | {'SourceSync (Mbps)':>18s}")
+    print("-" * 50)
+    for index, (b, j) in enumerate(zip(best, joint)):
+        print(f"{index:10d} | {b:15.2f} | {j:18.2f}")
+    print("-" * 50)
+    print(f"median gain: {result.summary['median_gain']:.2f}x "
           "(the paper's Fig. 17 reports a median of 1.57x)")
+    print(f"reproduce with: {spec.cli_example(preset)}")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

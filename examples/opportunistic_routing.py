@@ -1,11 +1,12 @@
 """Opportunistic routing with sender diversity (§7.2, Fig. 18).
 
-A lossy five-node mesh (source, destination, three relays) transfers a batch
-of packets under three schemes: single-path routing over the best ETX route,
-ExOR (receiver diversity only), and ExOR + SourceSync (relays that overheard
-a packet join the forwarder's transmission).
+Runs the registered ``fig18`` experiment: lossy five-node meshes (source,
+destination, three relays) transfer a packet batch under three schemes —
+single-path routing over the best ETX route, ExOR (receiver diversity
+only), and ExOR + SourceSync (relays that overheard a packet join the
+forwarder's transmission).
 
-Run with:  python examples/opportunistic_routing.py
+Run with:  python examples/opportunistic_routing.py [smoke|quick|full]
 """
 
 import os
@@ -13,43 +14,28 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-import numpy as np
-
-from repro.experiments.fig18_opportunistic import random_relay_topology
-from repro.routing import ExorConfig, simulate_exor, simulate_exor_sourcesync, simulate_single_path
+from repro.experiments import registry
 
 
-def main() -> None:
-    rng = np.random.default_rng(33)
-    rate_mbps = 12.0
-    n_topologies = 8
-    config = ExorConfig(batch_size=24)
-
-    print(f"rate: {rate_mbps:g} Mbps, batch: {config.batch_size} packets, {n_topologies} random topologies")
-    print(f"{'topology':>9s} | {'single path':>12s} | {'ExOR':>8s} | {'ExOR+SourceSync':>16s} | {'joint tx used':>13s}")
-    print("-" * 72)
-
-    singles, exors, joints = [], [], []
-    for index in range(n_topologies):
-        testbed = random_relay_topology(rng)
-        relays = [n for n in testbed.node_ids if n not in (0, 1)]
-        single = simulate_single_path(testbed, 0, 1, rate_mbps, n_packets=config.batch_size, rng=rng)
-        exor = simulate_exor(testbed, 0, 1, rate_mbps, relays, config=config, rng=rng)
-        joint = simulate_exor_sourcesync(testbed, 0, 1, rate_mbps, relays, config=config, rng=rng)
-        singles.append(single.throughput_mbps)
-        exors.append(exor.throughput_mbps)
-        joints.append(joint.throughput_mbps)
-        print(f"{index:9d} | {single.throughput_mbps:9.2f} Mb | {exor.throughput_mbps:5.2f} Mb | "
-              f"{joint.throughput_mbps:13.2f} Mb | {joint.joint_transmissions:13d}")
-
-    print("-" * 72)
-    print(f"median throughput: single {np.median(singles):.2f}, ExOR {np.median(exors):.2f}, "
-          f"ExOR+SourceSync {np.median(joints):.2f} Mbps")
-    print(f"median gains: ExOR/single {np.median(exors)/np.median(singles):.2f}x, "
-          f"SourceSync/ExOR {np.median(joints)/np.median(exors):.2f}x, "
-          f"SourceSync/single {np.median(joints)/np.median(singles):.2f}x")
+def main(preset: str = "quick") -> None:
+    spec = registry.get("fig18")
+    config = spec.make_config(preset)
+    print(f"running {spec.name} at the {preset!r} preset: "
+          f"{config.n_topologies} topologies, batch {config.batch_size}, "
+          f"rates {config.rates_mbps} Mbps, seed {config.seed}")
+    result = spec.run(config)
+    print()
+    print(result.report())
+    print()
+    for rate in config.rates_mbps:
+        tag = f"{rate:g}mbps"
+        print(f"median gains at {rate:g} Mbps: "
+              f"ExOR/single {result.summary[f'exor_over_single_{tag}']:.2f}x, "
+              f"SourceSync/ExOR {result.summary[f'sourcesync_over_exor_{tag}']:.2f}x, "
+              f"SourceSync/single {result.summary[f'sourcesync_over_single_{tag}']:.2f}x")
     print("(paper: 1.26-1.4x, 1.35-1.45x and 1.7-2x respectively)")
+    print(f"reproduce with: {spec.cli_example(preset)}")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

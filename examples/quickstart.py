@@ -1,17 +1,17 @@
-"""Quickstart: one SourceSync joint transmission, end to end.
+"""Quickstart: one SourceSync joint transmission, then the experiment registry.
 
-Two senders (a lead and a co-sender) deliver the same packet to one receiver
-over simulated indoor channels.  The script runs the full architecture:
+Part 1 walks the core API end to end: two senders (a lead and a co-sender)
+deliver the same packet to one receiver over simulated indoor channels —
+probe-based delay/CFO measurement (§4.2, §5), wait-time tracking
+(§4.3-§4.5), and a joint frame decoded with per-sender channel estimation
+and Alamouti combining (§5, §6).
 
-1. probe exchanges measure pair-wise propagation delays and CFOs (§4.2, §5);
-2. the co-sender synchronizes to the lead's synchronization header and the
-   tracking loop trims its wait time (§4.3-§4.5);
-3. a joint frame is transmitted, combined on the channel, and decoded by the
-   joint receiver with per-sender channel estimation and Alamouti combining
-   (§5, §6);
-4. the same packet is also sent by the lead alone, to show the SNR gain.
+Part 2 shows the declarative experiment API that regenerates the paper's
+figures: every experiment is registered in ``repro.experiments.registry``
+with typed configs and smoke/quick/full presets, and the same registry
+backs the ``python -m repro.experiments`` command line.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py [smoke|quick|full]
 """
 
 import os
@@ -22,12 +22,15 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 import numpy as np
 
 from repro.core import JointTopology, SourceSyncConfig, SourceSyncSession
+from repro.experiments import registry
+from repro.experiments.runner import run_experiment
 from repro.phy import bits as bitutils
 from repro.phy.params import DEFAULT_PARAMS
 
 
-def main() -> None:
+def main(preset: str = "quick") -> None:
     rng = np.random.default_rng(2026)
+    tracking_rounds = 2 if preset == "smoke" else 5
 
     # Lead->receiver and co-sender->receiver links both at ~12 dB, a strong
     # lead->co-sender link (they are close to each other), realistic
@@ -53,7 +56,7 @@ def main() -> None:
     print(f"  co-sender CFO pre-correction   : {state.cfo_to_lead_hz/1e3:6.1f} kHz")
 
     print("== tracking loop (§4.5) ==")
-    session.converge_tracking(rounds=5)
+    session.converge_tracking(rounds=tracking_rounds)
     outcome = session.run_header_exchange(apply_tracking_feedback=False)
     if outcome.measured_misalignment and outcome.measured_misalignment.misalignments_samples:
         residual_ns = outcome.measured_misalignment.misalignments_samples[0] * DEFAULT_PARAMS.sample_period_ns
@@ -69,6 +72,15 @@ def main() -> None:
           "(the paper reports 2-3 dB for two equal-power senders)")
     assert joint.result.payload == payload
 
+    print("== the experiment registry ==")
+    for spec in registry.specs():
+        print(f"  {spec.name:<20s} {spec.description}")
+    print(f"(run any of them with `python -m repro.experiments run <name> --preset {preset}`)")
+
+    result = run_experiment("overhead", preset=preset)
+    print()
+    print(result.report())
+
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

@@ -1,12 +1,15 @@
 """Symbol-level synchronization accuracy across SNRs (§8.1, Fig. 12).
 
-For a few SNR points this script synchronizes a two-sender topology with
-SourceSync, lets the ACK-feedback tracking loop converge, and reports the
-residual misalignment the receiver measures on subsequent joint headers —
-the experiment behind Fig. 12 of the paper.  It also shows what happens when
-delay compensation is switched off (the unsynchronized baseline of §8.1.2).
+Runs the registered ``fig12`` experiment: for each SNR point SourceSync
+synchronizes random two-sender topologies, the ACK-feedback tracking loop
+converges, and the residual misalignment of subsequent joint headers is
+measured with the paper's repeated-header ground-truth estimator.  The
+experiment comes from the registry, so the same run is reproducible from
+the command line:
 
-Run with:  python examples/sync_accuracy.py
+    python -m repro.experiments run fig12 --preset quick
+
+Run with:  python examples/sync_accuracy.py [smoke|quick|full]
 """
 
 import os
@@ -14,42 +17,22 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-import numpy as np
-
-from repro.core import JointTopology, SourceSyncConfig, SourceSyncSession
-from repro.phy.params import DEFAULT_PARAMS
+from repro.experiments import registry
 
 
-def residuals_ns(session: SourceSyncSession, compensate: bool, n_frames: int = 12) -> list[float]:
-    values = []
-    for _ in range(n_frames):
-        outcome = session.run_header_exchange(
-            compensate=compensate, apply_tracking_feedback=compensate
-        )
-        misalignment = outcome.true_misalignment_samples
-        if misalignment and np.isfinite(misalignment[0]):
-            values.append(abs(misalignment[0]) * DEFAULT_PARAMS.sample_period_ns)
-    return values
-
-
-def main() -> None:
-    rng = np.random.default_rng(12)
-    print(f"{'SNR (dB)':>9s} | {'SourceSync p95 (ns)':>20s} | {'baseline p95 (ns)':>18s}")
-    print("-" * 55)
-    for snr_db in (6.0, 12.0, 20.0):
-        topo = JointTopology.from_snrs(
-            rng, lead_rx_snr_db=snr_db, cosender_rx_snr_db=[snr_db], lead_cosender_snr_db=[max(snr_db, 15.0)]
-        )
-        session = SourceSyncSession(topo, SourceSyncConfig(), rng=rng)
-        session.measure_delays()
-        session.converge_tracking(rounds=6)
-        synced = residuals_ns(session, compensate=True)
-        baseline = residuals_ns(session, compensate=False)
-        print(f"{snr_db:9.1f} | {np.percentile(synced, 95):20.1f} | {np.percentile(baseline, 95):18.1f}")
+def main(preset: str = "quick") -> None:
+    spec = registry.get("fig12")
+    config = spec.make_config(preset)
+    print(f"running {spec.name} at the {preset!r} preset: {spec.description}")
+    print(f"  SNR points: {config.snr_points_db} dB, "
+          f"{config.n_topologies} topologies x {config.n_measurements} measurements, seed {config.seed}")
+    print()
+    result = spec.run(config)
+    print(result.report())
     print()
     print("SourceSync keeps the senders aligned to a small fraction of the 800 ns CP;")
-    print("without compensation the misalignment is dominated by detection and propagation delays.")
+    print(f"reproduce this exact run with: {spec.cli_example(preset)}")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "quick")

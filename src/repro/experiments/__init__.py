@@ -1,21 +1,71 @@
-"""Experiment harness: one module per figure/table of the paper's evaluation.
+"""Experiment harness: declarative, registered reproductions of the paper's evaluation.
+
+Every figure/table of the evaluation is a registered experiment: a typed,
+frozen ``Config`` dataclass, an implementation function, and ``smoke`` /
+``quick`` / ``full`` presets, bound together by an
+:class:`~repro.experiments.registry.ExperimentSpec` (see
+:mod:`repro.experiments.registry`).  ``EXPERIMENTS.md`` at the repository
+root is generated from this registry.
 
 ===================  =============================================================
-module               reproduces
+experiment           reproduces
 ===================  =============================================================
-fig12_sync_error     Fig. 12 — 95th percentile synchronization error vs SNR
-fig13_cp_reduction   Fig. 13 — joint-transmission SNR vs cyclic prefix
-fig14_delay_spread   Fig. 14 — time-domain channel delay spread
-fig15_power_gains    Fig. 15 — average SNR gains per SNR regime
-fig16_frequency_diversity  Fig. 16 — per-subcarrier SNR profiles
-fig17_lasthop        Fig. 17 — last-hop throughput CDF
-fig18_opportunistic  Fig. 18 — opportunistic routing throughput CDFs
+fig12                Fig. 12 — 95th percentile synchronization error vs SNR
+fig13                Fig. 13 — joint-transmission SNR vs cyclic prefix
+fig14                Fig. 14 — time-domain channel delay spread
+fig15                Fig. 15 — average SNR gains per SNR regime
+fig16                Fig. 16 — per-subcarrier SNR profiles
+fig17                Fig. 17 — last-hop throughput CDF
+fig18                Fig. 18 — opportunistic routing throughput CDFs
 overhead             §4.4 — synchronization overhead vs sender count
 ablation_combining   §6 — naive combining vs Alamouti (design-choice ablation)
 ablation_slope       §4.2 — windowed vs whole-band phase-slope estimation
 ===================  =============================================================
+
+Command line
+------------
+The package is executable::
+
+    python -m repro.experiments list                         # registry table
+    python -m repro.experiments run --preset quick --jobs 4  # everything, in parallel
+    python -m repro.experiments run fig17 --preset full --set n_placements=60
+    python -m repro.experiments run --tag routing --preset smoke
+    python -m repro.experiments sweep fig14 --sweep n_realizations=100,300,1000
+    python -m repro.experiments report results/fig17.json    # re-print a saved run
+    python -m repro.experiments docs                         # regenerate EXPERIMENTS.md
+
+``run`` and ``sweep`` write one JSON artifact per run under ``results/``
+(``--output-dir`` to change, ``--no-save`` to disable).  Artifacts embed
+the exact config, the seed, and library/git provenance, and round-trip
+through :meth:`ExperimentResult.load` — ``report`` re-prints them without
+re-simulating.
+
+Python API
+----------
+::
+
+    from repro.experiments import registry
+
+    spec = registry.get("fig17")
+    result = spec.run(spec.make_config("quick", {"n_placements": 30}))
+    print(result.report())
+    result.save("results/fig17.json")
+
+    from repro.experiments.runner import run_all
+    results = run_all(["fig14", "fig17"], preset="smoke", jobs=2)
+
+Each experiment module also keeps its legacy entry point — e.g.
+``fig17_lasthop.run(n_placements=30)`` — as a thin shim over
+``SPEC.run(Config(...))``, so existing callers see bit-identical seeded
+results.
 """
 
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, format_table
+from repro.experiments.registry import ExperimentSpec, experiment
 
-__all__ = ["ExperimentResult", "format_table"]
+# Populate the registry eagerly so `from repro.experiments import registry`
+# (and the CLI/runner/benchmarks built on it) always see every experiment.
+registry.load_all()
+
+__all__ = ["ExperimentResult", "ExperimentSpec", "experiment", "format_table", "registry"]

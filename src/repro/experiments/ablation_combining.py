@@ -20,14 +20,33 @@ responses and combining gains are stacked array operations
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.combining.stbc import SmartCombiner
 from repro.experiments.batch import draw_frequency_response_ensemble
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 
-__all__ = ["run", "combining_gain_samples"]
+__all__ = ["Config", "SPEC", "run", "combining_gain_samples"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the §6 combining ablation."""
+
+    n_realizations: int = 300
+    deep_fade_threshold_db: float = -10.0
+    seed: int = 6
+    params: OFDMParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if self.n_realizations < 1:
+            raise ValueError("n_realizations must be >= 1")
+        if self.deep_fade_threshold_db >= 0.0:
+            raise ValueError("deep_fade_threshold_db must be negative")
 
 
 def combining_gain_samples(
@@ -55,16 +74,25 @@ def combining_gain_samples(
     return gains.reshape(-1)
 
 
-def run(
-    n_realizations: int = 300,
-    deep_fade_threshold_db: float = -10.0,
-    seed: int = 6,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> ExperimentResult:
+@experiment(
+    name="ablation_combining",
+    description="Post-combining subcarrier gain: naive identical transmission vs Alamouti",
+    config=Config,
+    presets={
+        "smoke": {"n_realizations": 40},
+        "quick": {"n_realizations": 150},
+        "full": {"n_realizations": 1000},
+    },
+    tags=("ablation", "phy"),
+    batched=True,
+)
+def _run(config: Config) -> ExperimentResult:
     """Compare naive and Alamouti combining across random channel pairs."""
-    naive = combining_gain_samples("naive", n_realizations, seed, params)
-    alamouti = combining_gain_samples("replicated_alamouti", n_realizations, seed, params)
-    threshold = 10.0 ** (deep_fade_threshold_db / 10.0)
+    naive = combining_gain_samples("naive", config.n_realizations, config.seed, config.params)
+    alamouti = combining_gain_samples(
+        "replicated_alamouti", config.n_realizations, config.seed, config.params
+    )
+    threshold = 10.0 ** (config.deep_fade_threshold_db / 10.0)
 
     def stats(gains: np.ndarray) -> tuple[float, float, float]:
         return (
@@ -94,3 +122,11 @@ def run(
             "section": "§6",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

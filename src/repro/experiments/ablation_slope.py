@@ -11,6 +11,8 @@ error of the two estimators.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.channel.awgn import awgn
@@ -21,11 +23,31 @@ from repro.core.sync.detection_delay import (
     slope_to_delay_samples,
 )
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.phy.equalizer import estimate_channel_ltf
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 from repro.phy.preamble import long_training_field
 
-__all__ = ["run", "estimation_errors"]
+__all__ = ["Config", "SPEC", "run", "estimation_errors"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the §4.2 slope-estimator ablation."""
+
+    delays_samples: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+    snr_db: float = 15.0
+    n_trials: int = 15
+    seed: int = 42
+    params: OFDMParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if not self.delays_samples:
+            raise ValueError("delays_samples must be non-empty")
+        if any(d < 0 for d in self.delays_samples):
+            raise ValueError("injected delays must be >= 0 samples")
+        if self.n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
 
 
 def estimation_errors(
@@ -84,15 +106,23 @@ def estimation_errors(
     return np.asarray(windowed_errors), np.asarray(fullband_errors)
 
 
-def run(
-    delays_samples: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
-    snr_db: float = 15.0,
-    n_trials: int = 15,
-    seed: int = 42,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> ExperimentResult:
+@experiment(
+    name="ablation_slope",
+    description="Detection-delay estimation error: 3 MHz windowed slope vs whole-band fit",
+    config=Config,
+    presets={
+        "smoke": {"delays_samples": (2.0,), "n_trials": 2},
+        "quick": {"n_trials": 8},
+        "full": {"n_trials": 40},
+    },
+    tags=("ablation", "sync"),
+)
+def _run(config: Config) -> ExperimentResult:
     """Compare windowed and whole-band slope estimators on multipath channels."""
-    windowed, fullband = estimation_errors(delays_samples, snr_db, n_trials, seed=seed, params=params)
+    params = config.params
+    windowed, fullband = estimation_errors(
+        config.delays_samples, config.snr_db, config.n_trials, seed=config.seed, params=params
+    )
     return ExperimentResult(
         name="ablation_slope",
         description="Detection-delay estimation error: 3 MHz windowed slope vs whole-band fit",
@@ -113,3 +143,11 @@ def run(
             "section": "§4.2",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

@@ -1,0 +1,234 @@
+"""Command-line interface for the experiment registry.
+
+``python -m repro.experiments <command>``:
+
+``list``
+    Table of every registered experiment (name, tags, batched, description).
+``run``
+    Run experiments (all, by name, or by ``--tag``) at a preset, optionally
+    process-parallel (``--jobs``), with typed ``--set key=value`` config
+    overrides; writes one JSON artifact per experiment.
+``sweep``
+    Run one experiment over a parameter grid (``--sweep key=v1,v2,...``,
+    repeatable; cartesian product).
+``report``
+    Re-print saved JSON artifacts without re-simulating.
+``docs``
+    Regenerate ``EXPERIMENTS.md`` from the registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import _resolve_names, run_all, sweep
+
+__all__ = ["main", "build_parser"]
+
+_DEFAULT_OUTPUT_DIR = "results"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run, sweep and report the paper's registered experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered experiments")
+    p_list.add_argument("--tag", action="append", default=None, help="only experiments with this tag")
+
+    p_run = sub.add_parser("run", help="run experiments and save JSON artifacts")
+    p_run.add_argument("names", nargs="*", help="experiment names (default: all)")
+    p_run.add_argument("--preset", default="quick", help="smoke, quick or full (default: quick)")
+    p_run.add_argument("--tag", action="append", default=None, help="only experiments with this tag")
+    p_run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="config override, coerced to the field's declared type (repeatable)",
+    )
+    p_run.add_argument("--jobs", type=int, default=1, help="process-parallel experiments (default: 1)")
+    p_run.add_argument(
+        "--output-dir",
+        default=_DEFAULT_OUTPUT_DIR,
+        help=f"directory for per-experiment JSON artifacts (default: {_DEFAULT_OUTPUT_DIR}/)",
+    )
+    p_run.add_argument("--no-save", action="store_true", help="do not write JSON artifacts")
+    p_run.add_argument("--quiet", action="store_true", help="print one summary line per experiment")
+
+    p_sweep = sub.add_parser("sweep", help="run one experiment over a parameter grid")
+    p_sweep.add_argument("name", help="experiment name")
+    p_sweep.add_argument(
+        "--sweep",
+        dest="grid",
+        action="append",
+        default=[],
+        required=True,
+        metavar="KEY=V1,V2,...",
+        help="field and comma-separated values to sweep (repeatable; cartesian product)",
+    )
+    p_sweep.add_argument("--preset", default="quick", help="base preset for every grid point")
+    p_sweep.add_argument(
+        "--set", dest="overrides", action="append", default=[], metavar="KEY=VALUE",
+        help="fixed config override applied to every grid point",
+    )
+    p_sweep.add_argument("--jobs", type=int, default=1, help="process-parallel grid points")
+    p_sweep.add_argument("--output-dir", default=_DEFAULT_OUTPUT_DIR)
+    p_sweep.add_argument("--no-save", action="store_true")
+
+    p_report = sub.add_parser("report", help="re-print saved JSON artifacts (no simulation)")
+    p_report.add_argument("paths", nargs="+", help="artifact files or directories of *.json")
+
+    p_docs = sub.add_parser("docs", help="regenerate EXPERIMENTS.md from the registry")
+    p_docs.add_argument("--output", default=None, help="output path (default: EXPERIMENTS.md at repo root)")
+    p_docs.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if the file is out of date instead of rewriting it",
+    )
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = registry.specs()
+    if args.tag:
+        wanted = set(args.tag)
+        specs = [s for s in specs if wanted & set(s.tags)]
+    if not specs:
+        print("no experiments match", file=sys.stderr)
+        return 1
+    name_w = max(len(s.name) for s in specs)
+    tags_w = max(len(",".join(s.tags)) for s in specs)
+    for spec in specs:
+        batched = "batched" if spec.batched else "       "
+        print(f"{spec.name:<{name_w}}  {','.join(spec.tags):<{tags_w}}  {batched}  {spec.description}")
+    return 0
+
+
+def _print_result(result: ExperimentResult, quiet: bool) -> None:
+    if quiet:
+        head = ", ".join(f"{k}={v:.4g}" for k, v in list(result.summary.items())[:3])
+        print(f"{result.name}: {head}")
+    else:
+        print(result.report())
+        print()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = args.names or None
+    # Parse --set against every selected experiment so typos and per-field
+    # types are reported before anything runs.
+    selected = _resolve_names(names, args.tag)
+    overrides: dict[str, Any] | None = None
+    if args.overrides and selected:
+        parsed = [registry.get(n).parse_overrides(args.overrides) for n in selected]
+        # One typed override set is applied to every selected experiment, so
+        # a field that coerces differently across their configs (e.g. int in
+        # one, tuple in another) cannot be expressed in a single run.
+        disagreeing = [n for n, p in zip(selected, parsed) if p != parsed[0]]
+        if disagreeing:
+            raise ValueError(
+                f"--set overrides coerce differently for {disagreeing} than for "
+                f"{selected[0]!r}; run these experiments separately"
+            )
+        overrides = parsed[0]
+    results = run_all(names, preset=args.preset, overrides=overrides, jobs=args.jobs, tags=args.tag)
+    for result in results.values():
+        _print_result(result, args.quiet)
+    if not args.no_save:
+        out = Path(args.output_dir)
+        for name, result in results.items():
+            path = result.save(out / f"{name}.json")
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = registry.get(args.name)
+    grid: dict[str, list[Any]] = {}
+    for token in args.grid:
+        key, sep, text = token.partition("=")
+        if not sep or not key:
+            raise ValueError(f"sweep token {token!r} is not of the form key=v1,v2,...")
+        values = registry.coerce_sweep_values(spec.config_cls, key.strip(), text)
+        grid.setdefault(key.strip(), []).extend(values)
+    fixed = spec.parse_overrides(args.overrides) if args.overrides else None
+    points = sweep(args.name, grid, preset=args.preset, overrides=fixed, jobs=args.jobs)
+    for point in points:
+        head = ", ".join(f"{k}={v:.4g}" for k, v in list(point.result.summary.items())[:3])
+        print(f"{args.name}[{point.label()}]: {head}")
+    if not args.no_save:
+        out = Path(args.output_dir)
+        for point in points:
+            # Preset-qualified so sweeps of the same grid at different
+            # presets do not overwrite each other's artifacts.
+            path = point.result.save(out / f"{args.name}__{args.preset}__{point.label()}.json")
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    files: list[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    if not files:
+        print("no artifacts found", file=sys.stderr)
+        return 1
+    for path in files:
+        result = ExperimentResult.load(path)
+        print(f"[{path}]")
+        print(result.report())
+        print()
+    return 0
+
+
+def _cmd_docs(args: argparse.Namespace) -> int:
+    from repro.experiments.docs import DEFAULT_DOC_PATH, render_markdown
+
+    target = Path(args.output) if args.output else DEFAULT_DOC_PATH
+    content = render_markdown()
+    if args.check:
+        current = target.read_text() if target.exists() else None
+        if current != content:
+            print(f"{target} is out of date; run `python -m repro.experiments docs`", file=sys.stderr)
+            return 1
+        print(f"{target} is up to date")
+        return 0
+    target.write_text(content)
+    print(f"wrote {target}")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
+    "docs": _cmd_docs,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. `... report results/ | head`
+        return 0
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,19 +1,111 @@
 """Shared infrastructure for the experiment harness.
 
-Every experiment module exposes a ``run(...)`` function returning an
-:class:`ExperimentResult`: a named table of series (columns) plus the
-paper's reported reference values, so the benchmark harness can print a
-paper-vs-measured comparison for every figure.
+Every experiment implementation returns an :class:`ExperimentResult`: a
+named table of series (columns) plus the paper's reported reference
+values, so the runner and benchmark harness can print a paper-vs-measured
+comparison for every figure.  Results returned through the registry
+(:mod:`repro.experiments.registry`) additionally carry the exact config
+and run provenance (library/numpy versions, git commit, seed), and can be
+saved to / restored from JSON artifacts with :meth:`ExperimentResult.save`
+and :meth:`ExperimentResult.load` — numpy arrays in ``series`` survive the
+round trip with their dtype.
 """
 
 from __future__ import annotations
 
+import json
+import math
+import platform
+import subprocess
 from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-__all__ = ["ExperimentResult", "format_table"]
+from repro.version import __version__
+
+__all__ = ["ExperimentResult", "format_table", "collect_provenance"]
+
+#: Version of the JSON artifact layout written by :meth:`ExperimentResult.to_json`.
+ARTIFACT_SCHEMA = 1
+
+
+@lru_cache(maxsize=1)
+def _git_commit() -> str | None:
+    """Short commit hash of the source tree, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return proc.stdout.strip() or None if proc.returncode == 0 else None
+
+
+def collect_provenance() -> dict[str, Any]:
+    """Environment provenance embedded in saved artifacts.
+
+    Deliberately timestamp-free: re-running the same seeded experiment in
+    the same environment produces a byte-identical artifact, so saved runs
+    can be diffed.
+    """
+    return {
+        "repro_version": __version__,
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "git_commit": _git_commit(),
+    }
+
+
+def _encode_value(value: Any) -> Any:
+    """Encode a result value for JSON, tagging numpy arrays with their dtype.
+
+    Non-finite floats (NaN summaries happen, e.g. an SNR regime with no
+    measurement) are tagged as ``{"__float__": "nan"}`` so the artifact is
+    strict JSON — the bare ``NaN`` token ``json.dumps`` emits by default is
+    rejected by most non-Python consumers.
+    """
+    if isinstance(value, np.ndarray):
+        if np.iscomplexobj(value):
+            return {
+                "__ndarray__": str(value.dtype),
+                "real": _encode_value(value.real.tolist()),
+                "imag": _encode_value(value.imag.tolist()),
+            }
+        return {"__ndarray__": str(value.dtype), "data": _encode_value(value.tolist())}
+    if isinstance(value, np.generic):
+        return _encode_value(value.item())
+    if isinstance(value, float) and not math.isfinite(value):
+        return {"__float__": repr(value)}  # 'nan', 'inf' or '-inf'
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode_value(v) for k, v in value.items()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    """Inverse of :func:`_encode_value`."""
+    if isinstance(value, dict):
+        if "__float__" in value:
+            return float(value["__float__"])
+        if "__ndarray__" in value:
+            dtype = np.dtype(value["__ndarray__"])
+            if "real" in value:
+                real = np.asarray(_decode_value(value["real"]))
+                imag = np.asarray(_decode_value(value["imag"]))
+                return (real + 1j * imag).astype(dtype)
+            return np.asarray(_decode_value(value["data"]), dtype=dtype)
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
 
 
 @dataclass
@@ -34,6 +126,12 @@ class ExperimentResult:
     paper_reference:
         The corresponding numbers reported in the paper, for side-by-side
         comparison in EXPERIMENTS.md and the benchmark output.
+    config:
+        JSON-compatible snapshot of the config the run used (filled in by
+        :meth:`repro.experiments.registry.ExperimentSpec.run`).
+    provenance:
+        Environment and seed provenance of the run (see
+        :func:`collect_provenance`).
     """
 
     name: str
@@ -41,6 +139,8 @@ class ExperimentResult:
     series: dict[str, Any] = field(default_factory=dict)
     summary: dict[str, float] = field(default_factory=dict)
     paper_reference: dict[str, Any] = field(default_factory=dict)
+    config: dict[str, Any] | None = None
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     def table(self) -> str:
         """Human-readable table of the series."""
@@ -58,6 +158,49 @@ class ExperimentResult:
             for key, value in self.paper_reference.items():
                 lines.append(f"  {key}: {value}")
         return "\n".join(lines)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize the result (series, summary, config, provenance) to JSON."""
+        payload = {
+            "schema": ARTIFACT_SCHEMA,
+            "name": self.name,
+            "description": self.description,
+            "series": _encode_value(self.series),
+            "summary": _encode_value(self.summary),
+            "paper_reference": _encode_value(self.paper_reference),
+            "config": _encode_value(self.config),
+            "provenance": _encode_value(self.provenance),
+        }
+        return json.dumps(payload, indent=indent, sort_keys=False, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Restore a result from :meth:`to_json` output (arrays keep their dtype)."""
+        payload = json.loads(text)
+        schema = payload.get("schema")
+        if schema != ARTIFACT_SCHEMA:
+            raise ValueError(f"unsupported artifact schema {schema!r} (expected {ARTIFACT_SCHEMA})")
+        return cls(
+            name=payload["name"],
+            description=payload["description"],
+            series=_decode_value(payload.get("series") or {}),
+            summary=_decode_value(payload.get("summary") or {}),
+            paper_reference=_decode_value(payload.get("paper_reference") or {}),
+            config=_decode_value(payload["config"]) if payload.get("config") is not None else None,
+            provenance=_decode_value(payload.get("provenance") or {}),
+        )
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the JSON artifact to ``path`` (parent directories are created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ExperimentResult":
+        """Read a JSON artifact written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
 
 
 def format_table(series: dict[str, Any], max_rows: int = 60) -> str:

@@ -16,13 +16,39 @@ headers with the repeated-measurement ground-truth estimator.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 
-__all__ = ["run", "measure_residual_sync_error"]
+__all__ = ["Config", "SPEC", "run", "measure_residual_sync_error"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the Fig. 12 reproduction."""
+
+    snr_points_db: tuple[float, ...] = (3.0, 6.0, 9.0, 12.0, 15.0, 20.0, 25.0)
+    n_topologies: int = 3
+    n_measurements: int = 6
+    repetitions_per_measurement: int = 4
+    warmup_rounds: int = 5
+    seed: int = 12
+    params: OFDMParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if not self.snr_points_db:
+            raise ValueError("snr_points_db must be non-empty")
+        if self.n_topologies < 1 or self.n_measurements < 1:
+            raise ValueError("n_topologies and n_measurements must be >= 1")
+        if self.repetitions_per_measurement < 1:
+            raise ValueError("repetitions_per_measurement must be >= 1")
+        if self.warmup_rounds < 0:
+            raise ValueError("warmup_rounds must be >= 0")
 
 
 def measure_residual_sync_error(
@@ -58,15 +84,24 @@ def measure_residual_sync_error(
     return errors_ns
 
 
-def run(
-    snr_points_db: tuple[float, ...] = (3.0, 6.0, 9.0, 12.0, 15.0, 20.0, 25.0),
-    n_topologies: int = 3,
-    n_measurements: int = 6,
-    repetitions_per_measurement: int = 4,
-    warmup_rounds: int = 5,
-    seed: int = 12,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> ExperimentResult:
+@experiment(
+    name="fig12",
+    description="95th percentile synchronization error vs SNR",
+    config=Config,
+    presets={
+        "smoke": {
+            "snr_points_db": (12.0,),
+            "n_topologies": 1,
+            "n_measurements": 2,
+            "repetitions_per_measurement": 2,
+            "warmup_rounds": 2,
+        },
+        "quick": {"snr_points_db": (6.0, 12.0, 20.0), "n_topologies": 2, "n_measurements": 4},
+        "full": {"n_topologies": 6, "n_measurements": 10},
+    },
+    tags=("sync", "phy"),
+)
+def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 12.
 
     For each SNR point, random lead/co-sender/receiver topologies are built
@@ -74,12 +109,13 @@ def run(
     95th percentile of the residual synchronization error across topologies
     and measurements.
     """
-    rng = np.random.default_rng(seed)
+    params = config.params
+    rng = np.random.default_rng(config.seed)
     percentile_95_ns: list[float] = []
     median_ns: list[float] = []
-    for snr_db in snr_points_db:
+    for snr_db in config.snr_points_db:
         errors: list[float] = []
-        for _ in range(n_topologies):
+        for _ in range(config.n_topologies):
             topo = JointTopology.from_snrs(
                 rng,
                 lead_rx_snr_db=snr_db,
@@ -89,10 +125,10 @@ def run(
             )
             session = SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng)
             session.measure_delays()
-            session.converge_tracking(rounds=warmup_rounds)
+            session.converge_tracking(rounds=config.warmup_rounds)
             errors.extend(
                 measure_residual_sync_error(
-                    session, n_measurements, repetitions_per_measurement, params
+                    session, config.n_measurements, config.repetitions_per_measurement, params
                 )
             )
         if errors:
@@ -106,7 +142,7 @@ def run(
         name="fig12",
         description="95th percentile synchronization error vs SNR",
         series={
-            "snr_db": list(snr_points_db),
+            "snr_db": list(config.snr_points_db),
             "sync_error_p95_ns": percentile_95_ns,
             "sync_error_median_ns": median_ns,
         },
@@ -119,3 +155,11 @@ def run(
             "figure": "Fig. 12",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

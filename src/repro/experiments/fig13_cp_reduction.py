@@ -16,16 +16,41 @@ too-small CP on top of thermal noise.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.analysis.metrics import evm_to_snr_db
 from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.phy import bits as bitutils
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 from repro.phy.transmitter import encode_payload_to_symbols
 
-__all__ = ["run", "measure_snr_vs_cp"]
+__all__ = ["Config", "SPEC", "run", "measure_snr_vs_cp"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the Fig. 13 reproduction."""
+
+    cp_values_samples: tuple[int, ...] = (0, 2, 4, 6, 8, 12, 16, 20, 26, 32)
+    snr_db: float = 20.0
+    n_frames: int = 2
+    seed: int = 5
+    params: OFDMParams = DEFAULT_PARAMS
+    snr_fraction: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not self.cp_values_samples:
+            raise ValueError("cp_values_samples must be non-empty")
+        if any(cp < 0 for cp in self.cp_values_samples):
+            raise ValueError("cyclic-prefix lengths must be >= 0 samples")
+        if self.n_frames < 1:
+            raise ValueError("n_frames must be >= 1")
+        if not 0.0 < self.snr_fraction <= 1.0:
+            raise ValueError("snr_fraction must be in (0, 1]")
 
 
 def _joint_effective_snr_db(session: SourceSyncSession, payload: bytes, cp_samples: int, compensate: bool, rng: np.random.Generator) -> float:
@@ -83,17 +108,26 @@ def measure_snr_vs_cp(
     return snrs
 
 
-def run(
-    cp_values_samples: tuple[int, ...] = (0, 2, 4, 6, 8, 12, 16, 20, 26, 32),
-    snr_db: float = 20.0,
-    n_frames: int = 2,
-    seed: int = 5,
-    params: OFDMParams = DEFAULT_PARAMS,
-    snr_fraction: float = 0.95,
-) -> ExperimentResult:
+@experiment(
+    name="fig13",
+    description="Joint-transmission SNR vs cyclic prefix (SourceSync vs unsynchronized baseline)",
+    config=Config,
+    presets={
+        "smoke": {"cp_values_samples": (0, 8, 32), "n_frames": 1},
+        "quick": {"cp_values_samples": (0, 2, 4, 8, 16, 24, 32), "n_frames": 1},
+        "full": {"n_frames": 4},
+    },
+    tags=("sync", "phy"),
+)
+def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 13: SNR vs CP for SourceSync and the unsynchronized baseline."""
-    sourcesync = measure_snr_vs_cp(cp_values_samples, True, snr_db, n_frames=n_frames, seed=seed, params=params)
-    baseline = measure_snr_vs_cp(cp_values_samples, False, snr_db, n_frames=n_frames, seed=seed, params=params)
+    cp_values_samples, params, snr_fraction = config.cp_values_samples, config.params, config.snr_fraction
+    sourcesync = measure_snr_vs_cp(
+        cp_values_samples, True, config.snr_db, n_frames=config.n_frames, seed=config.seed, params=params
+    )
+    baseline = measure_snr_vs_cp(
+        cp_values_samples, False, config.snr_db, n_frames=config.n_frames, seed=config.seed, params=params
+    )
     cp_ns = [cp * params.sample_period_ns for cp in cp_values_samples]
 
     def cp_for_fraction(snrs: list[float]) -> float:
@@ -127,3 +161,11 @@ def run(
             "figure": "Fig. 13",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

@@ -17,13 +17,32 @@ seeded channel realisations are unchanged.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.channel.multipath import WIGLAN_PROFILE, MultipathProfile
 from repro.experiments.batch import draw_tap_ensemble
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 
-__all__ = ["run", "average_tap_powers", "count_significant_taps"]
+__all__ = ["Config", "SPEC", "run", "average_tap_powers", "count_significant_taps"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the Fig. 14 reproduction."""
+
+    profile: MultipathProfile = WIGLAN_PROFILE
+    n_realizations: int = 200
+    n_taps_plotted: int = 70
+    seed: int = 14
+
+    def __post_init__(self) -> None:
+        if self.n_realizations < 1:
+            raise ValueError("n_realizations must be >= 1")
+        if self.n_taps_plotted < 1:
+            raise ValueError("n_taps_plotted must be >= 1")
 
 
 def average_tap_powers(
@@ -52,14 +71,22 @@ def count_significant_taps(tap_powers: np.ndarray, threshold_fraction: float = 0
     return int(significant[-1] + 1) if significant.size else 0
 
 
-def run(
-    profile: MultipathProfile = WIGLAN_PROFILE,
-    n_realizations: int = 200,
-    n_taps_plotted: int = 70,
-    seed: int = 14,
-) -> ExperimentResult:
+@experiment(
+    name="fig14",
+    description="Delay spread of a single sender (|H|^2 vs tap index, 128 MHz sampling)",
+    config=Config,
+    presets={
+        "smoke": {"n_realizations": 20},
+        "quick": {"n_realizations": 100},
+        "full": {"n_realizations": 1000},
+    },
+    tags=("channel", "phy"),
+    batched=True,
+)
+def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 14: channel power vs tap index."""
-    powers = average_tap_powers(profile, n_realizations, n_taps_plotted, seed)
+    n_taps_plotted = config.n_taps_plotted
+    powers = average_tap_powers(config.profile, config.n_realizations, n_taps_plotted, config.seed)
     n_significant = count_significant_taps(powers)
     sample_period_ns = 1e9 / 128e6  # the WiGLAN platform samples at 128 MHz
     return ExperimentResult(
@@ -78,3 +105,11 @@ def run(
             "figure": "Fig. 14",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

@@ -15,15 +15,31 @@ estimation path is exercised.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.analysis.snr import SNR_REGIMES
 from repro.channel.awgn import linear_to_db
 from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 
-__all__ = ["run", "measure_regime", "REGIME_TARGET_SNR_DB"]
+__all__ = ["Config", "SPEC", "run", "measure_regime", "REGIME_TARGET_SNR_DB"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the Fig. 15 reproduction."""
+
+    n_placements: int = 4
+    seed: int = 15
+    params: OFDMParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if self.n_placements < 1:
+            raise ValueError("n_placements must be >= 1")
 
 #: Representative average link SNRs for each regime of §8.2.
 REGIME_TARGET_SNR_DB = {"low": 4.0, "medium": 9.0, "high": 16.0}
@@ -79,18 +95,27 @@ def measure_regime(
     return single, joint, profiles
 
 
-def run(
-    n_placements: int = 4,
-    seed: int = 15,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> ExperimentResult:
+@experiment(
+    name="fig15",
+    description="Average SNR of single sender vs SourceSync joint transmission per SNR regime",
+    config=Config,
+    presets={
+        "smoke": {"n_placements": 1},
+        "quick": {"n_placements": 3},
+        "full": {"n_placements": 10},
+    },
+    tags=("phy", "diversity"),
+)
+def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 15: average SNR, single sender vs SourceSync, per regime."""
     regimes = list(SNR_REGIMES.keys())
     single_means: list[float] = []
     joint_means: list[float] = []
     gains: list[float] = []
     for regime in regimes:
-        single, joint, _ = measure_regime(REGIME_TARGET_SNR_DB[regime], n_placements, seed, params)
+        single, joint, _ = measure_regime(
+            REGIME_TARGET_SNR_DB[regime], config.n_placements, config.seed, config.params
+        )
         single_mean = float(np.mean(single)) if single else float("nan")
         joint_mean = float(np.mean(joint)) if joint else float("nan")
         single_means.append(single_mean)
@@ -114,3 +139,11 @@ def run(
             "figure": "Fig. 15",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

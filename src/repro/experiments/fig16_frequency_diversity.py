@@ -13,6 +13,8 @@ summarises flatness as the per-subcarrier SNR standard deviation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.analysis.snr import flatness_db
@@ -20,9 +22,28 @@ from repro.channel.awgn import linear_to_db
 from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
 from repro.experiments.common import ExperimentResult
 from repro.experiments.fig15_power_gains import REGIME_TARGET_SNR_DB
+from repro.experiments.registry import experiment
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 
-__all__ = ["run", "measure_profiles"]
+__all__ = ["Config", "SPEC", "run", "measure_profiles"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the Fig. 16 reproduction.
+
+    The figure needs exactly one placement per SNR regime, so the workload
+    is the same at every preset; ``max_attempts`` bounds the topology
+    re-draws when a placement fails to produce a co-sender estimate.
+    """
+
+    seed: int = 16
+    max_attempts: int = 5
+    params: OFDMParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
 
 
 def measure_profiles(
@@ -63,15 +84,20 @@ def measure_profiles(
     return None
 
 
-def run(
-    seed: int = 16,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> ExperimentResult:
+@experiment(
+    name="fig16",
+    description="Per-subcarrier SNR of each sender and of the SourceSync joint transmission",
+    config=Config,
+    presets={"smoke": {}, "quick": {}, "full": {}},
+    tags=("phy", "diversity"),
+)
+def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 16(a-c): per-subcarrier SNR in the three regimes."""
+    params = config.params
     series: dict[str, list[float]] = {"subcarrier_index": list(range(params.n_occupied_subcarriers))}
     summary: dict[str, float] = {}
     for regime, target in REGIME_TARGET_SNR_DB.items():
-        profiles = measure_profiles(target, seed=seed, params=params)
+        profiles = measure_profiles(target, seed=config.seed, params=params, max_attempts=config.max_attempts)
         if profiles is None:
             continue
         for key, values in profiles.items():
@@ -96,3 +122,11 @@ def run(
             "figure": "Fig. 16(a)-(c)",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

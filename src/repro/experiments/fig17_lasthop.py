@@ -12,18 +12,37 @@ from.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.analysis.cdf import EmpiricalCDF
 from repro.channel.propagation import PathLossModel
 from repro.experiments.batch import run_trials
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.lasthop.controller import SourceSyncController
 from repro.lasthop.simulation import simulate_downlink
 from repro.net.topology import Testbed
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 
-__all__ = ["run", "simulate_placement"]
+__all__ = ["Config", "SPEC", "run", "simulate_placement"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the Fig. 17 reproduction."""
+
+    n_placements: int = 25
+    n_packets: int = 120
+    seed: int = 17
+    params: OFDMParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if self.n_placements < 1:
+            raise ValueError("n_placements must be >= 1")
+        if self.n_packets < 1:
+            raise ValueError("n_packets must be >= 1")
 
 
 def simulate_placement(
@@ -69,12 +88,18 @@ def simulate_placement(
     return best.throughput_mbps, joint.throughput_mbps
 
 
-def run(
-    n_placements: int = 25,
-    n_packets: int = 120,
-    seed: int = 17,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> ExperimentResult:
+@experiment(
+    name="fig17",
+    description="Last-hop downlink throughput CDF: single best AP vs SourceSync",
+    config=Config,
+    presets={
+        "smoke": {"n_placements": 2, "n_packets": 24},
+        "quick": {"n_placements": 12, "n_packets": 80},
+        "full": {"n_placements": 40, "n_packets": 150},
+    },
+    tags=("mac", "diversity"),
+)
+def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 17: CDFs of last-hop throughput for both schemes.
 
     Placements are independent trials collected through the ensemble
@@ -84,9 +109,10 @@ def run(
     MAC airtimes) is memoised in :class:`repro.net.topology.Testbed` and
     :class:`repro.net.mac.MacTiming` instead.
     """
-    rng = np.random.default_rng(seed)
+    n_placements = config.n_placements
+    rng = np.random.default_rng(config.seed)
     pairs = run_trials(
-        lambda _i: simulate_placement(rng, n_packets=n_packets, params=params),
+        lambda _i: simulate_placement(rng, n_packets=config.n_packets, params=config.params),
         n_placements,
     )
     best_values = [best for best, _ in pairs]
@@ -113,3 +139,11 @@ def run(
             "figure": "Fig. 17",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

@@ -16,18 +16,42 @@ single path).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.analysis.cdf import EmpiricalCDF
 from repro.channel.propagation import PathLossModel
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.net.topology import Testbed
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 from repro.routing.exor import ExorConfig, simulate_exor
 from repro.routing.exor_sourcesync import simulate_exor_sourcesync
 from repro.routing.single_path import simulate_single_path
 
-__all__ = ["run", "random_relay_topology", "simulate_topology"]
+__all__ = ["Config", "SPEC", "run", "random_relay_topology", "simulate_topology"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the Fig. 18 reproduction."""
+
+    rates_mbps: tuple[float, ...] = (6.0, 12.0)
+    n_topologies: int = 20
+    batch_size: int = 24
+    seed: int = 18
+    params: OFDMParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if not self.rates_mbps:
+            raise ValueError("rates_mbps must be non-empty")
+        if any(rate <= 0 for rate in self.rates_mbps):
+            raise ValueError("bit rates must be positive")
+        if self.n_topologies < 1:
+            raise ValueError("n_topologies must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
 
 #: Distance between source and destination; chosen so the direct link is
 #: lossy and relays in between have intermediate loss rates, like the lossy
@@ -76,23 +100,29 @@ def simulate_topology(
     return single.throughput_mbps, exor.throughput_mbps, joint.throughput_mbps
 
 
-def run(
-    rates_mbps: tuple[float, ...] = (6.0, 12.0),
-    n_topologies: int = 20,
-    batch_size: int = 24,
-    seed: int = 18,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> ExperimentResult:
+@experiment(
+    name="fig18",
+    description="Opportunistic routing throughput CDFs (single path, ExOR, ExOR+SourceSync)",
+    config=Config,
+    presets={
+        "smoke": {"rates_mbps": (12.0,), "n_topologies": 2, "batch_size": 8},
+        "quick": {"n_topologies": 10, "batch_size": 16},
+        "full": {"n_topologies": 40},
+    },
+    tags=("routing", "diversity"),
+)
+def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 18(a) and (b): throughput CDFs per scheme and rate."""
+    n_topologies, batch_size = config.n_topologies, config.batch_size
     series: dict[str, list[float]] = {}
     summary: dict[str, float] = {}
-    for rate in rates_mbps:
-        rng = np.random.default_rng(seed + int(rate))
+    for rate in config.rates_mbps:
+        rng = np.random.default_rng(config.seed + int(rate))
         single_values: list[float] = []
         exor_values: list[float] = []
         joint_values: list[float] = []
         for _ in range(n_topologies):
-            testbed = random_relay_topology(rng, params=params)
+            testbed = random_relay_topology(rng, params=config.params)
             single, exor, joint = simulate_topology(testbed, rate, rng, batch_size)
             single_values.append(single)
             exor_values.append(exor)
@@ -121,3 +151,11 @@ def run(
             "figure": "Fig. 18(a), 18(b)",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

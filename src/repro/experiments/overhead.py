@@ -10,13 +10,42 @@ grows with rate (shorter data section) and shrinks with packet size.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.net.mac import MacTiming
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 
-__all__ = ["run", "overhead_fraction"]
+__all__ = ["Config", "SPEC", "run", "overhead_fraction"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """Parameters of the §4.4 overhead table.
+
+    The computation is closed-form and draws no random numbers; ``seed`` is
+    kept so registry-wide overrides and sweeps (``--set seed=...``) apply
+    uniformly to every experiment.
+    """
+
+    sender_counts: tuple[int, ...] = (1, 2, 3, 4, 5)
+    rate_mbps: float = 12.0
+    payload_bytes: int = 1460
+    seed: int = 0
+    params: OFDMParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if not self.sender_counts:
+            raise ValueError("sender_counts must be non-empty")
+        if any(n < 1 for n in self.sender_counts):
+            raise ValueError("sender counts must be >= 1")
+        if self.rate_mbps <= 0:
+            raise ValueError("rate_mbps must be positive")
+        if self.payload_bytes < 1:
+            raise ValueError("payload_bytes must be >= 1")
 
 
 def overhead_fraction(
@@ -32,14 +61,24 @@ def overhead_fraction(
     return timing.joint_overhead_fraction(payload_bytes, rate_mbps, n_cosenders=n_senders - 1)
 
 
-def run(
-    sender_counts: tuple[int, ...] = (1, 2, 3, 4, 5),
-    rate_mbps: float = 12.0,
-    payload_bytes: int = 1460,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> ExperimentResult:
+@experiment(
+    name="overhead",
+    description="Synchronization overhead vs number of concurrent senders (§4.4)",
+    config=Config,
+    presets={
+        "smoke": {},
+        "quick": {},
+        "full": {"sender_counts": (1, 2, 3, 4, 5, 6, 7, 8)},
+    },
+    tags=("mac", "overhead"),
+)
+def _run(config: Config) -> ExperimentResult:
     """Regenerate the §4.4 overhead numbers."""
-    fractions = [overhead_fraction(n, rate_mbps, payload_bytes, params) for n in sender_counts]
+    sender_counts = config.sender_counts
+    fractions = [
+        overhead_fraction(n, config.rate_mbps, config.payload_bytes, config.params)
+        for n in sender_counts
+    ]
     percents = [100.0 * f for f in fractions]
     two = percents[sender_counts.index(2)] if 2 in sender_counts else float("nan")
     five = percents[sender_counts.index(5)] if 5 in sender_counts else float("nan")
@@ -59,3 +98,11 @@ def run(
             "section": "§4.4",
         },
     )
+
+
+SPEC = _run.spec
+
+
+def run(**kwargs) -> ExperimentResult:
+    """Legacy entry point: ``run(**kwargs)`` is ``SPEC.run(Config(**kwargs))``."""
+    return SPEC.run(Config(**kwargs))

@@ -1,72 +1,187 @@
-"""Run every experiment and collect the paper-vs-measured comparison.
+"""Registry-driven experiment runner: selection, validation, parallelism.
 
-``python -m repro.experiments.runner`` regenerates all figures with small
-default workloads and prints one report per experiment; the benchmark
-harness in ``benchmarks/`` wraps the same entry points with
-pytest-benchmark so the figures can be regenerated and timed with
-``pytest benchmarks/ --benchmark-only``.
+``run_all`` resolves experiment names (or ``--tag`` filters) against the
+central registry (:mod:`repro.experiments.registry`), validates *every*
+requested name, preset and config override up front — one
+:class:`ValueError` lists every unknown name, instead of a partial run
+failing midway — and then executes the selected experiments sequentially
+or across a process pool (``jobs > 1``).  Every experiment seeds its own
+RNGs from its config, so parallel and sequential execution produce
+identical results.
+
+``sweep`` expands ``field=value`` grids into the cartesian product of
+configs for one experiment and runs the grid points with the same
+machinery.
+
+``python -m repro.experiments.runner`` is kept as a legacy alias for
+``python -m repro.experiments run`` (see :mod:`repro.experiments.cli`).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.experiments import (
-    ablation_combining,
-    ablation_slope,
-    fig12_sync_error,
-    fig13_cp_reduction,
-    fig14_delay_spread,
-    fig15_power_gains,
-    fig16_frequency_diversity,
-    fig17_lasthop,
-    fig18_opportunistic,
-    overhead,
-)
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]
+__all__ = ["EXPERIMENTS", "run_all", "run_experiment", "sweep", "SweepPoint"]
 
-#: Registry of experiment name -> zero-argument callable with quick defaults.
+
+def _quick_factory(name: str) -> Callable[[], ExperimentResult]:
+    def factory() -> ExperimentResult:
+        return run_experiment(name)
+
+    return factory
+
+
+#: Backward-compatible registry view: name -> zero-argument callable running
+#: the experiment's ``quick`` preset.  New code should use
+#: :mod:`repro.experiments.registry` directly.
 EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
-    "fig12": lambda: fig12_sync_error.run(
-        snr_points_db=(6.0, 12.0, 20.0), n_topologies=2, n_measurements=4
-    ),
-    "fig13": lambda: fig13_cp_reduction.run(cp_values_samples=(0, 2, 4, 8, 16, 24, 32), n_frames=1),
-    "fig14": lambda: fig14_delay_spread.run(n_realizations=100),
-    "fig15": lambda: fig15_power_gains.run(n_placements=3),
-    "fig16": lambda: fig16_frequency_diversity.run(),
-    "fig17": lambda: fig17_lasthop.run(n_placements=12, n_packets=80),
-    "fig18": lambda: fig18_opportunistic.run(n_topologies=10, batch_size=16),
-    "overhead": lambda: overhead.run(),
-    "ablation_combining": lambda: ablation_combining.run(n_realizations=150),
-    "ablation_slope": lambda: ablation_slope.run(n_trials=8),
+    name: _quick_factory(name) for name in registry.names()
 }
 
 
-def run_experiment(name: str) -> ExperimentResult:
-    """Run a single experiment by name with quick defaults."""
-    try:
-        factory = EXPERIMENTS[name]
-    except KeyError as exc:
-        raise ValueError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}") from exc
-    return factory()
+def run_experiment(
+    name: str,
+    preset: str = "quick",
+    overrides: Mapping[str, Any] | None = None,
+) -> ExperimentResult:
+    """Run a single experiment by name at the given preset."""
+    spec = registry.get(name)
+    return spec.run(spec.make_config(preset, overrides))
 
 
-def run_all(names: list[str] | None = None) -> dict[str, ExperimentResult]:
-    """Run all (or selected) experiments and return their results."""
-    selected = list(EXPERIMENTS) if names is None else names
-    return {name: run_experiment(name) for name in selected}
+def _resolve_names(
+    names: Sequence[str] | None,
+    tags: Iterable[str] | None = None,
+) -> list[str]:
+    """Requested names in registry order, validated up front.
+
+    Unknown names are collected and reported in a single ``ValueError`` so a
+    typo in the last of ten names is caught before the first experiment runs.
+    """
+    known = registry.names()
+    if names is None:
+        selected = list(known)
+    else:
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown experiments {unknown}; known: {sorted(known)}"
+            )
+        selected = [n for n in known if n in set(names)]
+    if tags:
+        wanted = set(tags)
+        unknown_tags = sorted(wanted - set(registry.all_tags()))
+        if unknown_tags:
+            raise ValueError(
+                f"unknown tags {unknown_tags}; known: {registry.all_tags()}"
+            )
+        selected = [n for n in selected if wanted & set(registry.get(n).tags)]
+    return selected
+
+
+def _run_job(job: tuple[str, str, dict[str, Any] | None]) -> ExperimentResult:
+    """Process-pool entry point: run one (name, preset, overrides) job."""
+    name, preset, overrides = job
+    spec = registry.get(name)
+    return spec.run(spec.make_config(preset, overrides))
+
+
+def _execute(jobs: list[tuple[str, str, dict[str, Any] | None]], n_jobs: int) -> list[ExperimentResult]:
+    """Run jobs sequentially or across a process pool, preserving order."""
+    if n_jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if n_jobs == 1 or len(jobs) <= 1:
+        return [_run_job(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(jobs))) as pool:
+        return list(pool.map(_run_job, jobs))
+
+
+def run_all(
+    names: Sequence[str] | None = None,
+    preset: str = "quick",
+    overrides: Mapping[str, Any] | None = None,
+    jobs: int = 1,
+    tags: Iterable[str] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run all (or selected) experiments and return their results by name.
+
+    ``overrides`` apply to every selected experiment; a field unknown to any
+    selected experiment's config raises before anything runs.  With
+    ``jobs > 1`` the experiments run process-parallel.
+    """
+    selected = _resolve_names(names, tags)
+    job_list: list[tuple[str, str, dict[str, Any] | None]] = []
+    for name in selected:
+        spec = registry.get(name)
+        spec.make_config(preset, overrides)  # up-front preset/override validation
+        job_list.append((name, preset, dict(overrides) if overrides else None))
+    results = _execute(job_list, jobs)
+    return dict(zip(selected, results))
+
+
+class SweepPoint:
+    """One grid point of a parameter sweep: the full overrides and the result.
+
+    ``overrides`` holds the merged fixed + grid fields actually applied to
+    the config, so :meth:`label` (and therefore artifact filenames) stays
+    unique across sweeps that differ only in their fixed ``--set`` fields.
+    """
+
+    __slots__ = ("overrides", "result")
+
+    def __init__(self, overrides: dict[str, Any], result: ExperimentResult):
+        self.overrides = overrides
+        self.result = result
+
+    def label(self) -> str:
+        """Stable ``key=value`` label, e.g. ``"n_trials=8__seed=1"``."""
+        return "__".join(f"{k}={v}" for k, v in self.overrides.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepPoint({self.label()})"
+
+
+def sweep(
+    name: str,
+    grid: Mapping[str, Sequence[Any]],
+    preset: str = "quick",
+    overrides: Mapping[str, Any] | None = None,
+    jobs: int = 1,
+) -> list[SweepPoint]:
+    """Run one experiment over the cartesian product of ``grid`` values.
+
+    ``grid`` maps config field names to the values to sweep; ``overrides``
+    are fixed fields applied to every point.  Points run process-parallel
+    with ``jobs > 1`` and are returned in grid order.
+    """
+    spec = registry.get(name)
+    if not grid:
+        raise ValueError("sweep grid must name at least one field")
+    keys = list(grid)
+    combos = [dict(zip(keys, values)) for values in itertools.product(*(grid[k] for k in keys))]
+    job_list = []
+    merged_combos = []
+    for combo in combos:
+        merged = {**(overrides or {}), **combo}
+        spec.make_config(preset, merged)  # validate every grid point up front
+        job_list.append((name, preset, merged))
+        merged_combos.append(merged)
+    results = _execute(job_list, jobs)
+    return [SweepPoint(merged, result) for merged, result in zip(merged_combos, results)]
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
-    """Command-line entry point printing every experiment report."""
+    """Legacy entry point: forwards to ``python -m repro.experiments run``."""
     import sys
 
-    names = sys.argv[1:] or None
-    for name, result in run_all(names).items():
-        print(result.report())
-        print()
+    from repro.experiments.cli import main as cli_main
+
+    sys.exit(cli_main(["run", *sys.argv[1:], "--no-save"]))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,114 @@
+"""Tests for JSON result artifacts: round-trips, provenance, file I/O."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult
+
+
+def _demo_result() -> ExperimentResult:
+    return ExperimentResult(
+        name="demo",
+        description="artifact round-trip demo",
+        series={
+            "x": [1, 2, 3],
+            "float_array": np.linspace(0.0, 1.0, 5),
+            "int_array": np.arange(4, dtype=np.int32),
+            "complex_array": np.array([1 + 2j, -0.5j]),
+            "labels": ["a", "b"],
+        },
+        summary={"metric": 1.5, "count": 3.0},
+        paper_reference={"claim": "something"},
+        config={"n": 3, "seed": 7},
+        provenance={"experiment": "demo", "seed": 7},
+    )
+
+
+class TestJsonRoundTrip:
+    def test_numpy_arrays_survive_with_dtype(self):
+        original = _demo_result()
+        restored = ExperimentResult.from_json(original.to_json())
+        assert isinstance(restored.series["float_array"], np.ndarray)
+        assert restored.series["float_array"].dtype == np.float64
+        np.testing.assert_array_equal(restored.series["float_array"], original.series["float_array"])
+        assert restored.series["int_array"].dtype == np.int32
+        np.testing.assert_array_equal(restored.series["int_array"], original.series["int_array"])
+        np.testing.assert_array_equal(restored.series["complex_array"], original.series["complex_array"])
+        assert restored.series["x"] == [1, 2, 3]
+        assert restored.series["labels"] == ["a", "b"]
+
+    def test_all_fields_survive(self):
+        original = _demo_result()
+        restored = ExperimentResult.from_json(original.to_json())
+        assert restored.name == original.name
+        assert restored.description == original.description
+        assert restored.summary == original.summary
+        assert restored.paper_reference == original.paper_reference
+        assert restored.config == original.config
+        assert restored.provenance == original.provenance
+
+    def test_payload_is_plain_json(self):
+        payload = json.loads(_demo_result().to_json())
+        assert payload["schema"] == 1
+        assert payload["series"]["float_array"]["__ndarray__"] == "float64"
+
+    def test_non_finite_values_stay_strict_json(self):
+        original = ExperimentResult(
+            name="nan_demo",
+            description="non-finite round trip",
+            series={"with_nan": np.array([1.0, np.nan, np.inf])},
+            summary={"missing": float("nan"), "ratio": float("-inf")},
+        )
+        text = original.to_json()
+        # Strict parsers must accept the artifact: no bare NaN/Infinity tokens.
+        json.loads(text, parse_constant=lambda token: pytest.fail(f"bare {token} in artifact"))
+        restored = ExperimentResult.from_json(text)
+        np.testing.assert_array_equal(restored.series["with_nan"], original.series["with_nan"])
+        assert np.isnan(restored.summary["missing"])
+        assert restored.summary["ratio"] == float("-inf")
+
+    def test_complex64_dtype_preserved(self):
+        original = ExperimentResult(
+            name="c64",
+            description="dtype round trip",
+            series={"taps": np.array([1 + 2j, -0.5j], dtype=np.complex64)},
+        )
+        restored = ExperimentResult.from_json(original.to_json())
+        assert restored.series["taps"].dtype == np.complex64
+        np.testing.assert_array_equal(restored.series["taps"], original.series["taps"])
+
+    def test_unsupported_schema_rejected(self):
+        payload = json.loads(_demo_result().to_json())
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            ExperimentResult.from_json(json.dumps(payload))
+
+    def test_save_and_load(self, tmp_path):
+        original = _demo_result()
+        path = original.save(tmp_path / "nested" / "demo.json")
+        assert path.exists()
+        restored = ExperimentResult.load(path)
+        assert restored.summary == original.summary
+        assert restored.report() == original.report()
+
+
+class TestRealArtifacts:
+    def test_registry_run_saves_config_seed_and_provenance(self, tmp_path):
+        spec = registry.get("fig14")
+        result = spec.run(spec.make_config("smoke", {"seed": 99}))
+        path = result.save(tmp_path / "fig14.json")
+        restored = ExperimentResult.load(path)
+        assert restored.config["seed"] == 99
+        assert restored.provenance["experiment"] == "fig14"
+        assert restored.provenance["seed"] == 99
+        assert "numpy_version" in restored.provenance
+        assert restored.summary == result.summary
+
+    def test_saved_artifact_is_deterministic(self, tmp_path):
+        spec = registry.get("overhead")
+        first = spec.run(spec.make_config("smoke")).save(tmp_path / "a.json")
+        second = spec.run(spec.make_config("smoke")).save(tmp_path / "b.json")
+        assert first.read_text() == second.read_text()

@@ -1,0 +1,81 @@
+"""Tests for the ``python -m repro.experiments`` command line."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig12", "fig18", "overhead", "ablation_slope"):
+        assert name in out
+
+
+def test_list_tag_filter(capsys):
+    assert main(["list", "--tag", "routing"]) == 0
+    out = capsys.readouterr().out
+    assert "fig18" in out
+    assert "fig12" not in out
+
+
+def test_run_writes_artifact_and_applies_overrides(tmp_path, capsys):
+    code = main([
+        "run", "fig14", "--preset", "smoke", "--set", "n_realizations=10",
+        "--output-dir", str(tmp_path), "--quiet",
+    ])
+    assert code == 0
+    payload = json.loads((tmp_path / "fig14.json").read_text())
+    assert payload["config"]["n_realizations"] == 10
+    assert payload["provenance"]["experiment"] == "fig14"
+    assert "fig14:" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_names_in_one_error(capsys):
+    assert main(["run", "fig98", "fig99", "--no-save"]) == 2
+    err = capsys.readouterr().err
+    assert "fig98" in err and "fig99" in err
+
+
+def test_run_rejects_bad_override(capsys):
+    assert main(["run", "fig14", "--set", "bogus=1", "--no-save"]) == 2
+    assert "unknown config field" in capsys.readouterr().err
+
+
+def test_sweep_runs_grid(tmp_path, capsys):
+    code = main([
+        "sweep", "overhead", "--sweep", "payload_bytes=400,1460",
+        "--preset", "smoke", "--output-dir", str(tmp_path),
+    ])
+    assert code == 0
+    files = sorted(p.name for p in tmp_path.glob("*.json"))
+    assert files == [
+        "overhead__smoke__payload_bytes=1460.json",
+        "overhead__smoke__payload_bytes=400.json",
+    ]
+
+
+def test_report_reprints_saved_artifacts(tmp_path, capsys):
+    main(["run", "overhead", "--preset", "smoke", "--output-dir", str(tmp_path), "--quiet"])
+    capsys.readouterr()
+    assert main(["report", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "== overhead:" in out
+    assert "paper reference" in out
+
+
+def test_report_missing_file(capsys):
+    assert main(["report", "/nonexistent/path.json"]) == 2
+
+
+def test_docs_check_detects_up_to_date(capsys):
+    assert main(["docs", "--check"]) == 0
+    assert "up to date" in capsys.readouterr().out
+
+
+def test_docs_check_detects_stale(tmp_path, capsys):
+    stale = tmp_path / "EXPERIMENTS.md"
+    stale.write_text("old\n")
+    assert main(["docs", "--check", "--output", str(stale)]) == 1

@@ -1,0 +1,19 @@
+"""EXPERIMENTS.md is generated from the registry and must stay in sync."""
+
+from repro.experiments.docs import DEFAULT_DOC_PATH, render_markdown
+
+
+def test_experiments_md_exists_and_is_in_sync():
+    assert DEFAULT_DOC_PATH.exists(), "run `python -m repro.experiments docs`"
+    assert DEFAULT_DOC_PATH.read_text() == render_markdown(), (
+        "EXPERIMENTS.md is out of date; regenerate with `python -m repro.experiments docs`"
+    )
+
+
+def test_rendered_doc_covers_every_experiment():
+    from repro.experiments import registry
+
+    content = render_markdown()
+    for spec in registry.specs():
+        assert f"## {spec.name}" in content
+        assert spec.cli_example() in content

@@ -1,0 +1,29 @@
+"""Every example script imports cleanly and runs its fast path."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = ["quickstart", "sync_accuracy", "lasthop_diversity", "opportunistic_routing"]
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(f"_example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_fast_path(name, capsys):
+    module = _load(name)
+    module.main("smoke")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+
+
+def test_examples_dir_is_fully_covered():
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

@@ -118,7 +118,10 @@ class TestLinkLevelExperiments:
 
 class TestRunner:
     def test_registry_contains_every_figure(self):
-        for name in ("fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "overhead"):
+        for name in (
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "overhead", "ablation_combining", "ablation_slope",
+        ):
             assert name in EXPERIMENTS
 
     def test_unknown_experiment_rejected(self):
