@@ -32,6 +32,7 @@ __all__ = [
     "effective_snr_db",
     "packet_error_rate",
     "delivery_probability",
+    "delivery_probabilities",
     "combined_subcarrier_snr",
     "EESM_BETA",
 ]
@@ -97,10 +98,41 @@ def delivery_probability(
     rate: Rate | float,
     payload_bytes: int = 1024,
 ) -> float:
-    """Probability that a packet at the given rate is received correctly."""
+    """Probability that a packet at the given rate is received correctly.
+
+    Thin wrapper over :func:`delivery_probabilities` with one link, so the
+    scalar and batched paths share one EESM/waterfall implementation (they
+    also share one memoisation cache in :class:`repro.net.topology.Testbed`).
+    """
+    snrs = np.asarray(per_subcarrier_snr_db, dtype=np.float64)
+    return float(delivery_probabilities(snrs[None, :], rate, payload_bytes)[0])
+
+
+def delivery_probabilities(
+    per_subcarrier_snr_db: np.ndarray,
+    rate: Rate | float,
+    payload_bytes: int = 1024,
+) -> np.ndarray:
+    """Delivery probability of every link of a ``(n_links, n_sc)`` ensemble.
+
+    Batched EESM + waterfall over the link axis: the routing experiments
+    evaluate every directed link of a topology at once instead of once per
+    ETX probe.
+    """
+    snrs = np.asarray(per_subcarrier_snr_db, dtype=np.float64)
+    if snrs.ndim != 2 or snrs.shape[1] == 0:
+        raise ValueError("expected a (n_links, n_subcarriers) SNR ensemble")
     rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
-    esnr = effective_snr_db(per_subcarrier_snr_db, rate_obj.modulation)
-    return 1.0 - packet_error_rate(esnr, rate_obj, payload_bytes)
+    if payload_bytes <= 0:
+        raise ValueError("payload_bytes must be positive")
+    beta = EESM_BETA.get(rate_obj.modulation.upper().replace("-", ""), 2.0)
+    linear = db_to_linear(snrs)
+    mean_exp = np.maximum(np.mean(np.exp(-linear / beta), axis=1), 1e-300)
+    esnr_db = linear_to_db(-beta * np.log(mean_exp))
+    length_shift_db = 10.0 * np.log10(payload_bytes / _REFERENCE_LENGTH_BYTES) / 4.0
+    margin = esnr_db - (rate_obj.min_snr_db + length_shift_db)
+    per = np.clip(1.0 / (1.0 + np.exp(_WATERFALL_STEEPNESS * margin)), 0.0, 1.0)
+    return 1.0 - per
 
 
 def combined_subcarrier_snr(per_sender_snr_db: list[np.ndarray]) -> np.ndarray:

@@ -35,9 +35,11 @@ __all__ = [
     "Link",
     "Transmission",
     "combine_at_receiver",
+    "combine_ensemble_at_receiver",
     "link_for_snr",
     "link_ensemble_for_snr",
     "propagate_ensemble",
+    "propagate_rows",
 ]
 
 
@@ -167,6 +169,141 @@ def combine_at_receiver(
     if noise_power > 0:
         received += awgn(length, noise_power, rng)
     return received
+
+
+def propagate_rows(
+    links: list[Link],
+    samples: np.ndarray,
+    start_samples: np.ndarray | list[float] | float = 0.0,
+) -> list[tuple[np.ndarray, float]]:
+    """Apply link ``i`` to row ``i`` with the per-row stages batched.
+
+    The batched counterpart of calling :meth:`Link.propagate` once per row:
+    the channel convolutions run per row (a single C call each), while the
+    fractional-delay FFT pair — the expensive stage — is batched across all
+    rows that the scalar path would transform at the same FFT size, and the
+    CFO rotation is one stacked complex exponential.  Grouping by the
+    scalar path's own FFT size keeps each row bit-identical to
+    :meth:`Link.propagate`.
+
+    ``samples`` is ``(n_rows, n_samples)`` (equal-length rows); returns the
+    scalar method's ``(waveform, integer_start)`` pair per row.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.ndim != 2 or samples.shape[0] != len(links):
+        raise ValueError("samples must have shape (n_links, n_samples)")
+    n_rows = samples.shape[0]
+    starts = np.broadcast_to(
+        np.asarray(start_samples, dtype=np.float64), (n_rows,)
+    )
+
+    shaped: list[np.ndarray] = []
+    integer_delays = np.zeros(n_rows, dtype=np.int64)
+    fractionals = np.zeros(n_rows, dtype=np.float64)
+    for i, link in enumerate(links):
+        total_delay = float(starts[i]) + float(link.delay_samples)
+        integer_delays[i] = int(np.floor(total_delay))
+        fractionals[i] = total_delay - integer_delays[i]
+        shaped.append(link.channel.apply(samples[i] * link.gain))
+
+    # Fractional delays, grouped by the FFT size the scalar path would pick.
+    groups: dict[tuple[int, int], list[int]] = {}
+    for i in range(n_rows):
+        if fractionals[i] <= 1e-9:
+            continue
+        total = shaped[i].size + int(np.ceil(fractionals[i]))
+        n_fft = int(2 ** np.ceil(np.log2(max(total, 2))))
+        groups.setdefault((n_fft, shaped[i].size), []).append(i)
+    delayed: list[np.ndarray] = list(shaped)
+    for (n_fft, _size), rows in groups.items():
+        block = np.stack([shaped[i] for i in rows])
+        spectrum = np.fft.fft(block, n_fft, axis=-1)
+        freqs = np.fft.fftfreq(n_fft)
+        shift = np.exp(-2j * np.pi * freqs[None, :] * fractionals[rows][:, None])
+        out = np.fft.ifft(spectrum * shift, axis=-1)
+        for row_pos, i in enumerate(rows):
+            total = shaped[i].size + int(np.ceil(fractionals[i]))
+            delayed[i] = out[row_pos, :total]
+
+    # CFO rotation referenced to each row's absolute receiver timeline.
+    lengths = np.array([wave.size for wave in delayed], dtype=np.int64)
+    max_len = int(lengths.max(initial=0))
+    cfo = np.array([link.cfo_hz for link in links])
+    phase0 = np.array([link.initial_phase for link in links])
+    rate = np.array([link.sample_rate_hz for link in links])
+    n = integer_delays[:, None] + np.arange(max_len)[None, :]
+    phase = 2.0 * np.pi * cfo[:, None] * n / rate[:, None] + phase0[:, None]
+    rotation = np.exp(1j * phase)
+    return [
+        (delayed[i] * rotation[i, : lengths[i]], float(integer_delays[i]))
+        for i in range(n_rows)
+    ]
+
+
+def combine_ensemble_at_receiver(
+    trials: list[tuple[list[Transmission], int | None]],
+    noise_power: float | list[float],
+    rngs: np.random.Generator | list[np.random.Generator],
+    leading_silence: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Composite-channel superposition for an ensemble of independent trials.
+
+    The multi-sender counterpart of :func:`propagate_ensemble`: each trial
+    is one ``(transmissions, total_length)`` pair — the concurrent senders
+    of one joint frame — and every trial's contributions are superimposed
+    on its own receiver timeline exactly as :func:`combine_at_receiver`
+    would.  Per-trial noise is drawn from that trial's own generator, in
+    trial order and at the trial's own (unpadded) length, so an ensemble of
+    N trials consumes each generator's stream identically to N sequential
+    :func:`combine_at_receiver` calls.
+
+    Returns ``(rows, lengths)``: a zero-padded ``(n_trials, max_len)``
+    array of received waveforms plus each trial's true length.  The padding
+    carries no energy and no noise, mirroring what a sequential caller
+    would see for each trial.
+    """
+    n_trials = len(trials)
+    if not isinstance(rngs, list):
+        rngs = [rngs] * n_trials
+    if len(rngs) != n_trials:
+        raise ValueError("need one generator per trial")
+    powers = (
+        list(noise_power) if isinstance(noise_power, (list, tuple)) else [noise_power] * n_trials
+    )
+    # Propagate every transmission of every trial, batching the per-row
+    # stages across equal-length waveforms (headers with headers, training
+    # slots with training slots) — bit-identical to per-call propagation.
+    by_length: dict[int, list[tuple[int, int]]] = {}
+    for t, (transmissions, _) in enumerate(trials):
+        for k, tx in enumerate(transmissions):
+            by_length.setdefault(np.asarray(tx.samples).shape[-1], []).append((t, k))
+    propagated: dict[tuple[int, int], tuple[np.ndarray, float]] = {}
+    for _, members in by_length.items():
+        links = [trials[t][0][k].link for t, k in members]
+        rows = np.stack([trials[t][0][k].samples for t, k in members])
+        starts_rows = [trials[t][0][k].start_sample for t, k in members]
+        for (t, k), result in zip(members, propagate_rows(links, rows, starts_rows)):
+            propagated[(t, k)] = result
+
+    staged: list[list[tuple[int, np.ndarray]]] = []
+    lengths = np.zeros(n_trials, dtype=np.int64)
+    for t, (transmissions, total_length) in enumerate(trials):
+        contributions: list[tuple[int, np.ndarray]] = []
+        end = 0
+        for k in range(len(transmissions)):
+            waveform, start = propagated[(t, k)]
+            start_idx = int(start) + leading_silence
+            contributions.append((start_idx, waveform))
+            end = max(end, start_idx + waveform.size)
+        staged.append(contributions)
+        lengths[t] = max(total_length if total_length is not None else end, end)
+    rows = np.zeros((n_trials, int(lengths.max(initial=0))), dtype=np.complex128)
+    for t, contributions in enumerate(staged):
+        for start_idx, waveform in contributions:
+            rows[t, start_idx : start_idx + waveform.size] += waveform
+        if powers[t] > 0:
+            rows[t, : lengths[t]] += awgn(int(lengths[t]), powers[t], rngs[t])
+    return rows, lengths
 
 
 def link_for_snr(

@@ -13,6 +13,7 @@ end-to-end simulated session:
 * :mod:`repro.core.sender` — lead sender / co-sender waveform construction
 * :mod:`repro.core.receiver` — joint receiver
 * :mod:`repro.core.session` — full joint-transmission simulation
+* :mod:`repro.core.ensemble` — lockstep batched execution of session ensembles
 * :mod:`repro.core.config` — configuration knobs
 """
 
@@ -29,8 +30,22 @@ from repro.core.session import (
     SyncTrialResult,
 )
 from repro.core.combining import SmartCombiner
+from repro.core.ensemble import (
+    JointFrameJob,
+    converge_tracking_batch,
+    measure_delays_batch,
+    run_header_exchanges_batch,
+    run_joint_frames_batch,
+    run_sync_trials_batch,
+)
 
 __all__ = [
+    "JointFrameJob",
+    "converge_tracking_batch",
+    "measure_delays_batch",
+    "run_header_exchanges_batch",
+    "run_joint_frames_batch",
+    "run_sync_trials_batch",
     "SourceSyncConfig",
     "JointFrameLayout",
     "SyncHeader",

@@ -1,0 +1,1048 @@
+"""Lockstep ensemble execution of joint-frame exchanges (the batched core path).
+
+The sender-diversity experiments (Figs. 12, 13, 15) are Monte-Carlo loops
+over *independent* :class:`~repro.core.session.SourceSyncSession` trials —
+independent topologies, independent RNG streams — whose per-trial work is a
+long chain of small waveform operations: probe receptions, header
+exchanges, joint frames.  Running each trial to completion one after the
+other spends most of its wall-clock on Python call overhead rather than
+array math.
+
+This module advances many sessions *in lockstep* instead: every stage of an
+exchange (probe noise, packet detection, CFO estimation, LTF channel
+estimation, phase-slope fitting, header measurement, data decoding) is
+executed for the whole ensemble as stacked array operations, mirroring how
+line-rate packet processors batch per-packet control flow into per-ensemble
+data flow.
+
+Determinism contract
+--------------------
+Every RNG draw is made from the owning session's generator in exactly the
+order the sequential code would make it: stages that consume randomness are
+looped per session (draws are cheap), stages that only compute are batched
+(compute is where the time goes).  A lockstep run over sessions
+``[s1, ..., sn]`` therefore produces the same results as running each
+session's sequential loop to completion, up to floating-point
+last-ulp differences from SIMD kernel selection on batched arrays (the same
+caveat as :meth:`repro.phy.receiver.Receiver.receive_batch`); decoded bits,
+CRC outcomes and detection decisions are identical in practice and asserted
+so by ``tests/core/test_joint_batch.py``.
+
+Entry points
+------------
+* :func:`measure_delays_batch` — the probe/response measurement phase of
+  §4.2c for an ensemble of sessions;
+* :func:`converge_tracking_batch` — the §4.5 wait-time convergence loop in
+  lockstep;
+* :func:`run_header_exchanges_batch` — header-only joint exchanges (the
+  Fig. 12 measurement primitive), optionally repeated per session;
+* :func:`run_sync_trials_batch` — schedule-only synchronization trials;
+* :func:`run_joint_frames_batch` — full joint frames decoded with one
+  block-parallel Viterbi pass across the whole ensemble (the Fig. 13 core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.awgn import awgn
+from repro.channel.composite import (
+    Link,
+    Transmission,
+    combine_ensemble_at_receiver,
+    propagate_rows,
+)
+from repro.core.channel_est.cfo import CfoEstimate
+from repro.core.frame import JointFrameLayout, make_joint_frame_config
+from repro.core.sender import CoSender
+from repro.core.session import (
+    HeaderExchangeOutcome,
+    JointFrameOutcome,
+    SourceSyncSession,
+    SyncTrialResult,
+)
+from repro.core.sync.compensation import DelayBudget, compute_wait_time
+from repro.core.sync.detection_delay import phase_slope_windowed_batch
+from repro.core.sync.probe import ProbeLegResult, PropagationDelayEstimate, _acquisition_backoff
+from repro.core.sync.tracking import WaitTimeTracker
+from repro.phy.detection import (
+    detect_packet_autocorrelation_batch,
+    estimate_coarse_cfo_rows,
+)
+from repro.phy.equalizer import estimate_channel_ltf
+from repro.phy.params import OFDMParams
+
+__all__ = [
+    "measure_delays_batch",
+    "converge_tracking_batch",
+    "run_header_exchanges_batch",
+    "run_sync_trials_batch",
+    "run_joint_frames_batch",
+    "JointFrameJob",
+]
+
+
+# ----------------------------------------------------------------------
+# Batched probe-leg primitive
+# ----------------------------------------------------------------------
+@dataclass
+class _LegJob:
+    """One probe reception to execute inside a lockstep sub-wave.
+
+    All jobs of one sub-wave must draw from *distinct* generators so that
+    batching them cannot reorder any generator's stream.
+    """
+
+    link: Link
+    rng: np.random.Generator
+    noise_power: float
+    params: OFDMParams
+    waveform: np.ndarray
+    frontend: object | None = None  #: RadioFrontend, or None to skip the latency draw
+    leading_silence: int = 80
+    tail: int = 40
+    # filled by the lockstep executor
+    received: np.ndarray | None = field(default=None, repr=False)
+    length: int = 0
+
+
+def _propagate_and_noise(
+    jobs: list[_LegJob], noises: list[np.ndarray] | None = None
+) -> np.ndarray:
+    """Propagate every job's waveform and add its noise, padded to one array.
+
+    Without ``noises``, the draws happen job-by-job in input order from each
+    job's own generator — identical to the sequential probe loops.  With
+    ``noises``, pre-drawn vectors (the optimistic draw-ahead path) are added
+    instead.  The padded ``(n_jobs, max_len)`` array is what the batched
+    detection and estimation stages consume; zero padding carries no energy
+    and cannot change a row's detection outcome.
+    """
+    propagated = propagate_rows(
+        [job.link for job in jobs], np.stack([job.waveform for job in jobs])
+    )
+    contributions = []
+    for job, (contribution, integer_start) in zip(jobs, propagated):
+        offset = job.leading_silence + int(integer_start)
+        job.length = offset + contribution.size + job.tail
+        contributions.append((offset, contribution))
+    max_len = max(job.length for job in jobs)
+    rows = np.zeros((len(jobs), max_len), dtype=np.complex128)
+    for row, (job, (offset, contribution)) in enumerate(zip(jobs, contributions)):
+        rows[row, offset : offset + contribution.size] += contribution
+        noise = (
+            noises[row] if noises is not None else awgn(job.length, job.noise_power, job.rng)
+        )
+        rows[row, : job.length] += noise
+        job.received = rows[row]
+    return rows
+
+
+def _ltf_windows(
+    rows: np.ndarray,
+    window_starts: np.ndarray,
+    cfo_hz: np.ndarray,
+    params: OFDMParams,
+) -> np.ndarray:
+    """Gather, CFO-correct and FFT the two LTF windows of every row.
+
+    Returns frequency-domain symbols of shape ``(n_rows, 2, n_fft)``.  The
+    CFO correction multiplies by the rotation at each sample's *absolute*
+    row index, matching a sequential whole-stream correction followed by
+    window extraction.
+    """
+    n = window_starts[:, None] + np.arange(2 * params.n_fft)[None, :]
+    chunks = rows[np.arange(rows.shape[0])[:, None], n]
+    rotation = np.exp(-2j * np.pi * cfo_hz[:, None] * n * params.sample_period_s)
+    corrected = chunks * rotation
+    reps = corrected.reshape(rows.shape[0], 2, params.n_fft)
+    return np.fft.fft(reps, axis=-1) / np.sqrt(params.n_fft)
+
+
+def _probe_legs_estimate(
+    jobs: list[_LegJob],
+    rows: np.ndarray,
+    detections: list,
+    detect_instants: np.ndarray,
+) -> list[ProbeLegResult]:
+    """Batched probe estimation given detection outcomes and latency draws."""
+    params = jobs[0].params
+    snr_db = np.array([job.link.snr_db(job.noise_power) for job in jobs])
+    lengths = np.array([job.length for job in jobs], dtype=np.int64)
+    detected = np.array([d.detected for d in detections])
+    start_indices = np.array([d.start_index for d in detections], dtype=np.int64)
+    cfo_hz = estimate_coarse_cfo_rows(rows, np.maximum(start_indices, 0), lengths, detected, params)
+
+    backoff = _acquisition_backoff(params)
+    stf_len = (params.n_fft // 4) * 10
+    assumed_starts = np.round(detect_instants).astype(np.int64)
+    ltf_starts = assumed_starts + stf_len + 2 * params.cp_samples - backoff
+    fits = detected & (ltf_starts + 2 * params.n_fft <= lengths) & (ltf_starts >= 0)
+
+    results: list[ProbeLegResult | None] = [None] * len(jobs)
+    true_delays = np.array(
+        [
+            detect_instants[row] - (job.leading_silence + job.link.delay_samples)
+            for row, job in enumerate(jobs)
+        ]
+    )
+    rows_idx = np.nonzero(fits)[0]
+    estimated = np.zeros(len(jobs))
+    if rows_idx.size:
+        ltf_syms = _ltf_windows(
+            rows[rows_idx], ltf_starts[rows_idx], cfo_hz[rows_idx], params
+        )
+        responses = estimate_channel_ltf(ltf_syms, params).response
+        slopes, _ = phase_slope_windowed_batch(responses, params)
+        delays = slopes * params.n_fft / (2.0 * np.pi)
+        estimated[rows_idx] = (
+            delays
+            + backoff
+            + (detect_instants[rows_idx] - assumed_starts[rows_idx])
+        )
+    for row, job in enumerate(jobs):
+        if not detected[row]:
+            results[row] = ProbeLegResult(False, 0.0, 0.0, float(snr_db[row]))
+        elif not fits[row]:
+            results[row] = ProbeLegResult(False, float(true_delays[row]), 0.0, float(snr_db[row]))
+        else:
+            results[row] = ProbeLegResult(
+                True, float(true_delays[row]), float(estimated[row]), float(snr_db[row])
+            )
+    return results  # type: ignore[return-value]
+
+
+def _probe_legs_lockstep(jobs: list[_LegJob]) -> list[ProbeLegResult]:
+    """Execute one sub-wave of probe receptions with batched computation.
+
+    The RNG contract of the module docstring holds: per job, the noise draw
+    precedes the (conditional) front-end latency draw, and jobs never share
+    a generator within one call.
+    """
+    if not jobs:
+        return []
+    params = jobs[0].params
+    rows = _propagate_and_noise(jobs)
+    detections = detect_packet_autocorrelation_batch(rows, params)
+
+    snr_db = np.array([job.link.snr_db(job.noise_power) for job in jobs])
+    detect_instants = np.zeros(len(jobs))
+    for row, (job, detection) in enumerate(zip(jobs, detections)):
+        if detection.detected and job.frontend is not None:
+            extra = job.frontend.detection_delay_samples(snr_db[row], job.rng)
+            detect_instants[row] = detection.detect_index + extra
+    return _probe_legs_estimate(jobs, rows, detections, detect_instants)
+
+
+def _cfo_probes_lockstep(jobs: list[_LegJob]) -> list[float | None]:
+    """One lockstep wave of CFO probes (no front-end draw, no slope estimate).
+
+    Returns one CFO estimate per job, or ``None`` where the probe was not
+    detected / the estimation window did not fit — the cases the sequential
+    :func:`repro.core.channel_est.cfo.measure_cfo` loop skips.
+    """
+    if not jobs:
+        return []
+    params = jobs[0].params
+    rows = _propagate_and_noise(jobs)
+    detections = detect_packet_autocorrelation_batch(rows, params)
+    lengths = np.array([job.length for job in jobs], dtype=np.int64)
+    detected = np.array([d.detected for d in detections])
+    starts = np.array([max(d.start_index, 0) for d in detections], dtype=np.int64)
+    lag = params.n_fft // 4
+    usable = detected & (starts + lag * 8 + lag <= lengths)
+    cfo = estimate_coarse_cfo_rows(rows, starts, lengths, detected, params)
+    return [float(cfo[row]) if usable[row] else None for row in range(len(jobs))]
+
+
+# ----------------------------------------------------------------------
+# Measurement phase (§4.2c, §5) in lockstep
+# ----------------------------------------------------------------------
+def _check_common_structure(sessions: list[SourceSyncSession]) -> None:
+    if not sessions:
+        raise ValueError("need at least one session")
+    reference = sessions[0].topology
+    ref_config = sessions[0].config
+    for session in sessions[1:]:
+        topo = session.topology
+        if topo.params is not reference.params and topo.params != reference.params:
+            raise ValueError("lockstep sessions must share OFDM parameters")
+        if topo.n_cosenders != reference.n_cosenders:
+            raise ValueError("lockstep sessions must have the same co-sender count")
+        # The lanes share one frame layout and one receiver configuration,
+        # so every config knob that shapes them must agree.
+        if session.config != ref_config:
+            raise ValueError("lockstep sessions must share SourceSyncConfig")
+
+
+def measure_delays_batch(
+    sessions: list[SourceSyncSession], use_true_delays: bool = False
+) -> None:
+    """Run the probe/response measurement phase for an ensemble of sessions.
+
+    Lockstep counterpart of :meth:`SourceSyncSession.measure_delays`: probe
+    legs at the same position of every session's measurement sequence are
+    detected and estimated as one batch, while each session's generator is
+    consumed in exactly its sequential order.
+    """
+    _check_common_structure(sessions)
+    if use_true_delays:
+        for session in sessions:
+            session.measure_delays(use_true_delays=True)
+        return
+
+    n_probes = {session.config.probe_count for session in sessions}
+    if len(n_probes) != 1:
+        raise ValueError("lockstep sessions must share probe_count")
+    n_probes = n_probes.pop()
+    n_cosenders = sessions[0].topology.n_cosenders
+
+    from repro.core.sync.probe import probe_waveform
+
+    for i in range(n_cosenders):
+        pair_specs = [
+            # (forward link, reverse link, responder frontend, initiator frontend)
+            lambda topo, i=i: (
+                topo.links_lead_cosender[i],
+                topo.links_cosender_lead[i],
+                topo.cosenders[i].frontend,
+                topo.lead.frontend,
+            ),
+            lambda topo: (
+                topo.link_lead_rx,
+                topo.link_rx_lead,
+                topo.receiver.frontend,
+                topo.lead.frontend,
+            ),
+            lambda topo, i=i: (
+                topo.links_cosender_rx[i],
+                topo.links_rx_cosender[i],
+                topo.receiver.frontend,
+                topo.cosenders[i].frontend,
+            ),
+        ]
+        measurements: list[list[PropagationDelayEstimate]] = []
+        for spec in pair_specs:
+            estimates_per_session: list[list[float]] = [[] for _ in sessions]
+            last_legs: list[tuple[ProbeLegResult | None, ProbeLegResult | None]] = [
+                (None, None) for _ in sessions
+            ]
+            for _ in range(n_probes):
+                fwd_jobs = []
+                for session in sessions:
+                    forward, _, responder, _ = spec(session.topology)
+                    fwd_jobs.append(
+                        _LegJob(
+                            link=forward,
+                            rng=session.rng,
+                            noise_power=session.topology.noise_power,
+                            params=session.topology.params,
+                            waveform=probe_waveform(session.topology.params),
+                            frontend=responder,
+                        )
+                    )
+                fwd = _probe_legs_lockstep(fwd_jobs)
+                rev_jobs = []
+                for session in sessions:
+                    _, reverse, _, initiator = spec(session.topology)
+                    rev_jobs.append(
+                        _LegJob(
+                            link=reverse,
+                            rng=session.rng,
+                            noise_power=session.topology.noise_power,
+                            params=session.topology.params,
+                            waveform=probe_waveform(session.topology.params),
+                            frontend=initiator,
+                        )
+                    )
+                rev = _probe_legs_lockstep(rev_jobs)
+                for s, session in enumerate(sessions):
+                    forward, reverse, _, _ = spec(session.topology)
+                    last_legs[s] = (fwd[s], rev[s])
+                    if not (fwd[s].detected and rev[s].detected):
+                        continue
+                    round_trip_minus_known = (
+                        forward.delay_samples
+                        + fwd[s].true_detection_delay
+                        + reverse.delay_samples
+                        + rev[s].true_detection_delay
+                    )
+                    two_way = (
+                        round_trip_minus_known
+                        - fwd[s].estimated_detection_delay
+                        - rev[s].estimated_detection_delay
+                    )
+                    estimates_per_session[s].append(two_way / 2.0)
+            per_session: list[PropagationDelayEstimate] = []
+            for s, session in enumerate(sessions):
+                forward, reverse, _, _ = spec(session.topology)
+                true_one_way = 0.5 * (forward.delay_samples + reverse.delay_samples)
+                if estimates_per_session[s]:
+                    per_session.append(
+                        PropagationDelayEstimate(
+                            True,
+                            float(np.mean(estimates_per_session[s])),
+                            float(true_one_way),
+                            last_legs[s][0],
+                            last_legs[s][1],
+                        )
+                    )
+                else:
+                    per_session.append(
+                        PropagationDelayEstimate(
+                            False, 0.0, true_one_way, last_legs[s][0], last_legs[s][1]
+                        )
+                    )
+            measurements.append(per_session)
+
+        # CFO probes: n_probes=4 waves (the measure_cfo default), averaged.
+        cfo_estimates: list[list[float]] = [[] for _ in sessions]
+        from repro.phy.preamble import preamble
+
+        for _ in range(4):
+            jobs = [
+                _LegJob(
+                    link=session.topology.links_lead_cosender[i],
+                    rng=session.rng,
+                    noise_power=session.topology.noise_power,
+                    params=session.topology.params,
+                    waveform=preamble(session.topology.params),
+                    frontend=None,
+                    leading_silence=60,
+                    tail=20,
+                )
+                for session in sessions
+            ]
+            for s, estimate in enumerate(_cfo_probes_lockstep(jobs)):
+                if estimate is not None:
+                    cfo_estimates[s].append(estimate)
+
+        lead_co, lead_rx, co_rx = measurements
+        for s, session in enumerate(sessions):
+            topo = session.topology
+            state = session._states[i]
+            cfo = (
+                CfoEstimate(True, float(np.mean(cfo_estimates[s])), topo.links_lead_cosender[i].cfo_hz)
+                if cfo_estimates[s]
+                else CfoEstimate(False, 0.0, topo.links_lead_cosender[i].cfo_hz)
+            )
+            state.lead_to_cosender_samples = (
+                lead_co[s].one_way_delay_samples
+                if lead_co[s].valid
+                else topo.links_lead_cosender[i].delay_samples
+            )
+            state.lead_to_receiver_samples = (
+                lead_rx[s].one_way_delay_samples
+                if lead_rx[s].valid
+                else topo.link_lead_rx.delay_samples
+            )
+            state.cosender_to_receiver_samples = (
+                co_rx[s].one_way_delay_samples
+                if co_rx[s].valid
+                else topo.links_cosender_rx[i].delay_samples
+            )
+            state.cfo_to_lead_hz = -cfo.cfo_hz if cfo.valid else 0.0
+            state.tracker = WaitTimeTracker(
+                wait_time_samples=state.lead_to_receiver_samples
+                - state.cosender_to_receiver_samples,
+                gain=session.config.tracking_gain,
+            )
+    for session in sessions:
+        session._delays_measured = True
+
+
+def _ensure_measured_batch(sessions: list[SourceSyncSession]) -> None:
+    pending = [session for session in sessions if not session._delays_measured]
+    if pending:
+        measure_delays_batch(pending)
+
+
+# ----------------------------------------------------------------------
+# Lockstep scheduling (the §4.3 wait-time computation per exchange)
+# ----------------------------------------------------------------------
+def _schedule_lockstep(
+    lanes: list[tuple[SourceSyncSession, JointFrameLayout, np.ndarray]],
+    compensate: bool | list[bool],
+) -> tuple[list[list[float]], list[list[bool]]]:
+    """Batched :meth:`SourceSyncSession._schedule_cosenders` over lanes.
+
+    ``lanes`` holds ``(session, layout, header_waveform)`` triples; each
+    session must appear at most once (distinct generators per sub-wave).
+    Probe legs are processed one co-sender index at a time so that, within
+    every lane, the noise draw of co-sender ``i+1`` follows the front-end
+    draw of co-sender ``i`` exactly as in the sequential loop.
+    """
+    n_cosenders = lanes[0][0].topology.n_cosenders
+    compensate_flags = (
+        [compensate] * len(lanes) if isinstance(compensate, bool) else list(compensate)
+    )
+    starts: list[list[float]] = [[] for _ in lanes]
+    feasible: list[list[bool]] = [[] for _ in lanes]
+    for i in range(n_cosenders):
+        jobs = [
+            _LegJob(
+                link=session.topology.links_lead_cosender[i],
+                rng=session.rng,
+                noise_power=session.topology.noise_power,
+                params=session.topology.params,
+                waveform=header_waveform,
+                frontend=session.topology.cosenders[i].frontend,
+            )
+            for session, layout, header_waveform in lanes
+        ]
+        legs = _probe_legs_lockstep(jobs)
+        for lane, (session, layout, _) in enumerate(lanes):
+            start, lane_feasible = _schedule_from_leg(
+                session, layout, i, legs[lane], compensate_flags[lane]
+            )
+            starts[lane].append(start)
+            feasible[lane].append(lane_feasible)
+    return starts, feasible
+
+
+def _schedule_from_leg(
+    session: SourceSyncSession,
+    layout: JointFrameLayout,
+    i: int,
+    leg: ProbeLegResult,
+    compensate: bool,
+) -> tuple[float, bool]:
+    """Co-sender ``i``'s transmit start from its header-reception leg (§4.3)."""
+    state = session._states[i]
+    frontend = session.topology.cosenders[i].frontend
+    link = session.topology.links_lead_cosender[i]
+    sifs = float(layout.sifs_samples)
+    header_len = float(layout.sync_header_samples)
+    slot_offset = float(i * layout.ltf_samples)
+    if not leg.detected:
+        return float("nan"), False
+    est_detect_delay = leg.estimated_detection_delay if compensate else 0.0
+    wait_time = (
+        state.tracker.wait_time_samples
+        if (state.tracker is not None and compensate)
+        else 0.0
+    )
+    if compensate:
+        budget = DelayBudget(
+            lead_to_cosender=state.lead_to_cosender_samples,
+            detection_delay=est_detect_delay,
+            turnaround=frontend.measure_turnaround_samples(),
+            lead_to_receiver=state.cosender_to_receiver_samples + wait_time,
+            cosender_to_receiver=state.cosender_to_receiver_samples,
+        )
+        schedule = compute_wait_time(budget, sifs, extra_slot_offset=slot_offset)
+        local_wait = schedule.local_wait_after_detection
+        schedule_feasible = schedule.feasible
+        actual_start = (
+            link.delay_samples
+            + leg.true_detection_delay
+            + header_len
+            + frontend.turnaround_samples
+            + max(local_wait, 0.0)
+        )
+    else:
+        target_offset = sifs + slot_offset
+        schedule_feasible = True
+        actual_start = (
+            link.delay_samples
+            + leg.true_detection_delay
+            + header_len
+            + frontend.turnaround_samples
+            + max(target_offset - frontend.turnaround_samples, 0.0)
+        )
+    return float(actual_start), bool(schedule_feasible)
+
+
+def _header_layout(session: SourceSyncSession) -> JointFrameLayout:
+    return JointFrameLayout(
+        params=session.topology.params,
+        n_cosenders=session.topology.n_cosenders,
+        n_data_symbols=1,
+        sifs_us=session.config.sifs_us,
+    )
+
+
+def _draw_header(session: SourceSyncSession, layout: JointFrameLayout, rate_mbps: float = 6.0):
+    header = session.lead.make_header(
+        packet_id=int(session.rng.integers(0, 1 << 16)),
+        rate_mbps=rate_mbps,
+        data_cp_samples=layout.effective_data_cp,
+        n_cosenders=layout.n_cosenders,
+    )
+    return header, session.lead.header_waveform(header, layout)
+
+
+def _cosender_transmissions(
+    session: SourceSyncSession,
+    layout: JointFrameLayout,
+    starts: list[float],
+    training_only: bool = True,
+    payload: bytes | None = None,
+    frame_config=None,
+    active: list[int] | None = None,
+) -> list[Transmission]:
+    topo = session.topology
+    indices = range(topo.n_cosenders) if active is None else active
+    transmissions = []
+    for i in indices:
+        if not np.isfinite(starts[i]):
+            continue
+        cosender = CoSender(
+            cosender_index=i,
+            config=session.config,
+            node_id=topo.cosenders[i].node_id,
+            # CFO pre-correction is applied even in the unsynchronized
+            # baseline (the timing comparison isolates timing, not
+            # frequency handling) — same as the sequential path.
+            cfo_precorrection_hz=session._states[i].cfo_to_lead_hz,
+        )
+        if training_only:
+            samples = cosender.training_waveform(layout)
+        else:
+            samples = cosender.build_waveform(payload, layout, frame_config)
+        transmissions.append(
+            Transmission(link=topo.links_cosender_rx[i], samples=samples, start_sample=starts[i])
+        )
+    return transmissions
+
+
+# ----------------------------------------------------------------------
+# Public lockstep entry points
+# ----------------------------------------------------------------------
+def run_sync_trials_batch(
+    sessions: list[SourceSyncSession],
+    repeats: int = 1,
+    compensate: bool = True,
+) -> list[list[SyncTrialResult]]:
+    """Schedule-only synchronization trials for an ensemble, in lockstep.
+
+    Returns ``results[session][repeat]`` matching ``repeats`` sequential
+    :meth:`SourceSyncSession.run_sync_trial` calls per session.
+    """
+    _check_common_structure(sessions)
+    _ensure_measured_batch(sessions)
+    results: list[list[SyncTrialResult]] = [[] for _ in sessions]
+    for _ in range(repeats):
+        lanes = []
+        for session in sessions:
+            layout = _header_layout(session)
+            _, header_waveform = _draw_header(session, layout)
+            lanes.append((session, layout, header_waveform))
+        starts, feasible = _schedule_lockstep(lanes, compensate)
+        for s, session in enumerate(sessions):
+            layout = lanes[s][1]
+            misalignment = session._true_misalignments(layout, starts[s])
+            snr_db = session.topology.link_lead_rx.snr_db(session.topology.noise_power)
+            results[s].append(SyncTrialResult(misalignment, tuple(feasible[s]), snr_db))
+    return results
+
+
+def run_header_exchanges_batch(
+    sessions: list[SourceSyncSession],
+    repeats: int = 1,
+    compensate: bool = True,
+    apply_tracking_feedback: bool = False,
+    genie_timing: bool = False,
+) -> list[list[HeaderExchangeOutcome]]:
+    """Header-only joint exchanges for an ensemble of sessions, in lockstep.
+
+    ``repeats`` exchanges per session are executed as waves across sessions;
+    receiver-side measurement (detection, CFO, per-sender channels,
+    misalignment) is deferred and batched across *all* waves at the end,
+    which is where the Fig. 12 measurement loop spends its time.
+
+    ``apply_tracking_feedback`` requires ``repeats == 1``: feedback makes
+    exchange ``r+1`` of a session depend on the measurement of exchange
+    ``r``, which is exactly the sequencing lockstep removes.
+    """
+    if apply_tracking_feedback and repeats != 1:
+        raise ValueError("tracking feedback requires repeats == 1 (sequential dependence)")
+    _check_common_structure(sessions)
+    _ensure_measured_batch(sessions)
+    leading_silence = 60
+    n_cosenders = sessions[0].topology.n_cosenders
+
+    # ------------------------------------------------------------------
+    # Optimistic draw-ahead: every RNG draw of every repeat happens now,
+    # per session in exact sequential order, *assuming* (a) every header
+    # probe is detected and (b) the combined waveform fits the standard
+    # total length.  Both assumptions are verified after the batched
+    # computation; a session that violates either is rolled back to its
+    # generator snapshot and replayed through the scalar path, so outputs
+    # are always those of the sequential loop.
+    # ------------------------------------------------------------------
+    layouts = [_header_layout(session) for session in sessions]
+    snapshots = [
+        {**session.rng.bit_generator.state} for session in sessions
+    ]
+    pids: list[list[int]] = []
+    probe_noises: list[list[list[np.ndarray]]] = []
+    extras: list[list[list[float]]] = []
+    combine_noises: list[list[np.ndarray | None]] = []
+    totals: list[int] = []
+    for s, session in enumerate(sessions):
+        topo = session.topology
+        layout = layouts[s]
+        header_len = layout.sync_header_samples
+        total_needed = (
+            leading_silence
+            + int(np.ceil(topo.link_lead_rx.delay_samples))
+            + layout.data_offset
+            + 40
+        )
+        totals.append(total_needed)
+        session_pids: list[int] = []
+        session_noises: list[list[np.ndarray]] = []
+        session_extras: list[list[float]] = []
+        session_combine: list[np.ndarray | None] = []
+        for _ in range(repeats):
+            session_pids.append(int(session.rng.integers(0, 1 << 16)))
+            rep_noises: list[np.ndarray] = []
+            rep_extras: list[float] = []
+            for i in range(n_cosenders):
+                link = topo.links_lead_cosender[i]
+                length = _probe_received_length(link, header_len)
+                rep_noises.append(awgn(length, topo.noise_power, session.rng))
+                snr_db = link.snr_db(topo.noise_power)
+                rep_extras.append(
+                    topo.cosenders[i].frontend.detection_delay_samples(snr_db, session.rng)
+                )
+            session_noises.append(rep_noises)
+            session_extras.append(rep_extras)
+            session_combine.append(
+                awgn(total_needed, topo.noise_power, session.rng)
+                if topo.noise_power > 0
+                else None
+            )
+        pids.append(session_pids)
+        probe_noises.append(session_noises)
+        extras.append(session_extras)
+        combine_noises.append(session_combine)
+
+    # ------------------------------------------------------------------
+    # Batched computation over every (session, repeat, cosender) probe row.
+    # ------------------------------------------------------------------
+    header_waveforms = [
+        [
+            sessions[s].lead.header_waveform(
+                sessions[s].lead.make_header(
+                    packet_id=pid,
+                    rate_mbps=6.0,
+                    data_cp_samples=layouts[s].effective_data_cp,
+                    n_cosenders=layouts[s].n_cosenders,
+                ),
+                layouts[s],
+            )
+            for pid in pids[s]
+        ]
+        for s in range(len(sessions))
+    ]
+    jobs: list[_LegJob] = []
+    job_key: list[tuple[int, int, int]] = []
+    noises_flat: list[np.ndarray] = []
+    for s, session in enumerate(sessions):
+        topo = session.topology
+        for r in range(repeats):
+            for i in range(n_cosenders):
+                jobs.append(
+                    _LegJob(
+                        link=topo.links_lead_cosender[i],
+                        rng=session.rng,
+                        noise_power=topo.noise_power,
+                        params=topo.params,
+                        waveform=header_waveforms[s][r],
+                        frontend=topo.cosenders[i].frontend,
+                    )
+                )
+                job_key.append((s, r, i))
+                noises_flat.append(probe_noises[s][r][i])
+    bad: set[int] = set()
+    legs_by_key: dict[tuple[int, int, int], ProbeLegResult] = {}
+    if jobs:
+        rows = _propagate_and_noise(jobs, noises_flat)
+        for job, noise in zip(jobs, noises_flat):
+            if job.length != noise.size:
+                raise AssertionError("draw-ahead noise length desynchronised")
+        detections = detect_packet_autocorrelation_batch(rows, jobs[0].params)
+        for (s, r, i), detection in zip(job_key, detections):
+            if not detection.detected:
+                bad.add(s)
+        detect_instants = np.array(
+            [
+                detections[k].detect_index + extras[s][r][i]
+                if detections[k].detected
+                else 0.0
+                for k, (s, r, i) in enumerate(job_key)
+            ]
+        )
+        legs = _probe_legs_estimate(jobs, rows, detections, detect_instants)
+        for key, leg in zip(job_key, legs):
+            legs_by_key[key] = leg
+
+    # Schedules, transmissions and combined waveforms for intact sessions.
+    lane_order: list[tuple[int, int]] = []
+    lane_starts: dict[tuple[int, int], list[float]] = {}
+    lane_feasible: dict[tuple[int, int], list[bool]] = {}
+    for s, session in enumerate(sessions):
+        if s in bad:
+            continue
+        for r in range(repeats):
+            starts = []
+            feasible = []
+            for i in range(n_cosenders):
+                start, ok = _schedule_from_leg(
+                    session, layouts[s], i, legs_by_key[(s, r, i)], compensate
+                )
+                starts.append(start)
+                feasible.append(ok)
+            lane_starts[(s, r)] = starts
+            lane_feasible[(s, r)] = feasible
+            lane_order.append((s, r))
+
+    # Propagate lead + co-sender contributions (grouped, batched) and check
+    # the combined waveform fits the pre-drawn noise length.
+    lane_contributions: dict[tuple[int, int], list[tuple[int, np.ndarray]]] = {}
+    grouped: dict[int, list[tuple[tuple[int, int], Transmission]]] = {}
+    for s, r in lane_order:
+        session = sessions[s]
+        topo = session.topology
+        transmissions = [
+            Transmission(
+                link=topo.link_lead_rx, samples=header_waveforms[s][r], start_sample=0.0
+            )
+        ]
+        transmissions.extend(
+            _cosender_transmissions(session, layouts[s], lane_starts[(s, r)])
+        )
+        for tx in transmissions:
+            grouped.setdefault(np.asarray(tx.samples).shape[-1], []).append(((s, r), tx))
+    for _, members in grouped.items():
+        links = [tx.link for _, tx in members]
+        waveforms = np.stack([tx.samples for _, tx in members])
+        starts_rows = [tx.start_sample for _, tx in members]
+        for (key, _), (waveform, start) in zip(members, propagate_rows(links, waveforms, starts_rows)):
+            lane_contributions.setdefault(key, []).append(
+                (int(start) + leading_silence, waveform)
+            )
+    for s, r in lane_order:
+        end = max(
+            (start_idx + waveform.size for start_idx, waveform in lane_contributions[(s, r)]),
+            default=0,
+        )
+        if end > totals[s]:
+            bad.add(s)
+
+    # ------------------------------------------------------------------
+    # Roll back violated sessions and replay them through the scalar path.
+    # ------------------------------------------------------------------
+    results: list[list[HeaderExchangeOutcome | None]] = [[None] * repeats for _ in sessions]
+    for s in bad:
+        sessions[s].rng.bit_generator.state = snapshots[s]
+        for r in range(repeats):
+            results[s][r] = sessions[s].run_header_exchange(
+                compensate=compensate,
+                apply_tracking_feedback=apply_tracking_feedback,
+                genie_timing=genie_timing,
+            )
+
+    ok_lanes = [(s, r) for s, r in lane_order if s not in bad]
+    if ok_lanes:
+        max_len = max(totals[s] for s, _ in ok_lanes)
+        padded = np.zeros((len(ok_lanes), max_len), dtype=np.complex128)
+        lengths = np.zeros(len(ok_lanes), dtype=np.int64)
+        start_hints: list[int | None] = []
+        for row, (s, r) in enumerate(ok_lanes):
+            for start_idx, waveform in lane_contributions[(s, r)]:
+                padded[row, start_idx : start_idx + waveform.size] += waveform
+            noise = combine_noises[s][r]
+            if noise is not None:
+                padded[row, : totals[s]] += noise
+            lengths[row] = totals[s]
+            start_hints.append(
+                leading_silence
+                + int(round(sessions[s].topology.link_lead_rx.delay_samples))
+                if genie_timing
+                else None
+            )
+        measured = sessions[0].receiver.measure_header_batch(
+            padded, lengths, layouts[ok_lanes[0][0]], start_hints
+        )
+        for (s, r), (channels, misalignment, _) in zip(ok_lanes, measured):
+            session = sessions[s]
+            starts = lane_starts[(s, r)]
+            true_misalignment = session._true_misalignments(layouts[s], starts)
+            if apply_tracking_feedback and misalignment is not None:
+                reported = iter(misalignment.misalignments_samples)
+                for i in range(session.topology.n_cosenders):
+                    if not np.isfinite(starts[i]):
+                        continue
+                    state = session._states[i]
+                    if state.tracker is None:
+                        continue
+                    try:
+                        state.tracker.update(next(reported))
+                    except StopIteration:
+                        break
+            snr_db = session.topology.link_lead_rx.snr_db(session.topology.noise_power)
+            results[s][r] = HeaderExchangeOutcome(
+                measured_misalignment=misalignment,
+                true_misalignment_samples=true_misalignment,
+                schedules_feasible=tuple(lane_feasible[(s, r)]),
+                snr_db=snr_db,
+                channels=channels,
+            )
+    return results  # type: ignore[return-value]
+
+
+def _probe_received_length(link: Link, waveform_len: int, leading_silence: int = 80, tail: int = 40) -> int:
+    """Length of a probe's received stream, computed without propagating.
+
+    Mirrors :meth:`Link.propagate` geometry: full channel convolution plus
+    one sample when the total delay has a fractional part — so the
+    draw-ahead path can pre-draw the exact noise vector the sequential
+    path would.
+    """
+    total_delay = float(link.delay_samples)
+    fractional = total_delay - int(np.floor(total_delay))
+    size = waveform_len + link.channel.taps.size - 1
+    if fractional > 1e-9:
+        size += int(np.ceil(fractional))
+    return leading_silence + int(np.floor(total_delay)) + size + tail
+
+
+def converge_tracking_batch(
+    sessions: list[SourceSyncSession], rounds: int = 4, compensate: bool = True
+) -> None:
+    """Run the §4.5 wait-time convergence loop for an ensemble, in lockstep."""
+    for _ in range(max(rounds, 0)):
+        run_header_exchanges_batch(
+            sessions, repeats=1, compensate=compensate, apply_tracking_feedback=True
+        )
+
+
+@dataclass(frozen=True)
+class JointFrameJob:
+    """One joint frame to transmit inside :func:`run_joint_frames_batch`."""
+
+    payload: bytes
+    rate_mbps: float = 6.0
+    data_cp_samples: int | None = None
+    compensate: bool = True
+    genie_timing: bool = False
+    active_cosenders: tuple[int, ...] | None = None
+
+
+def run_joint_frames_batch(
+    sessions: list[SourceSyncSession],
+    jobs_per_session: list[list[JointFrameJob]],
+) -> list[list[JointFrameOutcome]]:
+    """Full joint frames for an ensemble, decoded in one batched pass.
+
+    ``jobs_per_session[s]`` lists the frames session ``s`` transmits, in
+    order; frame ``r`` of every session forms wave ``r``.  Frames are
+    independent (no per-frame tracking feedback — the batched counterpart
+    of ``run_joint_frame(..., apply_tracking_feedback=False)``), so the
+    expensive receive chain (data FFTs, demapping, Viterbi) runs once over
+    the whole ensemble; equal coded lengths share one block-parallel
+    Viterbi call.
+    """
+    if len(jobs_per_session) != len(sessions):
+        raise ValueError("need one job list per session")
+    _check_common_structure(sessions)
+    _ensure_measured_batch(sessions)
+
+    n_waves = max((len(jobs) for jobs in jobs_per_session), default=0)
+    receive_jobs = []
+    lane_meta = []
+    for wave in range(n_waves):
+        lanes = []
+        for s, session in enumerate(sessions):
+            if wave >= len(jobs_per_session[s]):
+                continue
+            job = jobs_per_session[s][wave]
+            frame_config = make_joint_frame_config(
+                len(job.payload), job.rate_mbps, session.topology.params, job.data_cp_samples
+            )
+            layout = JointFrameLayout(
+                params=session.topology.params,
+                n_cosenders=session.topology.n_cosenders,
+                n_data_symbols=session._padded_symbol_count(frame_config),
+                data_cp_samples=job.data_cp_samples,
+                sifs_us=session.config.sifs_us,
+            )
+            header, header_waveform = _draw_header(session, layout, job.rate_mbps)
+            lead_waveform = session.lead.build_waveform(
+                job.payload, header, layout, frame_config
+            )
+            lanes.append((session, layout, header_waveform, s, job, frame_config, lead_waveform))
+        schedule_lanes = [(session, layout, hw) for session, layout, hw, *_ in lanes]
+        all_starts, all_feasible = _schedule_lockstep(
+            schedule_lanes, [lane[4].compensate for lane in lanes]
+        )
+        leading_silence = 60
+        wave_trials: list[tuple[list[Transmission], int | None]] = []
+        wave_info = []
+        for lane, (session, layout, header_waveform, s, job, frame_config, lead_waveform) in enumerate(
+            lanes
+        ):
+            topo = session.topology
+            starts = all_starts[lane]
+            active = (
+                list(range(topo.n_cosenders))
+                if job.active_cosenders is None
+                else sorted(job.active_cosenders)
+            )
+            transmissions = [
+                Transmission(link=topo.link_lead_rx, samples=lead_waveform, start_sample=0.0)
+            ]
+            transmissions.extend(
+                _cosender_transmissions(
+                    session,
+                    layout,
+                    starts,
+                    training_only=False,
+                    payload=job.payload,
+                    frame_config=frame_config,
+                    active=active,
+                )
+            )
+            wave_trials.append((transmissions, None))
+            start_index = (
+                leading_silence + int(round(topo.link_lead_rx.delay_samples))
+                if job.genie_timing
+                else None
+            )
+            wave_info.append((s, layout, frame_config, starts, all_feasible[lane], start_index))
+        wave_rows, wave_lengths = combine_ensemble_at_receiver(
+            wave_trials,
+            [lane[0].topology.noise_power for lane in lanes],
+            [lane[0].rng for lane in lanes],
+            leading_silence=leading_silence,
+        )
+        for (s, layout, frame_config, starts, feasible, start_index), row, length in zip(
+            wave_info, wave_rows, wave_lengths
+        ):
+            receive_jobs.append((row[:length], int(length), layout, frame_config, start_index))
+            lane_meta.append((s, wave, layout, frame_config, starts, feasible))
+
+    receiver = sessions[0].receiver
+    received_results = receiver.receive_many(receive_jobs)
+
+    results: list[list[JointFrameOutcome | None]] = [
+        [None] * len(jobs) for jobs in jobs_per_session
+    ]
+    for (s, wave, layout, frame_config, starts, feasible), result in zip(
+        lane_meta, received_results
+    ):
+        session = sessions[s]
+        misalignment = session._true_misalignments(layout, starts)
+        results[s][wave] = JointFrameOutcome(
+            result=result,
+            true_misalignment_samples=misalignment,
+            schedules_feasible=tuple(feasible),
+            layout=layout,
+            frame_config=frame_config,
+        )
+    return results  # type: ignore[return-value]

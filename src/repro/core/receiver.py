@@ -28,6 +28,7 @@ from repro.core.channel_est.joint_estimator import (
     estimate_sender_channel,
     sender_active,
 )
+from repro.core.sync.detection_delay import phase_slope_windowed_batch
 from repro.core.channel_est.phase_tracking import PerSenderPhaseTracker, pilot_owner
 from repro.core.combining.stbc import SmartCombiner
 from repro.core.config import SourceSyncConfig
@@ -38,9 +39,14 @@ from repro.phy import bits as bitutils
 from repro.phy.coding.convolutional import get_code
 from repro.phy.coding.interleaver import interleaver_permutation
 from repro.phy.coding.puncturing import depuncture
-from repro.phy.detection import detect_packet_autocorrelation
+from repro.phy.detection import (
+    detect_packet_autocorrelation,
+    detect_packet_autocorrelation_batch,
+    estimate_coarse_cfo_rows,
+)
 from repro.phy.equalizer import ChannelEstimate, estimate_channel_ltf, estimate_noise_from_ltf
 from repro.phy.modulation import get_modulation
+from repro.phy.params import OFDMParams
 from repro.phy.receiver import apply_cfo_correction
 from repro.phy.detection import estimate_coarse_cfo
 from repro.phy.transmitter import FrameConfig
@@ -93,10 +99,13 @@ class JointReceiver:
         detection = detect_packet_autocorrelation(samples, params)
         if not detection.detected:
             return False, -1
-        coarse = detection.start_index
-        # Back the acquisition LTF windows off by the full double guard so
-        # they stay inside the (periodic) training field even when the
-        # detector fired tens of samples late.
+        # Anchor on the detection *instant* (which lags the true start by
+        # the metric run plus the correlation lag) rather than the coarse
+        # start estimate: backing the double guard off from the late instant
+        # centres the LTF windows inside the periodic training field with
+        # maximal margin to the phase-slope ambiguity limit (+-n_fft/4
+        # samples of window offset).
+        coarse = detection.detect_index
         backoff = 2 * params.cp_samples
         ltf_start = coarse + layout.stf_samples + 2 * params.cp_samples - backoff
         reps = np.empty((2, params.n_fft), dtype=np.complex128)
@@ -361,3 +370,381 @@ class JointReceiver:
             cfo_hz=cfo_hz,
             equalized_symbols=decoded_symbols[: frame_config.n_data_symbols],
         )
+
+    # ------------------------------------------------------------------
+    # Batched processing (the lockstep joint-frame ensemble path)
+    # ------------------------------------------------------------------
+    def _acquire_batch(
+        self, rows: np.ndarray, lengths: np.ndarray, layout: JointFrameLayout
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`acquire` over zero-padded rows.
+
+        Returns ``(detected, starts)`` arrays; per row the same detection,
+        LTF estimation and phase-slope correction as the scalar path, with
+        the detection and slope stages batched across the ensemble.
+        """
+        params = layout.params
+        detections = detect_packet_autocorrelation_batch(rows, params)
+        n_rows = rows.shape[0]
+        detected = np.array([d.detected for d in detections])
+        coarse = np.array([d.detect_index for d in detections], dtype=np.int64)
+        starts = np.full(n_rows, -1, dtype=np.int64)
+        backoff = 2 * params.cp_samples
+        ltf_starts = coarse + layout.stf_samples + 2 * params.cp_samples - backoff
+        fits = detected & (ltf_starts >= 0) & (ltf_starts + 2 * params.n_fft <= lengths)
+        idx = np.nonzero(fits)[0]
+        if idx.size:
+            gather = ltf_starts[idx, None] + np.arange(2 * params.n_fft)[None, :]
+            reps = rows[idx[:, None], gather].reshape(idx.size, 2, params.n_fft)
+            ltf_syms = np.fft.fft(reps, axis=-1) / np.sqrt(params.n_fft)
+            responses = estimate_channel_ltf(ltf_syms, params).response
+            slopes, _ = phase_slope_windowed_batch(responses, params)
+            offsets = slopes * params.n_fft / (2.0 * np.pi) + backoff
+            starts[idx] = np.maximum(np.round(coarse[idx] - offsets).astype(np.int64), 0)
+        return fits, starts
+
+    def _header_channels_batch(
+        self, frames: np.ndarray, layout: JointFrameLayout
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+        """Lead + co-sender channel estimation for aligned header frames.
+
+        ``frames`` is ``(n, >= layout.data_offset)`` of CFO-corrected,
+        frame-aligned samples.  Returns ``(lead_responses, noise_vars,
+        slots)`` where ``slots[k] = (active_mask, responses)`` for co-sender
+        ``k`` — the batched equivalent of the per-frame estimation loops in
+        :meth:`measure_header` / :meth:`receive`.
+        """
+        params = layout.params
+        backoff = self.config.window_backoff_samples
+        n = frames.shape[0]
+        ltf_start = layout.stf_samples + 2 * params.cp_samples - backoff
+        reps = frames[:, ltf_start : ltf_start + 2 * params.n_fft].reshape(n, 2, params.n_fft)
+        ltf_syms = np.fft.fft(reps, axis=-1) / np.sqrt(params.n_fft)
+        lead_responses = estimate_channel_ltf(ltf_syms, params).response
+        noise_vars = np.asarray(estimate_noise_from_ltf(ltf_syms, params), dtype=np.float64)
+
+        threshold = 10.0 ** (3.0 / 10.0)
+        slots: list[tuple[np.ndarray, np.ndarray]] = []
+        slot_window_start = 2 * params.cp_samples - backoff
+        for k in range(layout.n_cosenders):
+            slot_start = layout.cosender_training_offset(k)
+            slot = frames[:, slot_start : slot_start + layout.ltf_samples]
+            energy = np.mean(np.abs(slot) ** 2, axis=1)
+            active = energy > noise_vars * threshold
+            slot_reps = slot[
+                :, slot_window_start : slot_window_start + 2 * params.n_fft
+            ].reshape(n, 2, params.n_fft)
+            slot_syms = np.fft.fft(slot_reps, axis=-1) / np.sqrt(params.n_fft)
+            responses = estimate_channel_ltf(slot_syms, params).response
+            slots.append((active, responses))
+        return lead_responses, noise_vars, slots
+
+    def _joint_estimates_batch(
+        self,
+        lead_responses: np.ndarray,
+        noise_vars: np.ndarray,
+        slots: list[tuple[np.ndarray, np.ndarray]],
+        layout: JointFrameLayout,
+    ) -> tuple[list[JointChannelEstimate], list[MisalignmentReport]]:
+        """Assemble per-row estimates and misalignment reports from batch arrays.
+
+        All phase-slope fits (lead and every active co-sender of every row)
+        run as one stacked call — this is the §4.5 measurement that
+        dominates the Fig. 12 loop.
+        """
+        params = layout.params
+        n = lead_responses.shape[0]
+        stacked = [lead_responses]
+        stacked.extend(responses for _, responses in slots)
+        all_responses = np.concatenate(stacked, axis=0)
+        slopes, _ = phase_slope_windowed_batch(all_responses, params)
+        delays = slopes * params.n_fft / (2.0 * np.pi)
+        lead_offsets = delays[:n]
+
+        estimates: list[JointChannelEstimate] = []
+        reports: list[MisalignmentReport] = []
+        for row in range(n):
+            cosenders: list[ChannelEstimate | None] = []
+            co_offsets: list[float] = []
+            for k, (active, responses) in enumerate(slots):
+                if not active[row]:
+                    cosenders.append(None)
+                    continue
+                channel = ChannelEstimate(
+                    response=responses[row].copy(), noise_var=float(noise_vars[row])
+                )
+                cosenders.append(channel)
+                co_offsets.append(float(delays[(k + 1) * n + row]))
+            lead_channel = ChannelEstimate(
+                response=lead_responses[row].copy(), noise_var=float(noise_vars[row])
+            )
+            estimates.append(
+                JointChannelEstimate(
+                    lead=lead_channel,
+                    cosenders=cosenders,
+                    noise_var=float(noise_vars[row]),
+                    params=params,
+                )
+            )
+            lead_offset = float(lead_offsets[row])
+            reports.append(
+                MisalignmentReport(
+                    lead_offset_samples=lead_offset,
+                    cosender_offsets_samples=tuple(co_offsets),
+                    misalignments_samples=tuple(lead_offset - off for off in co_offsets),
+                )
+            )
+        return estimates, reports
+
+    def measure_header_batch(
+        self,
+        rows: np.ndarray,
+        lengths: np.ndarray,
+        layout: JointFrameLayout,
+        start_indices: list[int | None],
+        correct_cfo: bool = True,
+    ) -> list[tuple[JointChannelEstimate | None, MisalignmentReport | None, int]]:
+        """Batched :meth:`measure_header` over a zero-padded row ensemble.
+
+        ``rows`` is ``(n, max_len)`` with per-row true lengths in
+        ``lengths``; ``start_indices[i]`` is a genie frame start or ``None``
+        to acquire.  Returns the scalar method's ``(channels, misalignment,
+        start)`` triple per row, computed with every stage batched.
+        """
+        params = layout.params
+        rows = np.asarray(rows, dtype=np.complex128)
+        n = rows.shape[0]
+        lengths = np.asarray(lengths, dtype=np.int64)
+        starts = np.zeros(n, dtype=np.int64)
+        ok = np.ones(n, dtype=bool)
+        need_acquire = [i for i, s in enumerate(start_indices) if s is None]
+        for i, s in enumerate(start_indices):
+            if s is not None:
+                starts[i] = int(s)
+        if need_acquire:
+            sub = np.asarray(need_acquire)
+            fits, acquired = self._acquire_batch(rows[sub], lengths[sub], layout)
+            ok[sub] = fits
+            starts[sub] = np.maximum(acquired, 0)
+
+        needed = layout.data_offset
+        fits_frame = ok & (starts + needed <= lengths)
+        results: list[tuple[JointChannelEstimate | None, MisalignmentReport | None, int]] = [
+            (None, None, -1)
+        ] * n
+        for i in range(n):
+            if not ok[i]:
+                results[i] = (None, None, -1)
+            elif not fits_frame[i]:
+                results[i] = (None, None, int(starts[i]))
+        idx = np.nonzero(fits_frame)[0]
+        if idx.size == 0:
+            return results
+
+        gather = starts[idx, None] + np.arange(needed)[None, :]
+        frames = rows[idx[:, None], gather]
+        if correct_cfo:
+            cfo = estimate_coarse_cfo_rows(rows, starts, lengths, fits_frame, params)[idx]
+            span = np.arange(needed)[None, :]
+            frames = frames * np.exp(
+                -2j * np.pi * cfo[:, None] * span * params.sample_period_s
+            )
+
+        lead_responses, noise_vars, slots = self._header_channels_batch(frames, layout)
+        estimates, reports = self._joint_estimates_batch(
+            lead_responses, noise_vars, slots, layout
+        )
+        for pos, i in enumerate(idx):
+            results[i] = (estimates[pos], reports[pos], int(starts[i]))
+        return results
+
+    def receive_many(
+        self,
+        jobs: list[tuple[np.ndarray, int, JointFrameLayout, FrameConfig, int | None]],
+        correct_cfo: bool = True,
+    ) -> list[JointReceiveResult]:
+        """Decode an ensemble of joint frames with batched receive stages.
+
+        Each job is ``(samples, length, layout, frame_config, start_index)``.
+        Layouts must share the header geometry (same numerology and
+        co-sender count); the data sections may differ per job (e.g. a
+        cyclic-prefix sweep).  Timing acquisition, CFO, channel estimation
+        and misalignment run batched across jobs, the per-job data sections
+        are demapped into one LLR block, and all frames with equal coded
+        length share a single block-parallel Viterbi call — the dominant
+        cost of the sequential per-frame loop.
+        """
+        if not jobs:
+            return []
+        layout0 = jobs[0][2]
+        params = layout0.params
+        n = len(jobs)
+        max_len = max(job[0].size for job in jobs)
+        rows = np.zeros((n, max_len), dtype=np.complex128)
+        lengths = np.zeros(n, dtype=np.int64)
+        for i, (samples, length, layout, _, _) in enumerate(jobs):
+            if (
+                layout.params is not params and layout.params != params
+            ) or layout.n_cosenders != layout0.n_cosenders:
+                raise ValueError("receive_many requires a common header geometry")
+            rows[i, : samples.size] = samples
+            lengths[i] = length
+
+        starts = np.zeros(n, dtype=np.int64)
+        ok = np.ones(n, dtype=bool)
+        need_acquire = [i for i, job in enumerate(jobs) if job[4] is None]
+        for i, job in enumerate(jobs):
+            if job[4] is not None:
+                starts[i] = int(job[4])
+        if need_acquire:
+            sub = np.asarray(need_acquire)
+            fits, acquired = self._acquire_batch(rows[sub], lengths[sub], layout0)
+            ok[sub] = fits
+            starts[sub] = np.maximum(acquired, 0)
+
+        results: list[JointReceiveResult | None] = [None] * n
+        total = np.array([job[2].total_samples for job in jobs], dtype=np.int64)
+        fits_frame = ok & (starts + total <= lengths)
+        for i in range(n):
+            if not ok[i]:
+                results[i] = JointReceiveResult(False, False, b"")
+            elif not fits_frame[i]:
+                results[i] = JointReceiveResult(False, False, b"", start_index=int(starts[i]))
+        idx = np.nonzero(fits_frame)[0]
+        if idx.size == 0:
+            return results  # type: ignore[return-value]
+
+        cfo = np.zeros(n)
+        if correct_cfo:
+            cfo = estimate_coarse_cfo_rows(rows, starts, lengths, fits_frame, params)
+
+        # Frame-align each active job (lengths differ with the data CP) and
+        # CFO-correct with the per-frame index ramp, then run the common
+        # header stage batched.
+        frames: dict[int, np.ndarray] = {}
+        header_len = layout0.data_offset
+        header_frames = np.empty((idx.size, header_len), dtype=np.complex128)
+        for pos, i in enumerate(idx):
+            frame = rows[i, starts[i] : starts[i] + total[i]]
+            if correct_cfo:
+                span = np.arange(frame.size)
+                frame = frame * np.exp(-2j * np.pi * cfo[i] * span * params.sample_period_s)
+            frames[i] = frame
+            header_frames[pos] = frame[:header_len]
+        lead_responses, noise_vars, slots = self._header_channels_batch(header_frames, layout0)
+        estimates, reports = self._joint_estimates_batch(
+            lead_responses, noise_vars, slots, layout0
+        )
+
+        # Per-job data sections up to the LLR block, then one Viterbi pass
+        # per coded length.
+        llr_blocks: dict[int, list[tuple[int, np.ndarray, FrameConfig]]] = {}
+        decoded_symbols_by_job: dict[int, np.ndarray] = {}
+        gains_by_job: dict[int, np.ndarray] = {}
+        for pos, i in enumerate(idx):
+            _, _, layout, frame_config, _ = jobs[i]
+            frame = frames[i]
+            joint_estimate = estimates[pos]
+            noise_var = float(noise_vars[pos])
+            backoff = self.config.window_backoff_samples
+            active_codewords = joint_estimate.active_codewords()
+            n_intended = 1 + layout.n_cosenders
+            data_params = layout.data_params
+            n_symbols_tx = self.combiner.pad_symbols(
+                np.zeros((frame_config.n_data_symbols, params.n_data_subcarriers))
+            ).shape[0]
+            data_bins = params.data_bins()
+            tracker = PerSenderPhaseTracker(n_senders=n_intended, params=params)
+            active_mask = [True] + [ch is not None for ch in joint_estimate.cosenders]
+            intended_channels = [joint_estimate.lead] + [
+                ch
+                if ch is not None
+                else ChannelEstimate(np.zeros(params.n_fft, np.complex128), noise_var)
+                for ch in joint_estimate.cosenders
+            ]
+            windows = (
+                layout.data_offset
+                + np.arange(n_symbols_tx)[:, None] * layout.data_symbol_samples
+                + data_params.cp_samples
+                - backoff
+                + np.arange(params.n_fft)[None, :]
+            )
+            freq_all = np.fft.fft(frame[windows], axis=-1) / np.sqrt(params.n_fft)
+            phase_track = np.empty((n_symbols_tx, n_intended), dtype=np.float64)
+            for t in range(n_symbols_tx):
+                if self.config.pilot_sharing:
+                    owner = pilot_owner(t, n_intended)
+                    if active_mask[owner]:
+                        tracker.update(freq_all[t], intended_channels, t)
+                else:
+                    tracker.update(freq_all[t], intended_channels, t)
+                phase_track[t] = tracker.phases
+            raw_symbols = freq_all[:, data_bins]
+            per_symbol_channels = []
+            for sender, channel in enumerate(intended_channels):
+                if not active_mask[sender]:
+                    continue
+                rotation = np.exp(1j * phase_track[:, sender])
+                per_symbol_channels.append(
+                    channel.on_bins(data_bins)[None, :] * rotation[:, None]
+                )
+            decoded_symbols, gain = self.combiner.decode(
+                raw_symbols,
+                per_symbol_channels,
+                codeword_indices=active_codewords,
+                constellation=get_modulation(frame_config.rate.modulation).points,
+                return_gain=True,
+            )
+            decoded_symbols_by_job[i] = decoded_symbols
+            gains_by_job[i] = gain
+
+            modulation = get_modulation(frame_config.rate.modulation)
+            n_cbps = frame_config.coded_bits_per_symbol
+            n_sym = frame_config.n_data_symbols
+            noise_eff = np.broadcast_to(
+                noise_var / np.maximum(gain[:n_sym], 1e-12), decoded_symbols[:n_sym].shape
+            )
+            soft = modulation.demodulate_soft(
+                decoded_symbols[:n_sym].reshape(-1), noise_eff.reshape(-1)
+            ).reshape(n_sym, n_cbps)
+            perm = interleaver_permutation(n_cbps, frame_config.rate.bits_per_symbol)
+            llrs = soft[:, perm].reshape(-1)
+            original_len = _CODE.coded_length(
+                frame_config.n_info_bits + frame_config.n_pad_bits
+            )
+            soft_full = depuncture(llrs, frame_config.rate.code_rate, original_len)
+            llr_blocks.setdefault(soft_full.size, []).append((i, soft_full, frame_config))
+
+        decoded_bits_by_job: dict[int, np.ndarray] = {}
+        for _, block in llr_blocks.items():
+            stacked = np.stack([soft_full for _, soft_full, _ in block])
+            decoded = _CODE.decode_batch(stacked, terminated=True)
+            for (i, _, frame_config), bits in zip(block, decoded):
+                decoded_bits_by_job[i] = bitutils.descramble(
+                    bits, frame_config.scrambler_seed
+                )
+
+        for pos, i in enumerate(idx):
+            _, _, layout, frame_config, _ = jobs[i]
+            joint_estimate = estimates[pos]
+            descrambled = decoded_bits_by_job[i]
+            info_bits = descrambled[: frame_config.n_info_bits]
+            frame_bytes = bitutils.bits_to_bytes(info_bits)
+            payload, crc_ok = bitutils.check_crc(frame_bytes)
+            per_sc_snr = joint_estimate.per_subcarrier_snr_db()
+            snr_db = float(
+                10.0 * np.log10(max(np.mean(10.0 ** (per_sc_snr / 10.0)), 1e-15))
+            )
+            results[i] = JointReceiveResult(
+                detected=True,
+                crc_ok=crc_ok,
+                payload=payload if crc_ok else frame_bytes[:-4],
+                start_index=int(starts[i]),
+                channels=joint_estimate,
+                misalignment=reports[pos],
+                snr_db=snr_db,
+                per_subcarrier_snr_db=per_sc_snr,
+                cfo_hz=float(cfo[i]),
+                equalized_symbols=decoded_symbols_by_job[i][: frame_config.n_data_symbols],
+            )
+        return results  # type: ignore[return-value]

@@ -25,10 +25,12 @@ from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 
 __all__ = [
     "phase_slope_windowed",
+    "phase_slope_windowed_batch",
     "phase_slope_full_band",
     "slope_to_delay_samples",
     "delay_samples_to_slope",
     "estimate_detection_delay",
+    "estimate_detection_delays_batch",
     "DetectionDelayEstimate",
 ]
 
@@ -67,6 +69,56 @@ def _slope_of_window(offsets: np.ndarray, phases: np.ndarray) -> float:
     return float(np.sum(centered * (unwrapped - unwrapped.mean())) / denom)
 
 
+#: Precomputed window layouts keyed by (params, bandwidth, min size) — the
+#: numerology is a frozen (hashable) dataclass, so equal numerologies share
+#: one entry: window index arrays into the occupied-subcarrier vector,
+#: grouped by window length so every group batches into one array operation.
+_WINDOW_LAYOUT_CACHE: dict[tuple, list[tuple[np.ndarray, np.ndarray, float]]] = {}
+
+
+def _window_layout(
+    params: OFDMParams, window_bandwidth_hz: float, min_window: int
+) -> list[tuple[np.ndarray, np.ndarray, float]]:
+    """Slope windows over the occupied subcarriers, grouped by window length.
+
+    Returns a list of groups ``(indices, centered_offsets, denom)`` where
+    ``indices`` is ``(n_windows, window_len)`` into the occupied-subcarrier
+    vector, ``centered_offsets`` the mean-removed subcarrier offsets shared
+    by every window of the group, and ``denom`` the least-squares
+    denominator.  Windows never straddle the DC hole or the guard bands
+    (runs of consecutive offsets are windowed independently).
+    """
+    offsets = params.occupied_offsets()
+    key = (params, float(window_bandwidth_hz), int(min_window))
+    cached = _WINDOW_LAYOUT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    window_size = max(int(round(window_bandwidth_hz / params.subcarrier_spacing_hz)), min_window)
+    by_length: dict[int, list[np.ndarray]] = {}
+    run_start = 0
+    for idx in range(1, offsets.size + 1):
+        end_of_run = idx == offsets.size or offsets[idx] != offsets[idx - 1] + 1
+        if not end_of_run:
+            continue
+        run_len = idx - run_start
+        for w0 in range(0, run_len - min_window + 1, window_size):
+            w1 = min(w0 + window_size, run_len)
+            if w1 - w0 < min_window:
+                continue
+            by_length.setdefault(w1 - w0, []).append(np.arange(run_start + w0, run_start + w1))
+        run_start = idx
+    groups: list[tuple[np.ndarray, np.ndarray, float]] = []
+    for length, index_rows in sorted(by_length.items()):
+        indices = np.stack(index_rows)
+        # Consecutive offsets mean every window of this length shares the
+        # same mean-removed abscissa (and therefore the same denominator).
+        base = offsets[indices[0]].astype(float)
+        centered = base - base.mean()
+        groups.append((indices, centered, float(np.sum(centered**2))))
+    _WINDOW_LAYOUT_CACHE[key] = groups
+    return groups
+
+
 def phase_slope_windowed(
     channel: ChannelEstimate | np.ndarray,
     params: OFDMParams = DEFAULT_PARAMS,
@@ -85,6 +137,10 @@ def phase_slope_windowed(
     min_window:
         Minimum number of subcarriers per window.
 
+    Thin wrapper over :func:`phase_slope_windowed_batch` with a batch of
+    one (all windows of the response are still processed as stacked array
+    operations rather than a per-window Python loop).
+
     Returns
     -------
     (slope, n_windows)
@@ -92,41 +148,55 @@ def phase_slope_windowed(
         windows that contributed.
     """
     response = channel.response if isinstance(channel, ChannelEstimate) else np.asarray(channel)
+    slopes, n_windows = phase_slope_windowed_batch(
+        response[None, :], params, window_bandwidth_hz, min_window
+    )
+    return float(slopes[0]), int(n_windows[0])
+
+
+def phase_slope_windowed_batch(
+    responses: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+    window_bandwidth_hz: float = 3e6,
+    min_window: int = 2,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Windowed phase slopes of a ``(n_channels, n_fft)`` response ensemble.
+
+    The slope windows are precomputed per numerology and grouped by length,
+    so the unwrap / least-squares fit / power weighting of *every* window of
+    *every* channel runs as a handful of stacked array operations — the hot
+    path of probe processing, misalignment measurement and joint-frame
+    acquisition.
+
+    Returns ``(slopes, n_windows)`` arrays of shape ``(n_channels,)``;
+    channels whose windows all lack energy report slope 0 with 0 windows,
+    matching :func:`phase_slope_windowed`.
+    """
+    responses = np.asarray(responses)
+    if responses.ndim != 2:
+        raise ValueError("expected a (n_channels, n_fft) response ensemble")
+    n_channels = responses.shape[0]
     offsets = params.occupied_offsets()
-    bins = params.offset_to_fft_bin(offsets)
-    values = response[bins]
+    values = responses[:, params.offset_to_fft_bin(offsets)]
 
-    window_size = max(int(round(window_bandwidth_hz / params.subcarrier_spacing_hz)), min_window)
-
-    # Split occupied subcarriers into runs of consecutive offsets (the DC
-    # hole and guard bands break contiguity), then into windows.
-    slopes: list[float] = []
-    weights: list[float] = []
-    run_start = 0
-    for idx in range(1, offsets.size + 1):
-        end_of_run = idx == offsets.size or offsets[idx] != offsets[idx - 1] + 1
-        if not end_of_run:
-            continue
-        run_offsets = offsets[run_start:idx]
-        run_values = values[run_start:idx]
-        run_start = idx
-        for w0 in range(0, run_offsets.size - min_window + 1, window_size):
-            w1 = min(w0 + window_size, run_offsets.size)
-            if w1 - w0 < min_window:
-                continue
-            window_vals = run_values[w0:w1]
-            power = float(np.mean(np.abs(window_vals) ** 2))
-            if power <= 1e-18:
-                continue
-            slope = _slope_of_window(run_offsets[w0:w1].astype(float), np.angle(window_vals))
-            slopes.append(slope)
-            weights.append(power)
-    if not slopes:
-        return 0.0, 0
-    slopes_arr = np.asarray(slopes)
-    weights_arr = np.asarray(weights)
-    mean_slope = float(np.sum(slopes_arr * weights_arr) / np.sum(weights_arr))
-    return mean_slope, len(slopes)
+    weighted = np.zeros(n_channels, dtype=np.float64)
+    weight_sum = np.zeros(n_channels, dtype=np.float64)
+    n_windows = np.zeros(n_channels, dtype=np.int64)
+    for indices, centered, denom in _window_layout(params, window_bandwidth_hz, min_window):
+        window_vals = values[:, indices]  # (n_channels, n_windows, length)
+        power = np.mean(np.abs(window_vals) ** 2, axis=-1)
+        unwrapped = np.unwrap(np.angle(window_vals), axis=-1)
+        if denom <= 0:
+            slopes = np.zeros(power.shape)
+        else:
+            demeaned = unwrapped - unwrapped.mean(axis=-1, keepdims=True)
+            slopes = (demeaned @ centered) / denom
+        usable = power > 1e-18
+        weighted += np.sum(np.where(usable, slopes * power, 0.0), axis=-1)
+        weight_sum += np.sum(np.where(usable, power, 0.0), axis=-1)
+        n_windows += np.sum(usable, axis=-1)
+    slopes_out = np.where(weight_sum > 0, weighted / np.maximum(weight_sum, 1e-300), 0.0)
+    return slopes_out, n_windows
 
 
 def phase_slope_full_band(
@@ -180,3 +250,18 @@ def estimate_detection_delay(
         slope_rad_per_subcarrier=slope,
         n_windows=n_windows,
     )
+
+
+def estimate_detection_delays_batch(
+    responses: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+    window_bandwidth_hz: float = 3e6,
+) -> np.ndarray:
+    """Detection delays (samples) of a ``(n_channels, n_fft)`` response ensemble.
+
+    The vectorised counterpart of :func:`estimate_detection_delay`, used by
+    the batched joint-frame paths to convert many channel estimates (probe
+    legs, per-sender misalignment measurements) in one stacked pass.
+    """
+    slopes, _ = phase_slope_windowed_batch(responses, params, window_bandwidth_hz)
+    return slopes * params.n_fft / (2.0 * np.pi)

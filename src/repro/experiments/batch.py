@@ -15,11 +15,13 @@ array operations:
   one generator call (used by ``fig14_delay_spread``);
 * :func:`draw_frequency_response_ensemble` — batched normalised frequency
   responses on the occupied bins (used by ``ablation_combining``);
-* :func:`run_trials` — a thin sequential-trial collector for experiments
+* :func:`run_trials` — the independent-trial collector for experiments
   whose trials are themselves feedback loops (e.g. ``fig17_lasthop``'s
-  rate-adaptation placements) and therefore cannot be array-batched; it
-  gives them the same entry-point shape so they can later be parallelised
-  in one place.
+  rate-adaptation placements) and therefore cannot be array-batched.  Each
+  trial receives its own generator spawned from the experiment seed
+  (``np.random.SeedSequence(seed).spawn(n_trials)``), so seeded results
+  are independent of trial execution order and trials can run across a
+  process pool (``jobs > 1``) without changing any output.
 
 Determinism: the batched draws reproduce the exact generator-stream order
 of the per-trial loops they replace wherever possible (see
@@ -117,16 +119,19 @@ def run_packet_ensemble(
         produce identical decoded payloads under the same seed; the flag
         exists so benchmarks and tests can compare them.
     """
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    payloads = [bitutils.random_payload(payload_bytes, rng) for _ in range(n_packets)]
-    transmitter = Transmitter(params)
-    receiver = Receiver(params)
+    # The empty-ensemble guard comes first so a zero-packet call consumes no
+    # RNG stream (payload draws happen after it): callers interleaving
+    # ensembles of varying sizes under one seed see stable draws.
     if n_packets == 0:
         return EnsembleResult(
             0, snr_db, rate_mbps,
             crc_ok=np.zeros(0, bool), detected=np.zeros(0, bool),
             payload_ok=np.zeros(0, bool), results=[],
         )
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    payloads = [bitutils.random_payload(payload_bytes, rng) for _ in range(n_packets)]
+    transmitter = Transmitter(params)
+    receiver = Receiver(params)
 
     noise_power = 1.0
     gain = float(np.sqrt(db_to_linear(snr_db) * noise_power))
@@ -235,19 +240,39 @@ def draw_frequency_response_ensemble(
     )
 
 
-def run_trials(trial_fn, n_trials: int, *args, **kwargs) -> list:
-    """Collect the results of ``n_trials`` sequential experiment trials.
+def _run_seeded_trial(job: tuple) -> object:
+    """Process-pool entry point: rebuild the trial generator and run one trial."""
+    trial_fn, index, seed_seq = job
+    return trial_fn(index, np.random.default_rng(seed_seq))
+
+
+def run_trials(trial_fn, n_trials: int, seed: int | np.random.SeedSequence, jobs: int = 1) -> list:
+    """Collect the results of ``n_trials`` independent experiment trials.
 
     Some experiments (e.g. the last-hop placements of Fig. 17) contain a
     feedback loop — rate adaptation reacting to per-packet outcomes — that
     cannot be expressed as one stacked array operation.  They still route
     through the ensemble runner via this helper so every experiment has the
-    same trial entry point.  ``trial_fn`` is called as
-    ``trial_fn(trial_index, *args, **kwargs)``.
+    same trial entry point.
 
-    Note on parallelism: current callers close over one shared sequential
-    RNG, so their seeded outputs depend on trial execution order; running
-    trials concurrently through this hook would first require threading an
-    independent per-trial seed via ``trial_index``.
+    ``trial_fn`` is called as ``trial_fn(trial_index, rng)`` where ``rng``
+    is a generator spawned from ``seed`` for that trial alone
+    (``np.random.SeedSequence(seed).spawn(n_trials)``).  Because no state
+    is shared between trials, seeded results are *independent of execution
+    order* — shuffling, resuming or parallelising the trials produces
+    identical outputs — and ``jobs > 1`` runs them across a process pool
+    (``trial_fn`` must be picklable, i.e. a module-level function or
+    ``functools.partial`` over one).  Results are returned in trial order
+    either way.
     """
-    return [trial_fn(i, *args, **kwargs) for i in range(n_trials)]
+    if n_trials < 0:
+        raise ValueError("n_trials must be non-negative")
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    children = root.spawn(n_trials)
+    if jobs <= 1 or n_trials <= 1:
+        return [trial_fn(i, np.random.default_rng(child)) for i, child in enumerate(children)]
+    from concurrent.futures import ProcessPoolExecutor
+
+    job_list = [(trial_fn, i, child) for i, child in enumerate(children)]
+    with ProcessPoolExecutor(max_workers=min(jobs, n_trials)) as pool:
+        return list(pool.map(_run_seeded_trial, job_list))

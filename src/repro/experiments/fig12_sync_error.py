@@ -21,6 +21,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
+from repro.core.ensemble import (
+    converge_tracking_batch,
+    measure_delays_batch,
+    run_header_exchanges_batch,
+)
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import experiment
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
@@ -30,7 +35,14 @@ __all__ = ["Config", "SPEC", "run", "measure_residual_sync_error"]
 
 @dataclass(frozen=True)
 class Config:
-    """Parameters of the Fig. 12 reproduction."""
+    """Parameters of the Fig. 12 reproduction.
+
+    ``batched`` selects the lockstep ensemble path
+    (:mod:`repro.core.ensemble`): every (SNR point, topology) cell draws
+    from its own spawned generator, so the batched and sequential paths
+    produce the same seeded results while the batched one advances all
+    cells together with stacked array operations.
+    """
 
     snr_points_db: tuple[float, ...] = (3.0, 6.0, 9.0, 12.0, 15.0, 20.0, 25.0)
     n_topologies: int = 3
@@ -38,6 +50,7 @@ class Config:
     repetitions_per_measurement: int = 4
     warmup_rounds: int = 5
     seed: int = 12
+    batched: bool = True
     params: OFDMParams = DEFAULT_PARAMS
 
     def __post_init__(self) -> None:
@@ -84,6 +97,54 @@ def measure_residual_sync_error(
     return errors_ns
 
 
+def _make_cell_session(
+    snr_db: float, rng: np.random.Generator, params: OFDMParams
+) -> SourceSyncSession:
+    """Session for one (SNR point, topology) cell, drawn from its own generator."""
+    topo = JointTopology.from_snrs(
+        rng,
+        lead_rx_snr_db=snr_db,
+        cosender_rx_snr_db=[snr_db],
+        lead_cosender_snr_db=[max(snr_db, 15.0)],
+        params=params,
+    )
+    return SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng)
+
+
+def _measure_residual_batch(
+    sessions: list[SourceSyncSession],
+    n_measurements: int,
+    repetitions_per_measurement: int,
+    params: OFDMParams,
+) -> list[list[float]]:
+    """Lockstep counterpart of :func:`measure_residual_sync_error`.
+
+    All sessions advance measurement-by-measurement together; the repeated
+    header receptions of one measurement are batched across sessions *and*
+    repetitions, and the per-measurement tracking update runs as one more
+    lockstep wave — the same per-session sequence as the sequential loop.
+    """
+    errors: list[list[float]] = [[] for _ in sessions]
+    for _ in range(n_measurements):
+        outcomes = run_header_exchanges_batch(
+            sessions, repeats=repetitions_per_measurement, apply_tracking_feedback=False
+        )
+        for s in range(len(sessions)):
+            estimates = []
+            for outcome in outcomes[s]:
+                if outcome.measured_misalignment is None:
+                    continue
+                values = outcome.measured_misalignment.misalignments_samples
+                if values:
+                    estimates.append(values[0])
+            if estimates:
+                errors[s].append(abs(float(np.mean(estimates))) * params.sample_period_ns)
+        # One tracking update per measurement keeps the loop converged, as a
+        # real deployment would via ACK feedback on data packets.
+        run_header_exchanges_batch(sessions, repeats=1, apply_tracking_feedback=True)
+    return errors
+
+
 @experiment(
     name="fig12",
     description="95th percentile synchronization error vs SNR",
@@ -100,6 +161,7 @@ def measure_residual_sync_error(
         "full": {"n_topologies": 6, "n_measurements": 10},
     },
     tags=("sync", "phy"),
+    batched=True,
 )
 def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 12.
@@ -107,30 +169,49 @@ def _run(config: Config) -> ExperimentResult:
     For each SNR point, random lead/co-sender/receiver topologies are built
     with both sender-receiver links at that SNR; the reported value is the
     95th percentile of the residual synchronization error across topologies
-    and measurements.
+    and measurements.  Every (SNR, topology) cell has its own spawned
+    generator; ``config.batched`` runs all cells in lockstep through the
+    batched joint-frame core path with identical seeded results.
     """
     params = config.params
-    rng = np.random.default_rng(config.seed)
-    percentile_95_ns: list[float] = []
-    median_ns: list[float] = []
-    for snr_db in config.snr_points_db:
-        errors: list[float] = []
-        for _ in range(config.n_topologies):
-            topo = JointTopology.from_snrs(
-                rng,
-                lead_rx_snr_db=snr_db,
-                cosender_rx_snr_db=[snr_db],
-                lead_cosender_snr_db=[max(snr_db, 15.0)],
-                params=params,
-            )
-            session = SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng)
+    cells = [
+        (snr_db, topo_index)
+        for snr_db in config.snr_points_db
+        for topo_index in range(config.n_topologies)
+    ]
+    cell_rngs = [
+        np.random.default_rng(child)
+        for child in np.random.SeedSequence(config.seed).spawn(len(cells))
+    ]
+    errors_per_cell: list[list[float]]
+    if config.batched:
+        sessions = [
+            _make_cell_session(snr_db, rng, params)
+            for (snr_db, _), rng in zip(cells, cell_rngs)
+        ]
+        measure_delays_batch(sessions)
+        converge_tracking_batch(sessions, rounds=config.warmup_rounds)
+        errors_per_cell = _measure_residual_batch(
+            sessions, config.n_measurements, config.repetitions_per_measurement, params
+        )
+    else:
+        errors_per_cell = []
+        for (snr_db, _), rng in zip(cells, cell_rngs):
+            session = _make_cell_session(snr_db, rng, params)
             session.measure_delays()
             session.converge_tracking(rounds=config.warmup_rounds)
-            errors.extend(
+            errors_per_cell.append(
                 measure_residual_sync_error(
                     session, config.n_measurements, config.repetitions_per_measurement, params
                 )
             )
+
+    percentile_95_ns: list[float] = []
+    median_ns: list[float] = []
+    for p, snr_db in enumerate(config.snr_points_db):
+        errors: list[float] = []
+        for t in range(config.n_topologies):
+            errors.extend(errors_per_cell[p * config.n_topologies + t])
         if errors:
             percentile_95_ns.append(float(np.percentile(errors, 95)))
             median_ns.append(float(np.median(errors)))

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.analysis.metrics import evm_to_snr_db
 from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
+from repro.core.ensemble import JointFrameJob, run_joint_frames_batch
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import experiment
 from repro.phy import bits as bitutils
@@ -33,12 +34,21 @@ __all__ = ["Config", "SPEC", "run", "measure_snr_vs_cp"]
 
 @dataclass(frozen=True)
 class Config:
-    """Parameters of the Fig. 13 reproduction."""
+    """Parameters of the Fig. 13 reproduction.
+
+    ``batched`` decodes the whole cyclic-prefix sweep as one joint-frame
+    ensemble (single block-parallel Viterbi pass).  Frames are measured
+    with the tracking loop *converged and frozen* — feedback is applied
+    during the warm-up exchanges, not per measured frame — so the frames
+    are independent and the batched and sequential paths produce identical
+    seeded results.
+    """
 
     cp_values_samples: tuple[int, ...] = (0, 2, 4, 6, 8, 12, 16, 20, 26, 32)
     snr_db: float = 20.0
     n_frames: int = 2
     seed: int = 5
+    batched: bool = True
     params: OFDMParams = DEFAULT_PARAMS
     snr_fraction: float = 0.95
 
@@ -53,34 +63,9 @@ class Config:
             raise ValueError("snr_fraction must be in (0, 1]")
 
 
-def _joint_effective_snr_db(session: SourceSyncSession, payload: bytes, cp_samples: int, compensate: bool, rng: np.random.Generator) -> float:
-    """Effective SNR (dB) of one joint frame at a given data CP."""
-    outcome = session.run_joint_frame(
-        payload,
-        rate_mbps=6.0,
-        data_cp_samples=cp_samples,
-        compensate=compensate,
-        apply_tracking_feedback=compensate,
-        genie_timing=True,
-    )
-    result = outcome.result
-    if result.equalized_symbols is None:
-        return float("nan")
-    reference = encode_payload_to_symbols(payload, outcome.frame_config)
-    n = min(reference.shape[0], result.equalized_symbols.shape[0])
-    return evm_to_snr_db(result.equalized_symbols[:n], reference[:n])
-
-
-def measure_snr_vs_cp(
-    cp_values_samples: tuple[int, ...],
-    compensate: bool,
-    snr_db: float = 20.0,
-    payload_bytes: int = 60,
-    n_frames: int = 2,
-    seed: int = 5,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> list[float]:
-    """Average effective SNR at each CP value, with or without compensation."""
+def _build_session(
+    snr_db: float, seed: int, params: OFDMParams
+) -> tuple[SourceSyncSession, np.random.Generator]:
     rng = np.random.default_rng(seed)
     topo = JointTopology.from_snrs(
         rng,
@@ -92,17 +77,105 @@ def measure_snr_vs_cp(
         lead_cosender_distance_m=[20.0],
         params=params,
     )
-    session = SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng)
+    return SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng), rng
+
+
+def measure_snr_vs_cp(
+    cp_values_samples: tuple[int, ...],
+    compensate: bool,
+    snr_db: float = 20.0,
+    payload_bytes: int = 60,
+    n_frames: int = 2,
+    seed: int = 5,
+    params: OFDMParams = DEFAULT_PARAMS,
+    batched: bool = True,
+) -> list[float]:
+    """Average effective SNR at each CP value, with or without compensation.
+
+    The tracking loop converges during warm-up exchanges and is then frozen
+    for the measured frames (the channels are static, so per-frame feedback
+    would only inject estimator noise into the sweep); the frames are
+    therefore independent and, with ``batched``, decode as one ensemble
+    through :func:`repro.core.ensemble.run_joint_frames_batch` with
+    identical seeded results.
+    """
+    session, payload = _prepare_chain(compensate, snr_db, payload_bytes, seed, params)
+    if batched:
+        jobs = _sweep_jobs(payload, cp_values_samples, n_frames, compensate)
+        outcomes = run_joint_frames_batch([session], [jobs])[0]
+    else:
+        outcomes = _run_sweep_sequential(session, payload, cp_values_samples, n_frames, compensate)
+    return _fold_sweep(outcomes, payload, cp_values_samples, n_frames)
+
+
+def _prepare_chain(
+    compensate: bool, snr_db: float, payload_bytes: int, seed: int, params: OFDMParams
+) -> tuple[SourceSyncSession, bytes]:
+    """Measured, (optionally) converged session plus the sweep payload."""
+    session, rng = _build_session(snr_db, seed, params)
     session.measure_delays()
     if compensate:
         session.converge_tracking(rounds=4)
-    payload = bitutils.random_payload(payload_bytes, rng)
+    return session, bitutils.random_payload(payload_bytes, rng)
+
+
+def _sweep_jobs(
+    payload: bytes, cp_values_samples: tuple[int, ...], n_frames: int, compensate: bool
+) -> list[JointFrameJob]:
+    return [
+        JointFrameJob(
+            payload=payload,
+            rate_mbps=6.0,
+            data_cp_samples=cp,
+            compensate=compensate,
+            genie_timing=True,
+        )
+        for cp in cp_values_samples
+        for _ in range(n_frames)
+    ]
+
+
+def _run_sweep_sequential(
+    session: SourceSyncSession,
+    payload: bytes,
+    cp_values_samples: tuple[int, ...],
+    n_frames: int,
+    compensate: bool,
+) -> list:
+    return [
+        session.run_joint_frame(
+            payload,
+            rate_mbps=6.0,
+            data_cp_samples=cp,
+            compensate=compensate,
+            apply_tracking_feedback=False,
+            genie_timing=True,
+        )
+        for cp in cp_values_samples
+        for _ in range(n_frames)
+    ]
+
+
+def _fold_sweep(
+    outcomes: list, payload: bytes, cp_values_samples: tuple[int, ...], n_frames: int
+) -> list[float]:
+    """Average effective SNR per CP value from the sweep's frame outcomes."""
+    reference_cache: dict[int, np.ndarray] = {}
+
+    def effective_snr(outcome) -> float:
+        result = outcome.result
+        if result.equalized_symbols is None:
+            return float("nan")
+        key = outcome.frame_config.n_data_symbols
+        if key not in reference_cache:
+            reference_cache[key] = encode_payload_to_symbols(payload, outcome.frame_config)
+        reference = reference_cache[key]
+        n = min(reference.shape[0], result.equalized_symbols.shape[0])
+        return evm_to_snr_db(result.equalized_symbols[:n], reference[:n])
+
     snrs: list[float] = []
-    for cp in cp_values_samples:
-        values = [
-            _joint_effective_snr_db(session, payload, cp, compensate, rng)
-            for _ in range(n_frames)
-        ]
+    for c in range(len(cp_values_samples)):
+        values = [effective_snr(outcome) for outcome in outcomes[c * n_frames : (c + 1) * n_frames]]
         finite = [v for v in values if np.isfinite(v)]
         snrs.append(float(np.mean(finite)) if finite else float("nan"))
     return snrs
@@ -118,16 +191,42 @@ def measure_snr_vs_cp(
         "full": {"n_frames": 4},
     },
     tags=("sync", "phy"),
+    batched=True,
 )
 def _run(config: Config) -> ExperimentResult:
-    """Regenerate Fig. 13: SNR vs CP for SourceSync and the unsynchronized baseline."""
+    """Regenerate Fig. 13: SNR vs CP for SourceSync and the unsynchronized baseline.
+
+    In batched mode both chains' sweeps form *one* joint-frame ensemble, so
+    the whole figure decodes with a single block-parallel Viterbi pass; the
+    chains use independent generators, so the numbers match the per-chain
+    sequential sweeps exactly.
+    """
     cp_values_samples, params, snr_fraction = config.cp_values_samples, config.params, config.snr_fraction
-    sourcesync = measure_snr_vs_cp(
-        cp_values_samples, True, config.snr_db, n_frames=config.n_frames, seed=config.seed, params=params
-    )
-    baseline = measure_snr_vs_cp(
-        cp_values_samples, False, config.snr_db, n_frames=config.n_frames, seed=config.seed, params=params
-    )
+    if config.batched:
+        chains = [
+            _prepare_chain(compensate, config.snr_db, 60, config.seed, params)
+            for compensate in (True, False)
+        ]
+        jobs = [
+            _sweep_jobs(payload, cp_values_samples, config.n_frames, compensate)
+            for (session, payload), compensate in zip(chains, (True, False))
+        ]
+        outcomes = run_joint_frames_batch([session for session, _ in chains], jobs)
+        sourcesync = _fold_sweep(
+            outcomes[0], chains[0][1], cp_values_samples, config.n_frames
+        )
+        baseline = _fold_sweep(
+            outcomes[1], chains[1][1], cp_values_samples, config.n_frames
+        )
+    else:
+        sourcesync = measure_snr_vs_cp(
+            cp_values_samples, True, config.snr_db, n_frames=config.n_frames,
+            seed=config.seed, params=params, batched=False,
+        )
+        baseline = measure_snr_vs_cp(
+            cp_values_samples, False, config.snr_db, n_frames=config.n_frames,
+            seed=config.seed, params=params, batched=False,
+        )
     cp_ns = [cp * params.sample_period_ns for cp in cp_values_samples]
 
     def cp_for_fraction(snrs: list[float]) -> float:

@@ -22,6 +22,11 @@ import numpy as np
 from repro.analysis.snr import SNR_REGIMES
 from repro.channel.awgn import linear_to_db
 from repro.core import JointTopology, SourceSyncSession, SourceSyncConfig
+from repro.core.ensemble import (
+    converge_tracking_batch,
+    measure_delays_batch,
+    run_header_exchanges_batch,
+)
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import experiment
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
@@ -31,10 +36,17 @@ __all__ = ["Config", "SPEC", "run", "measure_regime", "REGIME_TARGET_SNR_DB"]
 
 @dataclass(frozen=True)
 class Config:
-    """Parameters of the Fig. 15 reproduction."""
+    """Parameters of the Fig. 15 reproduction.
+
+    ``batched`` advances every placement of every regime in lockstep
+    through the batched joint-frame core path; per-placement spawned
+    generators make the batched and sequential paths produce identical
+    seeded results.
+    """
 
     n_placements: int = 4
     seed: int = 15
+    batched: bool = True
     params: OFDMParams = DEFAULT_PARAMS
 
     def __post_init__(self) -> None:
@@ -50,35 +62,31 @@ def _snr_from_channel(channel_power: np.ndarray, noise_var: float) -> float:
     return float(linear_to_db(np.mean(channel_power) / max(noise_var, 1e-15)))
 
 
-def measure_regime(
-    target_snr_db: float,
-    n_placements: int = 4,
-    seed: int = 15,
-    params: OFDMParams = DEFAULT_PARAMS,
-) -> tuple[list[float], list[float], list[np.ndarray]]:
-    """Single-sender and joint average SNRs for placements in one regime.
+def _placement_session(
+    target_snr_db: float, rng: np.random.Generator, params: OFDMParams
+) -> SourceSyncSession:
+    """Build one placement's session from that placement's own generator."""
+    snr_a = target_snr_db + float(rng.uniform(-1.5, 1.5))
+    snr_b = target_snr_db + float(rng.uniform(-1.5, 1.5))
+    topo = JointTopology.from_snrs(
+        rng,
+        lead_rx_snr_db=snr_a,
+        cosender_rx_snr_db=[snr_b],
+        lead_cosender_snr_db=[20.0],
+        params=params,
+    )
+    return SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng)
 
-    Returns ``(single_sender_snrs, joint_snrs, per_subcarrier_joint_profiles)``;
-    the single-sender list contains both senders of every placement.
-    """
-    rng = np.random.default_rng(seed + int(target_snr_db * 10))
+
+def _regime_values(
+    channels_list: list,
+    params: OFDMParams,
+) -> tuple[list[float], list[float], list[np.ndarray]]:
+    """Fold per-placement header channel estimates into the Fig. 15 metrics."""
     single: list[float] = []
     joint: list[float] = []
     profiles: list[np.ndarray] = []
-    for _ in range(n_placements):
-        snr_a = target_snr_db + float(rng.uniform(-1.5, 1.5))
-        snr_b = target_snr_db + float(rng.uniform(-1.5, 1.5))
-        topo = JointTopology.from_snrs(
-            rng,
-            lead_rx_snr_db=snr_a,
-            cosender_rx_snr_db=[snr_b],
-            lead_cosender_snr_db=[20.0],
-            params=params,
-        )
-        session = SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng)
-        session.measure_delays()
-        session.converge_tracking(rounds=3)
-        channels = session.run_header_exchange(apply_tracking_feedback=False).channels
+    for channels in channels_list:
         if channels is None:
             continue
         lead_power = np.abs(channels.lead.on_bins(params.occupied_bins())) ** 2
@@ -95,6 +103,43 @@ def measure_regime(
     return single, joint, profiles
 
 
+def measure_regime(
+    target_snr_db: float,
+    n_placements: int = 4,
+    seed: int = 15,
+    params: OFDMParams = DEFAULT_PARAMS,
+    batched: bool = True,
+    rngs: list[np.random.Generator] | None = None,
+) -> tuple[list[float], list[float], list[np.ndarray]]:
+    """Single-sender and joint average SNRs for placements in one regime.
+
+    Returns ``(single_sender_snrs, joint_snrs, per_subcarrier_joint_profiles)``;
+    the single-sender list contains both senders of every placement.  Each
+    placement draws from its own spawned generator (``rngs`` overrides
+    them), so the lockstep ``batched`` path and the sequential path produce
+    the same seeded results.
+    """
+    if rngs is None:
+        root = np.random.SeedSequence((seed, int(target_snr_db * 10)))
+        rngs = [np.random.default_rng(child) for child in root.spawn(n_placements)]
+    channels_list = []
+    if batched:
+        sessions = [_placement_session(target_snr_db, rng, params) for rng in rngs]
+        measure_delays_batch(sessions)
+        converge_tracking_batch(sessions, rounds=3)
+        outcomes = run_header_exchanges_batch(sessions, repeats=1, apply_tracking_feedback=False)
+        channels_list = [outcome[0].channels for outcome in outcomes]
+    else:
+        for rng in rngs:
+            session = _placement_session(target_snr_db, rng, params)
+            session.measure_delays()
+            session.converge_tracking(rounds=3)
+            channels_list.append(
+                session.run_header_exchange(apply_tracking_feedback=False).channels
+            )
+    return _regime_values(channels_list, params)
+
+
 @experiment(
     name="fig15",
     description="Average SNR of single sender vs SourceSync joint transmission per SNR regime",
@@ -105,17 +150,58 @@ def measure_regime(
         "full": {"n_placements": 10},
     },
     tags=("phy", "diversity"),
+    batched=True,
 )
 def _run(config: Config) -> ExperimentResult:
-    """Regenerate Fig. 15: average SNR, single sender vs SourceSync, per regime."""
+    """Regenerate Fig. 15: average SNR, single sender vs SourceSync, per regime.
+
+    In batched mode every placement of *every* regime advances in one
+    lockstep group (the per-regime spawned generators are identical either
+    way, so both paths report the same seeded numbers).
+    """
     regimes = list(SNR_REGIMES.keys())
+    regime_rngs = {
+        regime: [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(
+                (config.seed, int(REGIME_TARGET_SNR_DB[regime] * 10))
+            ).spawn(config.n_placements)
+        ]
+        for regime in regimes
+    }
+    per_regime: dict[str, tuple[list[float], list[float], list[np.ndarray]]] = {}
+    if config.batched:
+        cells = [
+            (regime, _placement_session(REGIME_TARGET_SNR_DB[regime], rng, config.params))
+            for regime in regimes
+            for rng in regime_rngs[regime]
+        ]
+        sessions = [session for _, session in cells]
+        measure_delays_batch(sessions)
+        converge_tracking_batch(sessions, rounds=3)
+        outcomes = run_header_exchanges_batch(sessions, repeats=1, apply_tracking_feedback=False)
+        for regime in regimes:
+            channels_list = [
+                outcome[0].channels
+                for (cell_regime, _), outcome in zip(cells, outcomes)
+                if cell_regime == regime
+            ]
+            per_regime[regime] = _regime_values(channels_list, config.params)
+    else:
+        for regime in regimes:
+            per_regime[regime] = measure_regime(
+                REGIME_TARGET_SNR_DB[regime],
+                config.n_placements,
+                config.seed,
+                config.params,
+                batched=False,
+                rngs=regime_rngs[regime],
+            )
     single_means: list[float] = []
     joint_means: list[float] = []
     gains: list[float] = []
     for regime in regimes:
-        single, joint, _ = measure_regime(
-            REGIME_TARGET_SNR_DB[regime], config.n_placements, config.seed, config.params
-        )
+        single, joint, _ = per_regime[regime]
         single_mean = float(np.mean(single)) if single else float("nan")
         joint_mean = float(np.mean(joint)) if joint else float("nan")
         single_means.append(single_mean)

@@ -13,6 +13,7 @@ from.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -31,11 +32,16 @@ __all__ = ["Config", "SPEC", "run", "simulate_placement"]
 
 @dataclass(frozen=True)
 class Config:
-    """Parameters of the Fig. 17 reproduction."""
+    """Parameters of the Fig. 17 reproduction.
+
+    ``jobs`` runs the (independent, per-trial-seeded) placements across a
+    process pool; results are identical for any value.
+    """
 
     n_placements: int = 25
     n_packets: int = 120
     seed: int = 17
+    jobs: int = 1
     params: OFDMParams = DEFAULT_PARAMS
 
     def __post_init__(self) -> None:
@@ -43,6 +49,8 @@ class Config:
             raise ValueError("n_placements must be >= 1")
         if self.n_packets < 1:
             raise ValueError("n_packets must be >= 1")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
 
 
 def simulate_placement(
@@ -88,6 +96,13 @@ def simulate_placement(
     return best.throughput_mbps, joint.throughput_mbps
 
 
+def _placement_trial(
+    _index: int, rng: np.random.Generator, n_packets: int, params: OFDMParams
+) -> tuple[float, float]:
+    """Module-level trial body so ``run_trials`` can pickle it for ``jobs > 1``."""
+    return simulate_placement(rng, n_packets=n_packets, params=params)
+
+
 @experiment(
     name="fig17",
     description="Last-hop downlink throughput CDF: single best AP vs SourceSync",
@@ -103,17 +118,21 @@ def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 17: CDFs of last-hop throughput for both schemes.
 
     Placements are independent trials collected through the ensemble
-    runner's :func:`repro.experiments.batch.run_trials` entry point.  Each
-    trial contains a rate-adaptation feedback loop, so the trial itself
-    stays sequential; the per-attempt hot path (delivery probabilities,
-    MAC airtimes) is memoised in :class:`repro.net.topology.Testbed` and
+    runner's :func:`repro.experiments.batch.run_trials` entry point, each
+    with its own generator spawned from the experiment seed — seeded
+    results are independent of trial execution order and parallelise over
+    ``config.jobs`` processes without changing.  Each trial contains a
+    rate-adaptation feedback loop, so the trial itself stays sequential;
+    the per-attempt hot path (delivery probabilities, MAC airtimes) is
+    memoised in :class:`repro.net.topology.Testbed` and
     :class:`repro.net.mac.MacTiming` instead.
     """
     n_placements = config.n_placements
-    rng = np.random.default_rng(config.seed)
     pairs = run_trials(
-        lambda _i: simulate_placement(rng, n_packets=config.n_packets, params=config.params),
+        partial(_placement_trial, n_packets=config.n_packets, params=config.params),
         n_placements,
+        seed=config.seed,
+        jobs=config.jobs,
     )
     best_values = [best for best, _ in pairs]
     joint_values = [joint for _, joint in pairs]

@@ -41,7 +41,28 @@ def etx_graph(
     probe_bytes: int = 1460,
     max_loss: float = MAX_USABLE_LOSS,
 ) -> nx.DiGraph:
-    """Directed graph of usable links weighted by ETX."""
+    """Directed graph of usable links weighted by ETX.
+
+    Memoised on the testbed: link profiles are static for a testbed's
+    lifetime, and every routing scheme simulated over one topology asks for
+    the identical graph.
+    """
+    key = ("etx_graph", probe_rate_mbps, probe_bytes, max_loss)
+    cached = testbed._routing_cache.get(key)
+    if cached is not None:
+        return cached
+    graph = _build_etx_graph(testbed, probe_rate_mbps, probe_bytes, max_loss)
+    testbed._routing_cache[key] = graph
+    return graph
+
+
+def _build_etx_graph(
+    testbed: Testbed,
+    probe_rate_mbps: float,
+    probe_bytes: int,
+    max_loss: float,
+) -> nx.DiGraph:
+    testbed.prime_delivery_cache(probe_rate_mbps, probe_bytes)
     graph = nx.DiGraph()
     graph.add_nodes_from(testbed.node_ids)
     for src in testbed.node_ids:

@@ -28,8 +28,10 @@ from repro.phy.preamble import short_training_field
 __all__ = [
     "DetectionResult",
     "detect_packet_autocorrelation",
+    "detect_packet_autocorrelation_batch",
     "detect_packet_crosscorrelation",
     "estimate_coarse_cfo",
+    "estimate_coarse_cfo_rows",
     "fine_timing_ltf",
 ]
 
@@ -43,13 +45,20 @@ class DetectionResult:
     detected:
         Whether a packet was found at all.
     detect_index:
-        Sample index at which the detector declared a packet.
+        Sample index at which the detector declared a packet.  For the
+        autocorrelation detector this instant *lags* the true packet start
+        by the metric run length plus the correlation lag.
     start_index:
         The detector's best estimate of the first sample of the packet
-        (coarse timing).  For the autocorrelation detector this is simply
-        the detection index; the cross-correlation detector refines it.
+        (coarse timing).  For the autocorrelation detector this is the
+        first sample of the above-threshold metric run — the point where
+        the correlation window first lies fully inside the training field —
+        which is earlier than ``detect_index``; the cross-correlation
+        detector returns its matched-filter peak.
     metric:
-        Value of the detection metric at the detection point.
+        Peak value of the detection metric: over the qualifying run on
+        success, over everything examined on failure (the best candidate
+        that still failed the threshold-run criterion).
     """
 
     detected: bool
@@ -72,38 +81,92 @@ def detect_packet_autocorrelation(
     a packet once the metric stays above ``threshold`` for ``required_run``
     consecutive samples.  The declared index therefore *lags* the true packet
     start by a data-dependent amount — exactly the detection-delay
-    variability that SourceSync must estimate and cancel.
+    variability that SourceSync must estimate and cancel — while
+    ``start_index`` backs the declaration off to the beginning of the
+    qualifying run, the detector's best coarse-timing estimate.
+
+    Thin wrapper over :func:`detect_packet_autocorrelation_batch` with a
+    batch of one, so scalar and ensemble detection are bit-identical.
     """
     samples = np.asarray(samples, dtype=np.complex128)
-    lag = params.n_fft // 4
-    n = samples.size
-    if n < 2 * lag + required_run:
-        return DetectionResult(False, -1, -1, 0.0)
+    return detect_packet_autocorrelation_batch(
+        samples[None, :], params, threshold, min_energy, required_run
+    )[0]
 
-    # autocorrelation and energy over a sliding window of `lag` samples
-    prod = samples[lag:] * np.conj(samples[:-lag])
-    energy = np.abs(samples[lag:]) ** 2
-    window = np.ones(lag)
-    corr = np.convolve(prod, window, mode="valid")
-    power = np.convolve(energy, window, mode="valid")
+
+def detect_packet_autocorrelation_batch(
+    samples: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+    threshold: float = 0.6,
+    min_energy: float = 1e-9,
+    required_run: int = 8,
+) -> list[DetectionResult]:
+    """Vectorised Schmidl & Cox detection over a ``(n_packets, n)`` ensemble.
+
+    Every stage — the lag products, the sliding correlation/energy sums
+    (one cumulative sum per quantity instead of per-sample convolutions),
+    the threshold-run scan and the first-hit search — carries the packet
+    batch axis, so an ensemble of streams is detected with a fixed number
+    of numpy calls.  Rows may be zero-padded to a common length: padding
+    carries no energy, so it can neither create a detection nor change a
+    row's metric peak.
+
+    Returns one :class:`DetectionResult` per row, in input order.
+    """
+    samples = np.asarray(samples, dtype=np.complex128)
+    if samples.ndim != 2:
+        raise ValueError("expected a (n_packets, n_samples) sample array")
+    n_rows, n = samples.shape
+    lag = params.n_fft // 4
+    if n_rows == 0:
+        return []
+    if n < 2 * lag + required_run:
+        return [DetectionResult(False, -1, -1, 0.0)] * n_rows
+
+    # Autocorrelation and energy over a sliding window of `lag` samples;
+    # the sliding sums are cumulative-sum differences along the time axis.
+    prod = samples[:, lag:] * np.conj(samples[:, :-lag])
+    energy = np.abs(samples[:, lag:]) ** 2
+    corr = _sliding_sum(prod, lag)
+    power = _sliding_sum(energy, lag).real
     metric = np.abs(corr) / np.maximum(power, min_energy)
 
-    # find the first index where `required_run` consecutive samples exceed the
-    # threshold and the window actually contains energy: a trailing window of
-    # `required_run` samples is all-valid exactly when the running count of
-    # valid samples grows by `required_run` over it, which turns the
-    # per-sample scan into one cumulative sum plus one argmax.
+    # Find, per row, the first index where `required_run` consecutive
+    # samples exceed the threshold and the window actually contains energy:
+    # a trailing window of `required_run` samples is all-valid exactly when
+    # the running count of valid samples grows by `required_run` over it,
+    # which turns the per-sample scan into one cumulative sum plus one
+    # argmax per row.
     valid = (metric > threshold) & (power > min_energy * lag)
-    if valid.size >= required_run:
-        counts = np.cumsum(valid, dtype=np.int64)
-        window = counts[required_run - 1 :].copy()
-        window[1:] -= counts[: -required_run]
-        hits = window == required_run
-        if hits.any():
-            idx = int(np.argmax(hits)) + required_run - 1
-            detect = idx + lag  # align to the sample position in `samples`
-            return DetectionResult(True, detect, detect, float(metric[idx]))
-    return DetectionResult(False, -1, -1, float(metric.max() if metric.size else 0.0))
+    results: list[DetectionResult] = []
+    if valid.shape[1] >= required_run:
+        counts = np.cumsum(valid, axis=1, dtype=np.int64)
+        run_counts = counts[:, required_run - 1 :].copy()
+        run_counts[:, 1:] -= counts[:, :-required_run]
+        hits = run_counts == required_run
+        any_hit = hits.any(axis=1)
+        first_hit = np.argmax(hits, axis=1)
+        peak_metric = metric.max(axis=1)
+        for row in range(n_rows):
+            if any_hit[row]:
+                idx = int(first_hit[row]) + required_run - 1
+                run_start = idx - required_run + 1
+                detect = idx + lag  # align to the sample position in `samples`
+                run_peak = float(metric[row, run_start : idx + 1].max())
+                results.append(DetectionResult(True, detect, run_start, run_peak))
+            else:
+                results.append(DetectionResult(False, -1, -1, float(peak_metric[row])))
+        return results
+    peak = metric.max(axis=1) if metric.size else np.zeros(n_rows)
+    return [DetectionResult(False, -1, -1, float(peak[row])) for row in range(n_rows)]
+
+
+def _sliding_sum(values: np.ndarray, width: int) -> np.ndarray:
+    """Sliding-window sums of ``width`` along the last axis (cumsum based)."""
+    cum = np.cumsum(values, axis=-1)
+    out = cum[..., width - 1 :].copy()
+    out[..., 1:] -= cum[..., :-width]
+    return out
 
 
 def detect_packet_crosscorrelation(
@@ -214,3 +277,36 @@ def estimate_coarse_cfo(
     angle = np.angle(prod.sum(axis=-1))
     cfo = angle / (2.0 * np.pi * lag * params.sample_period_s)
     return float(cfo) if np.ndim(cfo) == 0 else cfo
+
+
+def estimate_coarse_cfo_rows(
+    rows: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    mask: np.ndarray,
+    params: OFDMParams = DEFAULT_PARAMS,
+    n_periods: int = 8,
+) -> np.ndarray:
+    """Coarse CFO of a zero-padded row ensemble with per-row start indices.
+
+    The masked-batch counterpart of :func:`estimate_coarse_cfo` used by the
+    lockstep joint-frame paths: rows where ``mask`` is False or where the
+    estimation window would run past the row's true (unpadded) ``length``
+    report 0.0 — mirroring the sequential callers' ``except ValueError``
+    fallbacks — and all remaining rows are estimated in one stacked pass.
+    """
+    rows = np.asarray(rows, dtype=np.complex128)
+    starts = np.asarray(starts, dtype=np.int64)
+    lag = params.n_fft // 4
+    span = lag * n_periods
+    cfo = np.zeros(rows.shape[0], dtype=np.float64)
+    usable = np.asarray(mask, dtype=bool) & (starts + span + lag <= np.asarray(lengths))
+    idx = np.nonzero(usable)[0]
+    if idx.size == 0:
+        return cfo
+    gather = starts[idx, None] + np.arange(span + lag)[None, :]
+    segments = rows[idx[:, None], gather]
+    prod = segments[:, lag:] * np.conj(segments[:, :-lag])
+    angle = np.angle(prod.sum(axis=-1))
+    cfo[idx] = angle / (2.0 * np.pi * lag * params.sample_period_s)
+    return cfo

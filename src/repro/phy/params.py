@@ -16,8 +16,16 @@ via :meth:`OFDMParams.with_cp`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 
 import numpy as np
+
+
+def _frozen(values, dtype=int) -> np.ndarray:
+    """Read-only array for cached subcarrier maps (shared across callers)."""
+    out = np.asarray(values, dtype=dtype)
+    out.setflags(write=False)
+    return out
 
 __all__ = [
     "OFDMParams",
@@ -126,25 +134,18 @@ class OFDMParams:
         """Signed subcarrier offsets (excluding DC) that carry energy.
 
         Offsets are in the range ``[-n_fft/2 + guard_low, n_fft/2 - guard_high]``
-        excluding 0 (the DC subcarrier).
+        excluding 0 (the DC subcarrier).  The returned array is cached per
+        numerology and read-only (these maps sit on the per-symbol hot path).
         """
-        low = -(self.n_fft // 2) + self.guard_low
-        high = (self.n_fft // 2) - self.guard_high
-        offsets = [k for k in range(low, high + 1) if k != 0]
-        # The occupied set is the centre-most `n_occupied_subcarriers` offsets.
-        offsets = sorted(offsets, key=lambda k: (abs(k), k))
-        chosen = sorted(offsets[: self.n_occupied_subcarriers])
-        return np.asarray(chosen, dtype=int)
+        return _occupied_offsets(self)
 
     def pilot_subcarrier_offsets(self) -> np.ndarray:
         """Signed offsets of pilot subcarriers."""
-        return np.asarray(self.pilot_offsets, dtype=int)
+        return _frozen(self.pilot_offsets)
 
     def data_subcarrier_offsets(self) -> np.ndarray:
         """Signed offsets of data subcarriers (occupied minus pilots)."""
-        occupied = self.occupied_offsets()
-        pilots = set(int(p) for p in self.pilot_offsets)
-        return np.asarray([k for k in occupied if int(k) not in pilots], dtype=int)
+        return _data_subcarrier_offsets(self)
 
     def offset_to_fft_bin(self, offsets: np.ndarray) -> np.ndarray:
         """Map signed subcarrier offsets to FFT bin indices (0..n_fft-1)."""
@@ -152,16 +153,16 @@ class OFDMParams:
         return np.mod(offsets, self.n_fft)
 
     def occupied_bins(self) -> np.ndarray:
-        """FFT bin indices of all occupied subcarriers."""
-        return self.offset_to_fft_bin(self.occupied_offsets())
+        """FFT bin indices of all occupied subcarriers (cached, read-only)."""
+        return _occupied_bins(self)
 
     def pilot_bins(self) -> np.ndarray:
-        """FFT bin indices of pilot subcarriers."""
-        return self.offset_to_fft_bin(self.pilot_subcarrier_offsets())
+        """FFT bin indices of pilot subcarriers (cached, read-only)."""
+        return _pilot_bins(self)
 
     def data_bins(self) -> np.ndarray:
-        """FFT bin indices of data subcarriers."""
-        return self.offset_to_fft_bin(self.data_subcarrier_offsets())
+        """FFT bin indices of data subcarriers (cached, read-only)."""
+        return _data_bins(self)
 
     # ------------------------------------------------------------------
     # Variants
@@ -182,6 +183,37 @@ class OFDMParams:
     def ns_to_samples(self, ns: float) -> float:
         """Convert a duration in nanoseconds to (fractional) samples."""
         return float(ns) / self.sample_period_ns
+
+
+@lru_cache(maxsize=None)
+def _occupied_offsets(params: OFDMParams) -> np.ndarray:
+    low = -(params.n_fft // 2) + params.guard_low
+    high = (params.n_fft // 2) - params.guard_high
+    offsets = [k for k in range(low, high + 1) if k != 0]
+    # The occupied set is the centre-most `n_occupied_subcarriers` offsets.
+    offsets = sorted(offsets, key=lambda k: (abs(k), k))
+    return _frozen(sorted(offsets[: params.n_occupied_subcarriers]))
+
+
+@lru_cache(maxsize=None)
+def _data_subcarrier_offsets(params: OFDMParams) -> np.ndarray:
+    pilots = set(int(p) for p in params.pilot_offsets)
+    return _frozen([k for k in _occupied_offsets(params) if int(k) not in pilots])
+
+
+@lru_cache(maxsize=None)
+def _occupied_bins(params: OFDMParams) -> np.ndarray:
+    return _frozen(params.offset_to_fft_bin(_occupied_offsets(params)))
+
+
+@lru_cache(maxsize=None)
+def _pilot_bins(params: OFDMParams) -> np.ndarray:
+    return _frozen(params.offset_to_fft_bin(np.asarray(params.pilot_offsets, dtype=int)))
+
+
+@lru_cache(maxsize=None)
+def _data_bins(params: OFDMParams) -> np.ndarray:
+    return _frozen(params.offset_to_fft_bin(_data_subcarrier_offsets(params)))
 
 
 #: Default numerology used throughout the library and tests.

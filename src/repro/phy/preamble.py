@@ -10,9 +10,17 @@ here is also the source of those per-sender training symbols.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+
+
+def _frozen(values: np.ndarray) -> np.ndarray:
+    """Mark a cached training waveform read-only before sharing it."""
+    values.setflags(write=False)
+    return values
 
 __all__ = [
     "short_training_field",
@@ -43,11 +51,14 @@ _LTF_SEQ = np.array(
 _LTF_OFFSETS = np.arange(-26, 27)
 
 
+@lru_cache(maxsize=None)
 def short_training_field(params: OFDMParams = DEFAULT_PARAMS, repetitions: int = 10) -> np.ndarray:
     """Time-domain short training field.
 
     The STF consists of ``repetitions`` copies of a 16-sample (for a 64-point
-    FFT) periodic sequence; 802.11a uses 10 repetitions (8 us).
+    FFT) periodic sequence; 802.11a uses 10 repetitions (8 us).  Cached per
+    numerology (training waveforms sit on every probe/header hot path) and
+    returned read-only.
     """
     freq = np.zeros(params.n_fft, dtype=np.complex128)
     for offset, value in _STF_FREQ_OFFSETS.items():
@@ -55,9 +66,10 @@ def short_training_field(params: OFDMParams = DEFAULT_PARAMS, repetitions: int =
     time = np.fft.ifft(freq) * np.sqrt(params.n_fft)
     period = params.n_fft // 4
     base = time[:period]
-    return np.tile(base, repetitions)
+    return _frozen(np.tile(base, repetitions))
 
 
+@lru_cache(maxsize=None)
 def long_training_sequence_freq(params: OFDMParams = DEFAULT_PARAMS) -> np.ndarray:
     """Frequency-domain long training sequence mapped to FFT bins.
 
@@ -71,31 +83,36 @@ def long_training_sequence_freq(params: OFDMParams = DEFAULT_PARAMS) -> np.ndarr
             if offset == 0:
                 continue
             freq[offset % params.n_fft] = value
-        return freq
+        return _frozen(freq)
     # Generic numerology: use a pseudo-random BPSK sequence on the occupied
     # subcarriers, deterministic so transmitter and receiver agree.
     rng = np.random.default_rng(0x1F7)
     bins = params.occupied_bins()
     freq[bins] = 1.0 - 2.0 * rng.integers(0, 2, size=bins.size)
-    return freq
+    return _frozen(freq)
 
 
+@lru_cache(maxsize=None)
 def ltf_symbol(params: OFDMParams = DEFAULT_PARAMS) -> np.ndarray:
     """One time-domain LTF symbol (64 samples for the default numerology)."""
     freq = long_training_sequence_freq(params)
-    return np.fft.ifft(freq) * np.sqrt(params.n_fft)
+    return _frozen(np.fft.ifft(freq) * np.sqrt(params.n_fft))
 
 
+@lru_cache(maxsize=None)
 def long_training_field(params: OFDMParams = DEFAULT_PARAMS, repetitions: int = 2) -> np.ndarray:
     """Time-domain long training field: a double-length CP plus repetitions."""
     symbol = ltf_symbol(params)
     cp = symbol[-2 * params.cp_samples :] if params.cp_samples else symbol[:0]
-    return np.concatenate([cp] + [symbol] * repetitions)
+    return _frozen(np.concatenate([cp] + [symbol] * repetitions))
 
 
+@lru_cache(maxsize=None)
 def preamble(params: OFDMParams = DEFAULT_PARAMS) -> np.ndarray:
-    """Full 802.11-style preamble: STF followed by LTF."""
-    return np.concatenate([short_training_field(params), long_training_field(params)])
+    """Full 802.11-style preamble: STF followed by LTF (cached, read-only)."""
+    return _frozen(
+        np.concatenate([short_training_field(params), long_training_field(params)])
+    )
 
 
 def PREAMBLE_STF_SAMPLES(params: OFDMParams = DEFAULT_PARAMS) -> int:

@@ -42,6 +42,7 @@ from repro.phy.coding.puncturing import depuncture
 from repro.phy.detection import (
     DetectionResult,
     detect_packet_autocorrelation,
+    detect_packet_autocorrelation_batch,
     detect_packet_crosscorrelation,
     estimate_coarse_cfo,
     fine_timing_ltf,
@@ -181,8 +182,16 @@ class Receiver:
         starts = np.zeros(n_packets, dtype=np.int64)
         detections: list[DetectionResult | None] = [None] * n_packets
         if start_indices is None:
-            for i in range(n_packets):
-                detection = self.detect(samples[i])
+            if self.use_matched_filter_detection:
+                batch_detections = [
+                    detect_packet_crosscorrelation(samples[i], params) for i in range(n_packets)
+                ]
+            else:
+                # One vectorised detection pass for the whole ensemble; only
+                # the LTF fine-timing refinement (already one matrix product
+                # per packet) stays per row.
+                batch_detections = detect_packet_autocorrelation_batch(samples, params)
+            for i, detection in enumerate(batch_detections):
                 detections[i] = detection
                 if not detection.detected:
                     results[i] = ReceiveResult(False, False, b"", detection=detection)

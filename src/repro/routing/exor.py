@@ -50,6 +50,11 @@ class ExorConfig:
     probe_rate_mbps: float = 6.0
     #: Use SourceSync joint forwarding (set by the exor_sourcesync wrapper).
     sender_diversity: bool = False
+    #: Draw per-phase delivery outcomes as stacked Bernoulli matrices
+    #: instead of one scalar draw per attempt.  The generator consumes the
+    #: identical uniform stream either way, so results are bit-identical;
+    #: the flag exists so benchmarks can compare the two control flows.
+    batched: bool = True
 
 
 @dataclass
@@ -140,14 +145,25 @@ def simulate_exor(
     # ------------------------------------------------------------------
     # Source broadcast phase: the source sends every packet of the batch
     # once; all forwarders and the destination overhear probabilistically.
+    # With ``config.batched`` the whole packet-by-receiver outcome matrix
+    # comes from one Bernoulli draw (same uniform stream, same results).
     # ------------------------------------------------------------------
-    for packet_id in batch:
-        mac.account(single_airtime, True)
-        for node in [dst, *priority]:
-            if node == src:
-                continue
-            if _attempt(testbed, [src], node, rate, config.payload_bytes, rng):
-                holds[node].add(packet_id)
+    listeners = [node for node in [dst, *priority] if node != src]
+    if config.batched:
+        outcomes = testbed.attempt_broadcasts(
+            src, listeners, config.batch_size, rate, config.payload_bytes, rng
+        )
+        for packet_id in batch:
+            mac.account(single_airtime, True)
+            for col, node in enumerate(listeners):
+                if outcomes[packet_id, col]:
+                    holds[node].add(packet_id)
+    else:
+        for packet_id in batch:
+            mac.account(single_airtime, True)
+            for node in listeners:
+                if _attempt(testbed, [src], node, rate, config.payload_bytes, rng):
+                    holds[node].add(packet_id)
 
     # ------------------------------------------------------------------
     # Forwarding rounds in priority order.
@@ -179,8 +195,18 @@ def simulate_exor(
                 if len(senders) > 1:
                     joint_count += 1
                 mac.account(airtime, True)
-                for node in receivers_for(packet_id, index):
-                    if _attempt(testbed, senders, node, rate, config.payload_bytes, rng):
+                receivers = receivers_for(packet_id, index)
+                if config.batched:
+                    delivered = testbed.attempt_deliveries(
+                        senders, receivers, rate, config.payload_bytes, rng
+                    )
+                else:
+                    delivered = [
+                        _attempt(testbed, senders, node, rate, config.payload_bytes, rng)
+                        for node in receivers
+                    ]
+                for node, ok in zip(receivers, delivered):
+                    if ok:
                         holds[node].add(packet_id)
                         progress = True
 

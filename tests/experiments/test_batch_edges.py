@@ -1,0 +1,71 @@
+"""Edge cases of the ensemble runner: empty ensembles and seeded trials."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.batch import run_packet_ensemble, run_trials
+
+
+class TestEmptyEnsemble:
+    def test_zero_packets_returns_empty_result(self):
+        result = run_packet_ensemble(0, seed=7)
+        assert result.n_packets == 0
+        assert result.delivery_ratio == 0.0
+        assert result.packet_error_rate == 1.0
+        assert result.crc_ok.size == 0
+        assert result.results == []
+
+    def test_zero_packets_consumes_no_rng(self):
+        """Regression: the empty-ensemble guard must come before any draw,
+        so interleaving empty ensembles leaves a shared generator untouched."""
+        rng_a = np.random.default_rng(123)
+        rng_b = np.random.default_rng(123)
+        run_packet_ensemble(0, seed=rng_a)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+        first = run_packet_ensemble(2, payload_bytes=16, seed=rng_a, genie_timing=True)
+        second = run_packet_ensemble(2, payload_bytes=16, seed=rng_b, genie_timing=True)
+        assert [r.payload for r in first.results] == [r.payload for r in second.results]
+
+    def test_zero_leading_silence_decodes(self):
+        result = run_packet_ensemble(
+            3, payload_bytes=24, snr_db=25.0, seed=5, genie_timing=True, leading_silence=0
+        )
+        assert result.delivery_ratio == 1.0
+
+
+def _seeded_trial(index: int, rng: np.random.Generator) -> tuple[int, float]:
+    """Module-level so the process pool can pickle it."""
+    return index, float(rng.random())
+
+
+class TestRunTrials:
+    def test_results_in_trial_order(self):
+        results = run_trials(_seeded_trial, 6, seed=11)
+        assert [i for i, _ in results] == list(range(6))
+
+    def test_order_independent_under_same_seed(self):
+        """Shuffling execution order reproduces the same per-trial results."""
+        forward = run_trials(_seeded_trial, 8, seed=42)
+        children = np.random.SeedSequence(42).spawn(8)
+        order = list(reversed(range(8)))
+        shuffled = [_seeded_trial(i, np.random.default_rng(children[i])) for i in order]
+        assert sorted(shuffled) == sorted(forward)
+        assert dict(shuffled) == dict(forward)
+
+    def test_process_pool_identical_to_sequential(self):
+        sequential = run_trials(_seeded_trial, 5, seed=3, jobs=1)
+        parallel = run_trials(_seeded_trial, 5, seed=3, jobs=2)
+        assert sequential == parallel
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(_seeded_trial, -1, seed=0)
+
+
+def test_fig17_jobs_overrides_are_deterministic():
+    from repro.experiments import registry
+
+    spec = registry.get("fig17")
+    base = spec.run(spec.make_config("smoke"))
+    pooled = spec.run(spec.make_config("smoke", {"jobs": 2}))
+    assert base.summary == pooled.summary

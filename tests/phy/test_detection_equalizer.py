@@ -7,6 +7,7 @@ from repro.channel.awgn import awgn
 from repro.channel.multipath import MultipathChannel
 from repro.phy.detection import (
     detect_packet_autocorrelation,
+    detect_packet_autocorrelation_batch,
     detect_packet_crosscorrelation,
     estimate_coarse_cfo,
     fine_timing_ltf,
@@ -69,6 +70,54 @@ class TestDetection:
     def test_short_input(self):
         assert not detect_packet_autocorrelation(np.zeros(10, complex), P).detected
         assert not detect_packet_crosscorrelation(np.zeros(10, complex), P).detected
+
+    def test_coarse_start_precedes_detection_instant(self, clean_frame):
+        """Regression: ``start_index`` is the metric-run start, not the
+        (lagging) declaration instant — it lands within a few samples of the
+        true packet start, while ``detect_index`` keeps its documented lag."""
+        result = detect_packet_autocorrelation(_stream(clean_frame), P)
+        assert result.detected
+        lag = P.n_fft // 4
+        assert result.start_index <= result.detect_index - lag
+        assert abs(result.start_index - 80) <= 6
+
+    def test_failure_metric_is_best_observed(self):
+        rng = np.random.default_rng(1)
+        noise = awgn(600, 1.0, rng)
+        result = detect_packet_autocorrelation(noise, P)
+        assert not result.detected
+        # The reported metric is the peak candidate value that still failed
+        # the threshold-run criterion, so it is a meaningful "how close" score.
+        assert 0.0 < result.metric
+
+    def test_success_metric_is_run_peak(self, clean_frame):
+        result = detect_packet_autocorrelation(_stream(clean_frame), P)
+        assert result.detected
+        assert result.metric > 0.6
+
+    def test_batch_detection_matches_scalar(self, clean_frame):
+        rng = np.random.default_rng(3)
+        streams = []
+        for lead in (40, 80, 120):
+            stream = np.concatenate(
+                [np.zeros(lead, complex), clean_frame.samples, np.zeros(40, complex)]
+            )
+            streams.append(stream + awgn(stream.size, 0.05, rng))
+        streams.append(awgn(streams[0].size, 1.0, rng)[: len(streams[0])])
+        max_len = max(s.size for s in streams)
+        rows = np.zeros((len(streams), max_len), dtype=complex)
+        for i, s in enumerate(streams):
+            rows[i, : s.size] = s
+        batch = detect_packet_autocorrelation_batch(rows, P)
+        for row, stream in zip(batch, streams):
+            # Zero padding to a common length cannot change the outcome.
+            scalar = detect_packet_autocorrelation(
+                np.concatenate([stream, np.zeros(max_len - stream.size, complex)]), P
+            )
+            assert row.detected == scalar.detected
+            assert row.detect_index == scalar.detect_index
+            assert row.start_index == scalar.start_index
+            assert row.metric == pytest.approx(scalar.metric, rel=1e-12)
 
 
 class TestCfoEstimation:
