@@ -1,0 +1,91 @@
+"""Smoke benchmark: lockstep mesh-ensemble engine vs the per-topology loops.
+
+Runs the two network-layer ensemble experiments — fig18 (ExOR topology
+ensemble) and fig17 (last-hop placement ensemble) — through both execution
+paths: the lockstep engine of :mod:`repro.routing.ensemble`
+(``batched=True``) and the per-topology / per-placement event loops
+(``batched=False``); asserts the seeded results agree, and writes the
+measured ratios to ``BENCH_exor_ensemble.json``.
+
+Methodology: both paths run the identical seeded workload — the engine
+consumes every lane's generator in sequential order, so outputs are bit
+identical (asserted here via the series, and bit-for-bit by
+``tests/routing/test_exor_ensemble.py``).  Timing is wall-clock
+``time.perf_counter`` (best of the configured repeats) over the full
+experiment including topology construction and link priming.  Two workload
+scales are recorded per experiment:
+
+* **quick** — the quick presets (10-12 lanes).  Lane counts are modest,
+  so the fixed lockstep overhead is only partly amortised; this is the
+  conservative number.
+* **full** — the full presets (40 topologies x 2 rates for fig18, 40
+  placements for fig17), where the stacked priming and per-turn batching
+  dominate and the ratio reflects the engine's real throughput.
+
+The asserted floors (fig18: 1.5x quick, 2.5x full) are deliberately below
+the typically observed ratios (~2.5x quick, ~3.4x full) to keep the smoke
+test robust on loaded CI machines; fig17's ratios are recorded but not
+asserted — its trials are rate-adaptation feedback loops, so its engine
+gains come only from stacked decision state, not from merged draws.
+"""
+
+from bench_utils import series_match, timed, write_baseline
+
+from repro.experiments import registry
+
+_EXPERIMENTS = ["fig18", "fig17"]
+
+
+def _time_both(name: str, preset: str, repeats: int) -> tuple[float, float]:
+    spec = registry.get(name)
+    spec.run(spec.make_config("smoke"))  # warm code paths and caches
+    batched_s, batched = timed(lambda: spec.run(spec.make_config(preset)), repeats=repeats)
+    sequential_s, sequential = timed(
+        lambda: spec.run(spec.make_config(preset, {"batched": False})), repeats=repeats
+    )
+    assert series_match(batched, sequential), f"{name} {preset}: paths diverge"
+    return batched_s, sequential_s
+
+
+def test_exor_ensemble_batched_vs_per_topology(benchmark):
+    ratios: dict[str, dict[str, float]] = {}
+    for name in _EXPERIMENTS:
+        quick_batched, quick_sequential = _time_both(name, "quick", repeats=3)
+        full_batched, full_sequential = _time_both(name, "full", repeats=2)
+        ratios[name] = {
+            "quick": round(quick_sequential / quick_batched, 1),
+            "full": round(full_sequential / full_batched, 1),
+        }
+        print(
+            f"\n{name} quick: batched {quick_batched*1e3:.0f} ms vs sequential "
+            f"{quick_sequential*1e3:.0f} ms ({quick_sequential/quick_batched:.2f}x); "
+            f"full: batched {full_batched*1e3:.0f} ms vs sequential "
+            f"{full_sequential*1e3:.0f} ms ({full_sequential/full_batched:.2f}x)"
+        )
+        if name == "fig18":
+            quick_speedup = quick_sequential / quick_batched
+            full_speedup = full_sequential / full_batched
+
+    # The committed artifact holds coarsely rounded ratios only: raw
+    # wall-clock jitters run to run, which would churn the file with no
+    # signal (raw numbers are printed above).
+    write_baseline(
+        "exor_ensemble",
+        {
+            "experiments": _EXPERIMENTS,
+            "speedup": ratios,
+        },
+    )
+    # Typical observed fig18 ratios: ~2.5x quick, ~3.4x full; floors are
+    # loose so scheduler noise cannot fail the smoke test.
+    assert quick_speedup >= 1.5, f"fig18 quick only {quick_speedup:.2f}x faster batched"
+    assert full_speedup >= 2.5, f"fig18 full only {full_speedup:.2f}x faster batched"
+
+    benchmark.pedantic(
+        lambda: [
+            registry.get(name).run(registry.get(name).make_config("quick"))
+            for name in _EXPERIMENTS
+        ],
+        rounds=1,
+        iterations=1,
+    )

@@ -30,25 +30,12 @@ import time
 
 import numpy as np
 
-from bench_utils import timed, write_baseline
+from bench_utils import series_match, timed, write_baseline
 
 from repro.experiments import registry
 
 _QUICK_NAMES = ["fig12", "fig13", "fig15", "fig18"]
 _SCALED_NAMES = ["fig12", "fig15"]
-
-
-def _series_match(a, b) -> bool:
-    if a.series.keys() != b.series.keys():
-        return False
-    for key in a.series:
-        first, second = a.series[key], b.series[key]
-        if first and isinstance(first[0], str):
-            if first != second:
-                return False
-        elif not np.allclose(first, second, rtol=1e-9, equal_nan=True):
-            return False
-    return True
 
 
 def _time_both(name: str, preset: str, repeats: int) -> tuple[float, float]:
@@ -60,7 +47,7 @@ def _time_both(name: str, preset: str, repeats: int) -> tuple[float, float]:
     sequential_s, sequential = timed(
         lambda: spec.run(spec.make_config(preset, {"batched": False})), repeats=repeats
     )
-    assert _series_match(batched, sequential), f"{name} {preset}: paths diverge"
+    assert series_match(batched, sequential), f"{name} {preset}: paths diverge"
     return batched_s, sequential_s
 
 

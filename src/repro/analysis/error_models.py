@@ -33,7 +33,9 @@ __all__ = [
     "packet_error_rate",
     "delivery_probability",
     "delivery_probabilities",
+    "delivery_probabilities_rates",
     "combined_subcarrier_snr",
+    "combined_subcarrier_snr_batch",
     "EESM_BETA",
 ]
 
@@ -119,20 +121,44 @@ def delivery_probabilities(
     evaluate every directed link of a topology at once instead of once per
     ETX probe.
     """
+    return delivery_probabilities_rates(per_subcarrier_snr_db, [rate], payload_bytes)[:, 0]
+
+
+def delivery_probabilities_rates(
+    per_subcarrier_snr_db: np.ndarray,
+    rates: "list[Rate | float]",
+    payload_bytes: int = 1024,
+) -> np.ndarray:
+    """Delivery probability of every (link, rate) pair in one pass.
+
+    Returns an ``(n_links, n_rates)`` array.  This is the one EESM +
+    waterfall kernel (:func:`delivery_probability` and
+    :func:`delivery_probabilities` are thin wrappers over it); the
+    compression is evaluated once per distinct beta, and every entry is
+    row-wise identical to a single-link call, so rate tables precomputed
+    for adaptation loops (e.g. the lockstep last-hop ensemble) reproduce
+    the lazily-computed per-rate values bit for bit.
+    """
     snrs = np.asarray(per_subcarrier_snr_db, dtype=np.float64)
     if snrs.ndim != 2 or snrs.shape[1] == 0:
         raise ValueError("expected a (n_links, n_subcarriers) SNR ensemble")
-    rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
     if payload_bytes <= 0:
         raise ValueError("payload_bytes must be positive")
-    beta = EESM_BETA.get(rate_obj.modulation.upper().replace("-", ""), 2.0)
+    rate_objs = [r if isinstance(r, Rate) else rate_for_mbps(r) for r in rates]
     linear = db_to_linear(snrs)
-    mean_exp = np.maximum(np.mean(np.exp(-linear / beta), axis=1), 1e-300)
-    esnr_db = linear_to_db(-beta * np.log(mean_exp))
+    esnr_by_beta: dict[float, np.ndarray] = {}
+    out = np.empty((snrs.shape[0], len(rate_objs)), dtype=np.float64)
     length_shift_db = 10.0 * np.log10(payload_bytes / _REFERENCE_LENGTH_BYTES) / 4.0
-    margin = esnr_db - (rate_obj.min_snr_db + length_shift_db)
-    per = np.clip(1.0 / (1.0 + np.exp(_WATERFALL_STEEPNESS * margin)), 0.0, 1.0)
-    return 1.0 - per
+    for col, rate_obj in enumerate(rate_objs):
+        beta = EESM_BETA.get(rate_obj.modulation.upper().replace("-", ""), 2.0)
+        esnr_db = esnr_by_beta.get(beta)
+        if esnr_db is None:
+            mean_exp = np.maximum(np.mean(np.exp(-linear / beta), axis=1), 1e-300)
+            esnr_db = linear_to_db(-beta * np.log(mean_exp))
+            esnr_by_beta[beta] = esnr_db
+        margin = esnr_db - (rate_obj.min_snr_db + length_shift_db)
+        out[:, col] = 1.0 - np.clip(1.0 / (1.0 + np.exp(_WATERFALL_STEEPNESS * margin)), 0.0, 1.0)
+    return out
 
 
 def combined_subcarrier_snr(per_sender_snr_db: list[np.ndarray]) -> np.ndarray:
@@ -145,7 +171,25 @@ def combined_subcarrier_snr(per_sender_snr_db: list[np.ndarray]) -> np.ndarray:
     """
     if not per_sender_snr_db:
         raise ValueError("need at least one sender")
-    total = np.zeros_like(np.asarray(per_sender_snr_db[0], dtype=np.float64))
-    for snr in per_sender_snr_db:
-        total = total + db_to_linear(np.asarray(snr, dtype=np.float64))
+    return combined_subcarrier_snr_batch(
+        np.stack([np.asarray(snr, dtype=np.float64) for snr in per_sender_snr_db])
+    )
+
+
+def combined_subcarrier_snr_batch(per_sender_snr_db: np.ndarray) -> np.ndarray:
+    """Joint per-subcarrier SNR of many links sharing one sender set.
+
+    ``per_sender_snr_db`` stacks the senders on the leading axis
+    (``(n_senders, ..., n_subcarriers)``); the linear per-sender SNRs are
+    accumulated in stacking order, matching the element-wise accumulation
+    of :func:`combined_subcarrier_snr` bit for bit, so batched joint
+    tables agree with scalar calls that listed their senders in the same
+    order.
+    """
+    stack = np.asarray(per_sender_snr_db, dtype=np.float64)
+    if stack.ndim < 2 or stack.shape[0] == 0:
+        raise ValueError("expected a (n_senders, ..., n_subcarriers) SNR stack")
+    total = np.zeros_like(stack[0])
+    for snr in stack:
+        total = total + db_to_linear(snr)
     return np.asarray(linear_to_db(total))

@@ -59,6 +59,7 @@ __all__ = [
     "draw_tap_ensemble",
     "draw_frequency_response_ensemble",
     "run_trials",
+    "run_seed_chunks",
 ]
 
 
@@ -276,3 +277,29 @@ def run_trials(trial_fn, n_trials: int, seed: int | np.random.SeedSequence, jobs
     job_list = [(trial_fn, i, child) for i, child in enumerate(children)]
     with ProcessPoolExecutor(max_workers=min(jobs, n_trials)) as pool:
         return list(pool.map(_run_seeded_trial, job_list))
+
+
+def run_seed_chunks(chunk_fn, n_trials: int, seed: int, jobs: int = 1, *args) -> list:
+    """Run ``chunk_fn(children, *args)`` over sharded per-trial seeds.
+
+    The lockstep-ensemble counterpart of :func:`run_trials`: trials are
+    seeded from ``np.random.SeedSequence(seed).spawn(n_trials)`` exactly as
+    there, but the callee receives whole *chunks* of children so it can
+    advance them as one lockstep ensemble.  ``chunk_fn`` must return one
+    result per child, in order, and must be picklable for ``jobs > 1``
+    (trials are independent, so sharding cannot change any output);
+    chunked results are concatenated back into trial order.
+    """
+    if n_trials < 0:
+        raise ValueError("n_trials must be non-negative")
+    children = np.random.SeedSequence(seed).spawn(n_trials)
+    if jobs <= 1 or n_trials <= 1:
+        return list(chunk_fn(children, *args))
+    from concurrent.futures import ProcessPoolExecutor
+
+    n_chunks = min(jobs, n_trials)
+    bounds = np.linspace(0, n_trials, n_chunks + 1).astype(int)
+    chunks = [children[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+        parts = pool.map(chunk_fn, chunks, *([value] * len(chunks) for value in args))
+        return [result for part in parts for result in part]

@@ -13,6 +13,9 @@
     repeatable; cartesian product).
 ``report``
     Re-print saved JSON artifacts without re-simulating.
+``compare``
+    Diff two saved artifacts: config, seed and summary scalars (with a
+    relative tolerance); exits non-zero when they disagree.
 ``docs``
     Regenerate ``EXPERIMENTS.md`` from the registry.
 """
@@ -20,6 +23,7 @@
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from pathlib import Path
 from typing import Any, Sequence
@@ -86,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser("report", help="re-print saved JSON artifacts (no simulation)")
     p_report.add_argument("paths", nargs="+", help="artifact files or directories of *.json")
+
+    p_compare = sub.add_parser("compare", help="diff two saved JSON artifacts")
+    p_compare.add_argument("baseline", help="baseline artifact file")
+    p_compare.add_argument("candidate", help="candidate artifact file")
+    p_compare.add_argument(
+        "--rtol",
+        type=float,
+        default=1e-9,
+        help="relative tolerance for summary scalars (default: 1e-9)",
+    )
 
     p_docs = sub.add_parser("docs", help="regenerate EXPERIMENTS.md from the registry")
     p_docs.add_argument("--output", default=None, help="output path (default: EXPERIMENTS.md at repo root)")
@@ -193,6 +207,52 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scalar_differs(a: Any, b: Any, rtol: float) -> bool:
+    """True when two summary values disagree beyond the tolerance."""
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        if math.isnan(a) and math.isnan(b):
+            return False
+        return not math.isclose(a, b, rel_tol=rtol, abs_tol=0.0)
+    return a != b
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Diff two artifacts: config, seed and summary scalars with tolerance."""
+    baseline = ExperimentResult.load(args.baseline)
+    candidate = ExperimentResult.load(args.candidate)
+    differences: list[str] = []
+
+    if baseline.name != candidate.name:
+        differences.append(f"name: {baseline.name!r} != {candidate.name!r}")
+    seed_a = (baseline.provenance or {}).get("seed")
+    seed_b = (candidate.provenance or {}).get("seed")
+    if seed_a != seed_b:
+        differences.append(f"seed: {seed_a!r} != {seed_b!r}")
+
+    config_a, config_b = baseline.config or {}, candidate.config or {}
+    for key in sorted(set(config_a) | set(config_b)):
+        left, right = config_a.get(key, "<missing>"), config_b.get(key, "<missing>")
+        if left != right:
+            differences.append(f"config.{key}: {left!r} != {right!r}")
+
+    summary_a, summary_b = baseline.summary or {}, candidate.summary or {}
+    for key in sorted(set(summary_a) | set(summary_b)):
+        if key not in summary_a or key not in summary_b:
+            differences.append(
+                f"summary.{key}: only in {'baseline' if key in summary_a else 'candidate'}"
+            )
+        elif _scalar_differs(summary_a[key], summary_b[key], args.rtol):
+            differences.append(f"summary.{key}: {summary_a[key]!r} != {summary_b[key]!r}")
+
+    if differences:
+        print(f"{args.baseline} vs {args.candidate}: {len(differences)} difference(s)")
+        for line in differences:
+            print(f"  {line}")
+        return 1
+    print(f"{args.baseline} vs {args.candidate}: identical (rtol={args.rtol:g})")
+    return 0
+
+
 def _cmd_docs(args: argparse.Namespace) -> int:
     from repro.experiments.docs import DEFAULT_DOC_PATH, render_markdown
 
@@ -215,6 +275,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "compare": _cmd_compare,
     "docs": _cmd_docs,
 }
 

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.analysis.cdf import EmpiricalCDF
 from repro.channel.propagation import PathLossModel
-from repro.experiments.batch import run_trials
+from repro.experiments.batch import run_seed_chunks, run_trials
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import experiment
 from repro.lasthop.controller import SourceSyncController
@@ -35,12 +35,19 @@ class Config:
     """Parameters of the Fig. 17 reproduction.
 
     ``jobs`` runs the (independent, per-trial-seeded) placements across a
-    process pool; results are identical for any value.
+    process pool; results are identical for any value.  ``batched`` runs
+    the placement ensemble through the lockstep last-hop engine
+    (:func:`repro.routing.ensemble.simulate_downlink_ensemble`): all
+    placements advance packet-by-packet in waves with SampleRate state and
+    delivery-probability tables held in stacked arrays, while each
+    placement's generator sees its sequential draw order — results match
+    the per-placement path (``batched=False``) bit-for-bit.
     """
 
     n_placements: int = 25
     n_packets: int = 120
     seed: int = 17
+    batched: bool = True
     jobs: int = 1
     params: OFDMParams = DEFAULT_PARAMS
 
@@ -53,15 +60,14 @@ class Config:
             raise ValueError("jobs must be >= 1")
 
 
-def simulate_placement(
+def _build_placement(
     rng: np.random.Generator,
-    n_packets: int = 150,
     params: OFDMParams = DEFAULT_PARAMS,
     ap_separation_m: float = 45.0,
     min_reachable_snr_db: float = 5.0,
     max_attempts: int = 20,
-) -> tuple[float, float]:
-    """(best-AP throughput, SourceSync throughput) for one random placement.
+) -> tuple[Testbed, SourceSyncController, int]:
+    """Draw one admitted client placement (testbed, controller, client id).
 
     The two APs are a fixed distance apart and the client falls at random in
     the band between and around them — the "poor connectivity to multiple
@@ -91,9 +97,71 @@ def simulate_placement(
         if best_snr >= min_reachable_snr_db:
             break
     controller = SourceSyncController(testbed, ap_ids=[0, 1], max_aps_per_client=2)
+    return testbed, controller, client
+
+
+def simulate_placement(
+    rng: np.random.Generator,
+    n_packets: int = 150,
+    params: OFDMParams = DEFAULT_PARAMS,
+    ap_separation_m: float = 45.0,
+    min_reachable_snr_db: float = 5.0,
+    max_attempts: int = 20,
+) -> tuple[float, float]:
+    """(best-AP throughput, SourceSync throughput) for one random placement."""
+    testbed, controller, client = _build_placement(
+        rng, params, ap_separation_m, min_reachable_snr_db, max_attempts
+    )
     best = simulate_downlink(testbed, controller, client, scheme="best_ap", n_packets=n_packets, rng=rng)
     joint = simulate_downlink(testbed, controller, client, scheme="sourcesync", n_packets=n_packets, rng=rng)
     return best.throughput_mbps, joint.throughput_mbps
+
+
+def _placement_ensemble_chunk(
+    children: list[np.random.SeedSequence],
+    n_packets: int,
+    params: OFDMParams,
+) -> list[tuple[float, float]]:
+    """Run a chunk of placement trials through the lockstep last-hop engine.
+
+    Per lane the draw order matches a sequential :func:`simulate_placement`
+    exactly: placement/admission draws, then the best-AP stream, then the
+    SourceSync stream — the two schemes share one generator, so they run
+    as consecutive ensemble calls.
+    """
+    from repro.routing.ensemble import DownlinkLane, simulate_downlink_ensemble
+
+    rngs = [np.random.default_rng(child) for child in children]
+    placements = [_build_placement(rng, params) for rng in rngs]
+    best = simulate_downlink_ensemble(
+        [
+            DownlinkLane(testbed, controller, client, "best_ap", rng, n_packets=n_packets)
+            for (testbed, controller, client), rng in zip(placements, rngs)
+        ]
+    )
+    joint = simulate_downlink_ensemble(
+        [
+            DownlinkLane(testbed, controller, client, "sourcesync", rng, n_packets=n_packets)
+            for (testbed, controller, client), rng in zip(placements, rngs)
+        ]
+    )
+    return [(b.throughput_mbps, j.throughput_mbps) for b, j in zip(best, joint)]
+
+
+def _run_placement_ensemble(
+    n_placements: int,
+    n_packets: int,
+    seed: int,
+    params: OFDMParams,
+    jobs: int = 1,
+) -> list[tuple[float, float]]:
+    """Lockstep counterpart of the ``run_trials`` placement loop.
+
+    Per-trial seeding is shared with the sequential path through
+    :func:`repro.experiments.batch.run_seed_chunks`, which also shards the
+    lanes across a process pool (``jobs > 1``) without changing any output.
+    """
+    return run_seed_chunks(_placement_ensemble_chunk, n_placements, seed, jobs, n_packets, params)
 
 
 def _placement_trial(
@@ -113,27 +181,37 @@ def _placement_trial(
         "full": {"n_placements": 40, "n_packets": 150},
     },
     tags=("mac", "diversity"),
+    batched=True,
 )
 def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 17: CDFs of last-hop throughput for both schemes.
 
-    Placements are independent trials collected through the ensemble
-    runner's :func:`repro.experiments.batch.run_trials` entry point, each
-    with its own generator spawned from the experiment seed — seeded
-    results are independent of trial execution order and parallelise over
-    ``config.jobs`` processes without changing.  Each trial contains a
-    rate-adaptation feedback loop, so the trial itself stays sequential;
-    the per-attempt hot path (delivery probabilities, MAC airtimes) is
-    memoised in :class:`repro.net.topology.Testbed` and
-    :class:`repro.net.mac.MacTiming` instead.
+    Placements are independent trials, each with its own generator spawned
+    from the experiment seed — seeded results are independent of trial
+    execution order and parallelise over ``config.jobs`` processes without
+    changing.  Each trial contains a rate-adaptation feedback loop, so a
+    trial's packet stream stays sequential; with ``config.batched`` the
+    placements advance packet-by-packet in lockstep through
+    :func:`repro.routing.ensemble.simulate_downlink_ensemble`, which holds
+    the SampleRate decision state and the per-rate delivery/airtime tables
+    of every lane in stacked arrays (bit-identical results either way).
     """
     n_placements = config.n_placements
-    pairs = run_trials(
-        partial(_placement_trial, n_packets=config.n_packets, params=config.params),
-        n_placements,
-        seed=config.seed,
-        jobs=config.jobs,
-    )
+    if config.batched:
+        pairs = _run_placement_ensemble(
+            n_placements,
+            n_packets=config.n_packets,
+            seed=config.seed,
+            params=config.params,
+            jobs=config.jobs,
+        )
+    else:
+        pairs = run_trials(
+            partial(_placement_trial, n_packets=config.n_packets, params=config.params),
+            n_placements,
+            seed=config.seed,
+            jobs=config.jobs,
+        )
     best_values = [best for best, _ in pairs]
     joint_values = [joint for _, joint in pairs]
 

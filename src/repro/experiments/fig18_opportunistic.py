@@ -16,18 +16,24 @@ single path).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 
 import numpy as np
 
 from repro.analysis.cdf import EmpiricalCDF
 from repro.channel.propagation import PathLossModel
-from repro.experiments.batch import run_trials
+from repro.experiments.batch import run_seed_chunks, run_trials
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import experiment
 from repro.net.topology import Testbed
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.routing.ensemble import (
+    ExorLane,
+    prime_testbeds_lockstep,
+    simulate_exor_ensemble,
+    simulate_single_path_ensemble,
+)
 from repro.routing.exor import ExorConfig, simulate_exor
 from repro.routing.exor_sourcesync import simulate_exor_sourcesync
 from repro.routing.single_path import simulate_single_path
@@ -41,10 +47,13 @@ class Config:
 
     Topologies are independent trials with spawned per-trial generators
     (seeded results do not depend on execution order; ``jobs`` runs them
-    across a process pool without changing any output).  ``batched`` draws
-    the per-phase delivery outcomes as stacked Bernoulli matrices — the
-    generator stream is identical, so results match the scalar path
-    bit-for-bit.
+    across a process pool without changing any output).  ``batched`` runs
+    the whole topology ensemble through the lockstep mesh engine
+    (:mod:`repro.routing.ensemble`): link priming, the source-broadcast
+    phase, the priority-ordered forwarding rounds and the per-attempt
+    probability tables all become stacked array operations, while every
+    topology's generator is consumed in its sequential order — results
+    match the per-topology path (``batched=False``) bit-for-bit.
     """
 
     rates_mbps: tuple[float, ...] = (6.0, 12.0)
@@ -128,6 +137,74 @@ def _topology_trial(
     return simulate_topology(testbed, rate_mbps, rng, batch_size, batched=batched)
 
 
+def _topology_ensemble_chunk(
+    children: list[np.random.SeedSequence],
+    rate_mbps: float,
+    batch_size: int,
+    params: OFDMParams,
+) -> list[tuple[float, float, float]]:
+    """Run a chunk of topology trials through the lockstep mesh engine.
+
+    Each lane's generator sees the identical draw order as a sequential
+    :func:`_topology_trial`: topology placement, canonical link priming,
+    the single-path transfer, then the two ExOR schemes — so a chunk of
+    any size (``jobs`` shards the children) reproduces the per-topology
+    path bit-for-bit.
+    """
+    rngs = [np.random.default_rng(child) for child in children]
+    testbeds = [random_relay_topology(rng, params=params) for rng in rngs]
+    config = ExorConfig(batch_size=batch_size)
+    prime_testbeds_lockstep(testbeds, config.probe_rate_mbps, config.payload_bytes)
+    relays = [
+        [n for n in testbed.node_ids if n not in (0, 1)] for testbed in testbeds
+    ]
+    singles = [
+        result.throughput_mbps
+        for result in simulate_single_path_ensemble(
+            [
+                ExorLane(testbed, 0, 1, rate_mbps, lane_relays, config, rng)
+                for testbed, lane_relays, rng in zip(testbeds, relays, rngs)
+            ]
+        )
+    ]
+    exor = simulate_exor_ensemble(
+        [
+            ExorLane(testbed, 0, 1, rate_mbps, lane_relays, config, rng)
+            for testbed, lane_relays, rng in zip(testbeds, relays, rngs)
+        ]
+    )
+    joint_config = replace(config, sender_diversity=True)
+    joint = simulate_exor_ensemble(
+        [
+            ExorLane(testbed, 0, 1, rate_mbps, lane_relays, joint_config, rng)
+            for testbed, lane_relays, rng in zip(testbeds, relays, rngs)
+        ]
+    )
+    return [
+        (single, ex.throughput_mbps, ss.throughput_mbps)
+        for single, ex, ss in zip(singles, exor, joint)
+    ]
+
+
+def _run_topology_ensemble(
+    n_topologies: int,
+    rate_mbps: float,
+    batch_size: int,
+    seed: int,
+    params: OFDMParams,
+    jobs: int = 1,
+) -> list[tuple[float, float, float]]:
+    """Lockstep counterpart of the ``run_trials`` topology loop.
+
+    Per-trial seeding is shared with the sequential path through
+    :func:`repro.experiments.batch.run_seed_chunks`, which also shards the
+    lanes across a process pool (``jobs > 1``) without changing any output.
+    """
+    return run_seed_chunks(
+        _topology_ensemble_chunk, n_topologies, seed, jobs, rate_mbps, batch_size, params
+    )
+
+
 @experiment(
     name="fig18",
     description="Opportunistic routing throughput CDFs (single path, ExOR, ExOR+SourceSync)",
@@ -146,18 +223,28 @@ def _run(config: Config) -> ExperimentResult:
     series: dict[str, list[float]] = {}
     summary: dict[str, float] = {}
     for rate in config.rates_mbps:
-        triples = run_trials(
-            partial(
-                _topology_trial,
+        if config.batched:
+            triples = _run_topology_ensemble(
+                n_topologies,
                 rate_mbps=rate,
                 batch_size=batch_size,
-                batched=config.batched,
+                seed=config.seed + int(rate),
                 params=config.params,
-            ),
-            n_topologies,
-            seed=config.seed + int(rate),
-            jobs=config.jobs,
-        )
+                jobs=config.jobs,
+            )
+        else:
+            triples = run_trials(
+                partial(
+                    _topology_trial,
+                    rate_mbps=rate,
+                    batch_size=batch_size,
+                    batched=False,
+                    params=config.params,
+                ),
+                n_topologies,
+                seed=config.seed + int(rate),
+                jobs=config.jobs,
+            )
         single_values = [single for single, _, _ in triples]
         exor_values = [exor for _, exor, _ in triples]
         joint_values = [joint for _, _, joint in triples]

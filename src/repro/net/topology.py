@@ -75,6 +75,8 @@ class Testbed:
         if len({node.node_id for node in self.nodes}) != len(self.nodes):
             raise ValueError("node ids must be unique")
         self._by_id = {node.node_id: node for node in self.nodes}
+        #: node id -> row/column index of the dense delivery matrices.
+        self._node_index = {node.node_id: i for i, node in enumerate(self.nodes)}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -212,6 +214,28 @@ class Testbed:
             self._delivery_cache[key] = delivery_probability(combined, rate_obj, payload_bytes)
         return self._delivery_cache[key]
 
+    def _unprimed_pairs(self, rate_obj: Rate, payload_bytes: int) -> list[tuple[int, int]]:
+        """Directed pairs whose delivery probability is not yet cached.
+
+        The nested (src, dst) iteration order is the canonical order in
+        which lazy shadowing/fading draws consume the testbed generator;
+        every all-pairs sweep (:meth:`prime_delivery_cache` and the
+        lockstep priming of :mod:`repro.routing.ensemble`) must walk pairs
+        in exactly this order so seeded link realisations are stable.
+        """
+        pairs: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for src in self.node_ids:
+            for dst in self.node_ids:
+                if src == dst:
+                    continue
+                for a, b in ((src, dst), (dst, src)):
+                    key = (a, b, rate_obj.mbps, payload_bytes)
+                    if key not in self._delivery_cache and (a, b) not in seen:
+                        seen.add((a, b))
+                        pairs.append((a, b))
+        return pairs
+
     def prime_delivery_cache(self, rate: Rate | float, payload_bytes: int = 1460) -> None:
         """Evaluate every directed link's delivery probability in one batch.
 
@@ -227,24 +251,105 @@ class Testbed:
             return
         from repro.analysis.error_models import delivery_probabilities
 
-        pairs: list[tuple[int, int]] = []
-        seen: set[tuple[int, int]] = set()
-        profiles: list[np.ndarray] = []
-        for src in self.node_ids:
-            for dst in self.node_ids:
-                if src == dst:
-                    continue
-                for a, b in ((src, dst), (dst, src)):
-                    key = (a, b, rate_obj.mbps, payload_bytes)
-                    if key not in self._delivery_cache and (a, b) not in seen:
-                        seen.add((a, b))
-                        pairs.append((a, b))
-                        profiles.append(self.link_profile(a, b))
-        if profiles:
-            probs = delivery_probabilities(np.stack(profiles), rate_obj, payload_bytes)
+        pairs = self._unprimed_pairs(rate_obj, payload_bytes)
+        if pairs:
+            profiles = np.stack([self.link_profile(a, b) for a, b in pairs])
+            probs = delivery_probabilities(profiles, rate_obj, payload_bytes)
             for (a, b), prob in zip(pairs, probs):
                 self._delivery_cache[(a, b, rate_obj.mbps, payload_bytes)] = float(prob)
         self._routing_cache[done_key] = True
+
+    def delivery_prob_matrix(self, rate: Rate | float, payload_bytes: int = 1460) -> np.ndarray:
+        """Dense pairwise single-sender delivery probabilities.
+
+        Returns an ``(n_nodes, n_nodes)`` array indexed by node *position*
+        (``self._node_index``), with zeros on the diagonal.  The matrix is
+        assembled from the scalar delivery cache after one batched priming
+        pass, so its entries are bit-identical to per-pair
+        :meth:`delivery_probability` calls; routing hot loops index it
+        instead of hashing tuple keys per attempt.
+
+        Building the matrix materialises any missing link profile (lazy
+        generator draws, in the canonical all-pairs order) — callers that
+        need draw-order stability should only invoke it once every profile
+        exists, e.g. after :func:`repro.net.etx.etx_graph` primed the
+        testbed.
+        """
+        rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
+        key = ("delivery_matrix", rate_obj.mbps, payload_bytes)
+        cached = self._routing_cache.get(key)
+        if cached is not None:
+            return cached
+        self.prime_delivery_cache(rate_obj, payload_bytes)
+        n = len(self.nodes)
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for a in self.node_ids:
+            for b in self.node_ids:
+                if a == b:
+                    continue
+                matrix[self._node_index[a], self._node_index[b]] = self._delivery_cache[
+                    (a, b, rate_obj.mbps, payload_bytes)
+                ]
+        self._routing_cache[key] = matrix
+        return matrix
+
+    def joint_delivery_prob_row(
+        self,
+        senders: list[int] | tuple[int, ...],
+        receivers: list[int],
+        rate: Rate | float,
+        payload_bytes: int = 1460,
+    ) -> np.ndarray:
+        """Joint delivery probabilities of one sender set towards many receivers.
+
+        The per-receiver values live in a row table keyed by the *frozen*
+        sender set.  Missing entries are filled in one batched
+        combine-and-EESM pass over the outstanding receivers, accumulating
+        the senders' linear SNRs in the caller's sender order — bit-identical
+        to scalar :meth:`joint_delivery_probability` calls made in the same
+        order, whose memo this row table also reads and writes.  Subsequent
+        lookups are plain array gathers.
+
+        Like the scalar path, filling an entry touches the senders' link
+        profiles; callers needing draw-order stability should only ask for
+        links whose profiles are already materialised.
+        """
+        rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
+        sorted_senders = tuple(sorted(senders))
+        key = ("joint_row", sorted_senders, rate_obj.mbps, payload_bytes)
+        row = self._routing_cache.get(key)
+        if row is None:
+            row = {}
+            self._routing_cache[key] = row
+        missing = [dst for dst in receivers if dst not in row]
+        if missing:
+            from repro.analysis.error_models import (
+                combined_subcarrier_snr_batch,
+                delivery_probabilities,
+            )
+
+            fresh = []
+            for dst in missing:
+                cache_key = (sorted_senders, dst, rate_obj.mbps, payload_bytes)
+                cached = self._delivery_cache.get(cache_key)
+                if cached is not None:
+                    row[dst] = cached
+                else:
+                    fresh.append(dst)
+            if fresh:
+                profiles = np.stack(
+                    [[self.link_profile(s, dst) for dst in fresh] for s in senders]
+                )
+                combined = combined_subcarrier_snr_batch(profiles)
+                probs = delivery_probabilities(combined, rate_obj, payload_bytes)
+                for dst, prob in zip(fresh, probs):
+                    value = float(prob)
+                    row[dst] = value
+                    self._delivery_cache[(sorted_senders, dst, rate_obj.mbps, payload_bytes)] = value
+        out = np.empty(len(receivers), dtype=np.float64)
+        for k, dst in enumerate(receivers):
+            out[k] = row[dst]
+        return out
 
     def loss_rate(self, src: int, dst: int, probe_rate_mbps: float = 6.0, probe_bytes: int = 1460) -> float:
         """Link loss rate as measured by routing-layer probes (for ETX)."""
@@ -290,11 +395,43 @@ class Testbed:
         rng = rng if rng is not None else self.rng
         if not receivers:
             return []
-        probs = [self._delivery_prob(senders, node, rate, payload_bytes) for node in receivers]
+        probs = self._delivery_prob_vector(senders, receivers, rate, payload_bytes)
         if len(receivers) == 1:
             return [bool(rng.random() < probs[0])]
         draws = rng.random(len(receivers))
-        return [bool(draw < prob) for draw, prob in zip(draws, probs)]
+        return (draws < probs).tolist()
+
+    def _delivery_prob_vector(
+        self,
+        senders: list[int] | int,
+        receivers: list[int],
+        rate: Rate | float,
+        payload_bytes: int,
+    ) -> np.ndarray:
+        """Delivery probabilities of one transmission towards many receivers.
+
+        Single-sender probabilities gather from the dense
+        :meth:`delivery_prob_matrix` when it has been built (falling back to
+        the scalar cache so lazily-constructed testbeds keep their draw
+        order); joint probabilities come from the frozen-sender-set row
+        table.
+        """
+        if isinstance(senders, int):
+            sender: int | None = senders
+        elif len(senders) == 1:
+            sender = senders[0]
+        else:
+            sender = None
+        if sender is None:
+            return self.joint_delivery_prob_row(list(senders), receivers, rate, payload_bytes)
+        rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
+        matrix = self._routing_cache.get(("delivery_matrix", rate_obj.mbps, payload_bytes))
+        if matrix is not None:
+            idx = self._node_index
+            return matrix[idx[sender], [idx[node] for node in receivers]]
+        return np.array(
+            [self.delivery_probability(sender, node, rate_obj, payload_bytes) for node in receivers]
+        )
 
     def attempt_broadcasts(
         self,
@@ -314,7 +451,5 @@ class Testbed:
         rng = rng if rng is not None else self.rng
         if n_packets == 0 or not receivers:
             return np.zeros((n_packets, len(receivers)), dtype=bool)
-        probs = np.array(
-            [self.delivery_probability(sender, node, rate, payload_bytes) for node in receivers]
-        )
+        probs = self._delivery_prob_vector(sender, receivers, rate, payload_bytes)
         return rng.random((n_packets, len(receivers))) < probs[None, :]

@@ -1,14 +1,27 @@
 """Routing protocols: single path, ExOR, and ExOR + SourceSync."""
 
-from repro.routing.exor import ExorConfig, ExorResult, simulate_exor
+from repro.routing.ensemble import (
+    DownlinkLane,
+    ExorLane,
+    prime_testbeds_lockstep,
+    simulate_downlink_ensemble,
+    simulate_exor_ensemble,
+)
+from repro.routing.exor import ExorConfig, ExorResult, exor_priority, simulate_exor
 from repro.routing.exor_sourcesync import cp_increase_for_forwarders, simulate_exor_sourcesync
 from repro.routing.single_path import SinglePathResult, simulate_single_path
 
 __all__ = [
     "ExorConfig",
     "ExorResult",
+    "ExorLane",
+    "DownlinkLane",
+    "exor_priority",
+    "prime_testbeds_lockstep",
     "simulate_exor",
+    "simulate_exor_ensemble",
     "simulate_exor_sourcesync",
+    "simulate_downlink_ensemble",
     "cp_increase_for_forwarders",
     "SinglePathResult",
     "simulate_single_path",

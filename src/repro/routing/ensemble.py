@@ -1,0 +1,750 @@
+"""Lockstep mesh-ensemble execution of the ExOR / network layer.
+
+The sender-diversity routing experiments (§8.4, Fig. 18; §8.3, Fig. 17)
+are Monte-Carlo loops over *independent* topologies or client placements.
+PRs 1 and 3 batched the PHY pipeline and the joint-frame core, but each
+topology's ExOR transfer still ran a pure-Python event loop: per packet,
+per receiver, one dict-keyed probability lookup and one scalar Bernoulli
+draw.  This module advances many transfers *in lockstep* instead,
+following the same pattern as :mod:`repro.core.ensemble`:
+
+* link realisations of every testbed are materialised with per-testbed
+  draws in the canonical all-pairs order, while the surrounding pure
+  compute (tap normalisation, FFTs, the EESM/waterfall mapping) runs once
+  over the stacked rows of the whole ensemble
+  (:func:`prime_testbeds_lockstep`);
+* each ExOR phase becomes masked Bernoulli matrix draws against the dense
+  per-testbed probability tables
+  (:meth:`repro.net.topology.Testbed.delivery_prob_matrix` and the
+  frozen-sender-set joint rows): the source-broadcast phase is one
+  ``(batch, listeners)`` draw, a forwarding turn is one
+  ``(pending, receivers)`` draw, and holds live in a boolean
+  ``(node, packet)`` array per lane instead of per-packet Python sets;
+* the last-hop downlink loops of Fig. 17 advance placements in waves over
+  packets with the SampleRate statistics of all lanes held in stacked
+  arrays (:func:`simulate_downlink_ensemble`).
+
+Determinism contract
+--------------------
+Every RNG draw is made from the owning lane's generator in exactly the
+order the sequential code would make it: a turn's flattened
+packet-by-receiver draw consumes the same uniform stream as the loop of
+per-packet :meth:`Testbed.attempt_deliveries` calls it replaces, and
+stages that cannot merge draws (last-hop cleanup retries, downlink
+attempt loops) keep per-lane scalar draws in sequential order.  A
+lockstep run over lanes ``[l1, ..., ln]`` therefore produces *bit
+identical* results to running each lane's sequential simulation to
+completion, which ``tests/routing/test_exor_ensemble.py`` asserts.
+Lanes must not share a generator; callers with phases that reuse one
+stream (e.g. Fig. 18 running plain ExOR and then ExOR + SourceSync on
+the same topology) run one ensemble call per phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.error_models import delivery_probabilities, delivery_probabilities_rates
+from repro.channel.awgn import db_to_linear, linear_to_db
+from repro.channel.multipath import rayleigh_taps_batch
+from repro.lasthop.controller import SourceSyncController
+from repro.lasthop.rate_adaptation import SampleRate
+from repro.lasthop.simulation import LastHopResult
+from repro.net.etx import etx_graph
+from repro.net.mac import MacTiming
+from repro.net.topology import Testbed
+from repro.phy.rates import Rate, rate_for_mbps, rates_sorted
+from repro.routing.exor import ExorConfig, ExorResult, exor_priority
+from repro.routing.single_path import SinglePathResult
+
+__all__ = [
+    "ExorLane",
+    "DownlinkLane",
+    "prime_testbeds_lockstep",
+    "simulate_exor_ensemble",
+    "simulate_single_path_ensemble",
+    "simulate_downlink_ensemble",
+]
+
+
+# ----------------------------------------------------------------------
+# Lockstep testbed priming
+# ----------------------------------------------------------------------
+def prime_testbeds_lockstep(
+    testbeds: list[Testbed], rate: Rate | float, payload_bytes: int = 1460
+) -> None:
+    """Prime every testbed's delivery cache with cross-testbed batched compute.
+
+    The sequential counterpart is one
+    :meth:`Testbed.prime_delivery_cache` call per testbed.  Here only the
+    *draws* stay per testbed — each generator is consumed in the canonical
+    all-pairs order (shadowing, then tap gains, per directed link), exactly
+    as the lazy scalar path would — while the pure compute is stacked
+    across the whole ensemble: one tap-normalisation/FFT pass and one
+    EESM/waterfall pass over all outstanding links of all testbeds.  The
+    cached profiles and probabilities are bit-identical to the scalar
+    path's (row-wise FFTs and reductions match their 1-D counterparts).
+    """
+    rate_obj = rate if isinstance(rate, Rate) else rate_for_mbps(rate)
+    done_key = ("delivery_primed", rate_obj.mbps, payload_bytes)
+    # (testbed, (a, b)) rows needing a fresh fading realisation, grouped by
+    # compute shape so heterogeneous ensembles stack safely.
+    draw_groups: dict[tuple, list[tuple[Testbed, tuple[int, int], np.ndarray, float]]] = {}
+    eesm_groups: dict[int, list[tuple[Testbed, tuple[int, int], np.ndarray]]] = {}
+    pending: list[tuple[Testbed, list[tuple[int, int]]]] = []
+    seen_testbeds: set[int] = set()
+    for testbed in testbeds:
+        # Dedupe shared topologies (e.g. one testbed carrying lanes at two
+        # rates): collecting a testbed twice before its profiles are stored
+        # would re-draw its link realisations and corrupt its generator.
+        if id(testbed) in seen_testbeds or testbed._routing_cache.get(done_key):
+            continue
+        seen_testbeds.add(id(testbed))
+        pairs = testbed._unprimed_pairs(rate_obj, payload_bytes)
+        pending.append((testbed, pairs))
+        rayleigh = not np.isfinite(testbed.multipath_profile.k_factor_db)
+        n_taps = testbed.multipath_profile.n_taps
+        for a, b in pairs:
+            profile = testbed._profile_cache.get((a, b))
+            if profile is not None:
+                eesm_groups.setdefault(profile.size, []).append((testbed, (a, b), profile))
+                continue
+            average_snr = testbed.link_average_snr_db(a, b)  # shadowing draw, cached
+            if rayleigh:
+                # Draw-only fast path: the Gaussian draw is the whole RNG
+                # consumption of rayleigh_taps_batch for Rayleigh profiles;
+                # the power-delay scaling is deferred to the stacked pass.
+                taps = testbed.rng.normal(size=(2, n_taps))
+            else:
+                taps = rayleigh_taps_batch(testbed.multipath_profile, 1, testbed.rng)[0]
+            group = (rayleigh, n_taps, testbed.multipath_profile, testbed.params)
+            draw_groups.setdefault(group, []).append((testbed, (a, b), taps, average_snr))
+
+    for (rayleigh, n_taps, multipath_profile, params), rows in draw_groups.items():
+        if rayleigh:
+            draws = np.stack([row[2] for row in rows])
+            scattered = (draws[:, 0, :] + 1j * draws[:, 1, :]) / np.sqrt(2.0)
+            taps = scattered * np.sqrt(multipath_profile.tap_powers())
+        else:
+            taps = np.stack([row[2] for row in rows])
+        average = np.array([row[3] for row in rows], dtype=np.float64)
+        # Mirrors MultipathChannel.normalized + subcarrier_snr_profile,
+        # row-stacked: unit-power taps, frequency response on the occupied
+        # bins, mean-normalised gains scaled to the target average SNR.
+        power = np.sum(np.abs(taps) ** 2, axis=1)
+        response = np.fft.fft(taps / np.sqrt(power)[:, None], params.n_fft, axis=-1)
+        # ascontiguousarray: the fancy-indexed bin selection is strided, and
+        # the row means' pairwise-summation blocking (and hence the last
+        # ulp) matches the scalar path only on contiguous rows.
+        gains = np.abs(np.ascontiguousarray(response[:, params.occupied_bins()])) ** 2
+        gains = gains / np.mean(gains, axis=1)[:, None]
+        # The SNR scale must go through the scalar power path: numpy's
+        # vectorised 10**x can differ from the 0-d case by one ulp.
+        scale = np.array([db_to_linear(snr_db) for snr_db in average.tolist()])
+        profiles = np.asarray(linear_to_db(gains * scale[:, None]))
+        for (testbed, pair, _, _), profile in zip(rows, profiles):
+            testbed._profile_cache[pair] = profile
+            eesm_groups.setdefault(profile.size, []).append((testbed, pair, profile))
+
+    for rows in eesm_groups.values():
+        probs = delivery_probabilities(np.stack([row[2] for row in rows]), rate_obj, payload_bytes)
+        for (testbed, (a, b), _), prob in zip(rows, probs):
+            testbed._delivery_cache[(a, b, rate_obj.mbps, payload_bytes)] = float(prob)
+    for testbed, _ in pending:
+        testbed._routing_cache[done_key] = True
+
+
+# ----------------------------------------------------------------------
+# ExOR batch transfers in lockstep
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExorLane:
+    """One ExOR batch transfer to advance inside the lockstep ensemble."""
+
+    testbed: Testbed
+    src: int
+    dst: int
+    rate_mbps: float
+    relays: list[int]
+    config: ExorConfig
+    rng: np.random.Generator
+    timing: MacTiming | None = None
+
+
+def _bit_indices(mask: int) -> list[int]:
+    """Ascending positions of the set bits of a packet bitmask."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+@dataclass
+class _ExorLaneState:
+    """Mutable per-lane execution state of the lockstep scheduler.
+
+    Holds are packet *bitmasks*, one integer per holder (destination
+    first, then the forwarder priority order) — the boolean
+    ``(node, packet)`` view flattened into machine words, so the
+    per-round pending/receiver bookkeeping that dominated the sequential
+    profile becomes a handful of integer operations.
+    """
+
+    lane: ExorLane
+    rate: Rate
+    priority: list[int]
+    holders: list[int]  #: receiver axis: destination first, then priority
+    holds: list[int]  #: per-holder packet bitmask
+    single_probs: list[list[float]]  #: per forwarder index, probabilities to rows 0..index
+    single_airtime: float
+    airtime_by_cosenders: list[float]
+    elapsed_us: float = 0.0
+    transmissions: int = 0
+    failures: int = 0
+    joint_count: int = 0
+    rounds: int = 0
+    progress: bool = True
+    #: joint probability rows over the holder axis, keyed by sender bitmask
+    joint_rows: dict[int, list] = field(default_factory=dict)
+
+    @property
+    def delivered(self) -> int:
+        return self.holds[0].bit_count()
+
+    @property
+    def active(self) -> bool:
+        config = self.lane.config
+        return (
+            self.rounds < config.max_rounds
+            and self.delivered < config.batch_size
+            and self.progress
+        )
+
+
+def _lane_state(lane: ExorLane) -> _ExorLaneState:
+    testbed, config = lane.testbed, lane.config
+    timing = lane.timing if lane.timing is not None else MacTiming(params=testbed.params)
+    rate = rate_for_mbps(lane.rate_mbps)
+    priority = exor_priority(testbed, lane.relays, lane.src, lane.dst, config)
+    holders = [lane.dst, *priority]
+    holds = [0] * len(holders)
+    holds[holders.index(lane.src)] = (1 << config.batch_size) - 1  # source holds the batch
+    single = timing.single_transaction_us(config.payload_bytes, rate, with_ack=False)
+    airtimes = [single] + [
+        timing.joint_transaction_us(config.payload_bytes, rate, n, with_ack=False)
+        for n in range(1, len(priority))
+    ]
+    matrix = testbed.delivery_prob_matrix(rate, config.payload_bytes)
+    cols = [testbed._node_index[node] for node in holders]
+    single_probs = [
+        matrix[cols[index + 1], cols[: index + 1]].tolist()
+        for index in range(len(priority))
+    ]
+    return _ExorLaneState(
+        lane=lane,
+        rate=rate,
+        priority=priority,
+        holders=holders,
+        holds=holds,
+        single_probs=single_probs,
+        single_airtime=single,
+        airtime_by_cosenders=airtimes,
+    )
+
+
+def _joint_probs(state: _ExorLaneState, bitmask: int, forwarder_index: int, n_receivers: int) -> list:
+    """Joint delivery probabilities of one sender set towards the first receivers.
+
+    ``bitmask`` sets bit ``i`` for every member ``priority[i]`` of the
+    sender set; rows are cached per mask and extended lazily so each
+    (sender set, receiver) entry is computed exactly when — and in the
+    sender order — the sequential scheduler would first need it.
+    """
+    row = state.joint_rows.get(bitmask)
+    if row is None:
+        row = [None] * len(state.holders)
+        state.joint_rows[bitmask] = row
+    missing = [k for k in range(n_receivers) if row[k] is None]
+    if missing:
+        senders = [state.priority[forwarder_index]] + [
+            state.priority[i]
+            for i in range(len(state.priority))
+            if i != forwarder_index and bitmask >> i & 1
+        ]
+        values = state.lane.testbed.joint_delivery_prob_row(
+            senders,
+            [state.holders[k] for k in missing],
+            state.rate,
+            state.lane.config.payload_bytes,
+        )
+        for k, value in zip(missing, values.tolist()):
+            row[k] = value
+    return row[:n_receivers]
+
+
+def _broadcast_wave(state: _ExorLaneState) -> None:
+    """Source-broadcast phase: one Bernoulli matrix draw for the whole batch."""
+    lane, config = state.lane, state.lane.config
+    testbed = lane.testbed
+    listener_rows = [k for k, node in enumerate(state.holders) if node != lane.src]
+    matrix = testbed.delivery_prob_matrix(state.rate, config.payload_bytes)
+    src_col = testbed._node_index[lane.src]
+    probs = matrix[src_col, [testbed._node_index[state.holders[k]] for k in listener_rows]]
+    outcomes = lane.rng.random((config.batch_size, len(listener_rows))) < probs[None, :]
+    holds = state.holds
+    failures = 0
+    for packet_id, row in enumerate(outcomes.tolist()):
+        bit = 1 << packet_id
+        heard = False
+        for col, hit in enumerate(row):
+            if hit:
+                holds[listener_rows[col]] |= bit
+                heard = True
+        if not heard:
+            failures += 1
+    state.transmissions += config.batch_size
+    state.failures += failures
+    for _ in range(config.batch_size):  # per-packet accumulation order
+        state.elapsed_us += state.single_airtime
+
+
+def _forwarding_turn(state: _ExorLaneState, index: int, higher_or: int) -> int:
+    """One forwarder's turn: a flattened packet-by-receiver Bernoulli draw.
+
+    The flattened ``(pending, receivers)`` draw consumes the lane
+    generator exactly as the sequential per-packet
+    ``attempt_deliveries`` loop does (packets in ascending id order,
+    receivers in destination-then-priority order).  Returns the union of
+    newly-delivered packet bits so the caller can keep its running
+    higher-priority OR current.
+    """
+    config = state.lane.config
+    holds = state.holds
+    pending_bits = holds[index + 1] & ~higher_or
+    if not pending_bits:
+        return 0
+    pending = _bit_indices(pending_bits)
+    n_pending, n_receivers = len(pending), index + 1
+    if config.sender_diversity:
+        base = 1 << index
+        masks = [base] * n_pending
+        for i in range(len(state.priority)):
+            if i == index:
+                continue
+            overlap = holds[i + 1] & pending_bits
+            if overlap:
+                joiner_bit = 1 << i
+                for k, packet_id in enumerate(pending):
+                    if overlap >> packet_id & 1:
+                        masks[k] |= joiner_bit
+        prob_rows = []
+        airtimes = []
+        for mask in masks:
+            if mask == base:
+                prob_rows.append(state.single_probs[index])
+                airtimes.append(state.single_airtime)
+            else:
+                prob_rows.append(_joint_probs(state, mask, index, n_receivers))
+                n_cosenders = mask.bit_count() - 1
+                airtimes.append(state.airtime_by_cosenders[n_cosenders])
+                state.joint_count += 1
+    else:
+        prob_rows = None
+        single_row = state.single_probs[index]
+        airtimes = None
+    draws = state.lane.rng.random(n_pending * n_receivers).tolist()
+    newly = [0] * n_receivers
+    failures = 0
+    elapsed = state.elapsed_us
+    position = 0
+    for k in range(n_pending):
+        row = prob_rows[k] if prob_rows is not None else single_row
+        bit = 1 << pending[k]
+        delivered_any = False
+        for r in range(n_receivers):
+            if draws[position] < row[r]:
+                newly[r] |= bit
+                delivered_any = True
+            position += 1
+        if not delivered_any:
+            failures += 1
+        elapsed += airtimes[k] if airtimes is not None else state.single_airtime
+    state.elapsed_us = elapsed
+    state.transmissions += n_pending
+    state.failures += failures
+    newly_union = 0
+    for r in range(n_receivers):
+        if newly[r]:
+            holds[r] |= newly[r]
+            newly_union |= newly[r]
+    if newly_union:
+        state.progress = True
+    return newly_union
+
+
+def _cleanup(state: _ExorLaneState) -> None:
+    """Last-hop cleanup: per-packet retries, scalar draws in sequential order."""
+    lane, config = state.lane, state.lane.config
+    holds = state.holds
+    rng = lane.rng
+    full = (1 << config.batch_size) - 1
+    for packet_id in _bit_indices(~holds[0] & full):
+        bit = 1 << packet_id
+        holder_indices = [i for i in range(len(state.priority)) if holds[i + 1] & bit]
+        if not holder_indices:
+            continue
+        sender_index = holder_indices[0]
+        n_senders = 1
+        if config.sender_diversity and len(holder_indices) > 1:
+            n_senders = len(holder_indices)
+            bitmask = 0
+            for i in holder_indices:
+                bitmask |= 1 << i
+            prob = _joint_probs(state, bitmask, sender_index, 1)[0]
+        else:
+            # Row 0 of a forwarder's single-sender probabilities is the
+            # destination (receivers are ordered destination-first).
+            prob = state.single_probs[sender_index][0]
+        airtime = state.airtime_by_cosenders[n_senders - 1]
+        for _ in range(config.retry_limit_last_hop):
+            if n_senders > 1:
+                state.joint_count += 1
+            success = rng.random() < prob
+            state.elapsed_us += airtime
+            state.transmissions += 1
+            if success:
+                holds[0] |= bit
+                break
+            state.failures += 1
+
+
+def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
+    """Advance many ExOR batch transfers in lockstep.
+
+    Bit-identical to calling :func:`repro.routing.exor.simulate_exor` once
+    per lane with the same arguments — every lane's generator is consumed
+    in its sequential order — while the probability priming is batched
+    across lanes and each phase runs as stacked array operations.
+    """
+    if len({id(lane.rng) for lane in lanes}) != len(lanes):
+        raise ValueError(
+            "lockstep lanes must not share a generator; run dependent phases "
+            "as consecutive ensemble calls instead"
+        )
+    # Group the priming by (probe rate, payload) and (data rate, payload) so
+    # heterogeneous ensembles batch what they can share.  Building the ETX
+    # graph and dense matrices afterwards consumes no generator draws.
+    probe_groups: dict[tuple, list[Testbed]] = {}
+    data_groups: dict[tuple, list[Testbed]] = {}
+    for lane in lanes:
+        config = lane.config
+        probe_groups.setdefault(
+            (config.probe_rate_mbps, config.payload_bytes), []
+        ).append(lane.testbed)
+        data_groups.setdefault((lane.rate_mbps, config.payload_bytes), []).append(lane.testbed)
+    for (probe_rate, payload), testbeds in probe_groups.items():
+        prime_testbeds_lockstep(testbeds, probe_rate, payload)
+    for lane in lanes:
+        etx_graph(
+            lane.testbed,
+            probe_rate_mbps=lane.config.probe_rate_mbps,
+            probe_bytes=lane.config.payload_bytes,
+        )
+    for (rate_mbps, payload), testbeds in data_groups.items():
+        prime_testbeds_lockstep(testbeds, rate_mbps, payload)
+
+    states = [_lane_state(lane) for lane in lanes]
+    for state in states:
+        _broadcast_wave(state)
+
+    active = [state for state in states if state.active]
+    while active:
+        for state in active:
+            state.rounds += 1
+            state.progress = False
+            state.elapsed_us += state.lane.config.batch_map_overhead_us
+            # Running OR of the higher-priority holders' packets: rows the
+            # earlier turns of this round updated are all downstream of the
+            # later forwarders, so the union of newly-delivered bits keeps
+            # the pending computation current.
+            higher_or = state.holds[0]
+            for index in range(len(state.priority)):
+                higher_or |= _forwarding_turn(state, index, higher_or)
+                higher_or |= state.holds[index + 1]
+        active = [state for state in active if state.active]
+
+    results = []
+    for state in states:
+        _cleanup(state)
+        config = state.lane.config
+        delivered = state.delivered
+        bits = delivered * config.payload_bytes * 8
+        throughput = bits / state.elapsed_us if state.elapsed_us > 0 else 0.0
+        results.append(
+            ExorResult(
+                throughput_mbps=throughput,
+                delivered_packets=delivered,
+                total_packets=config.batch_size,
+                transmissions=state.transmissions,
+                rounds=state.rounds,
+                forwarders=tuple(state.priority),
+                joint_transmissions=state.joint_count,
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Single-path baseline in lockstep
+# ----------------------------------------------------------------------
+def simulate_single_path_ensemble(
+    lanes: list[ExorLane],
+    retry_limit: int = 8,
+) -> list[SinglePathResult]:
+    """Single-path bulk transfers for an ensemble of lanes.
+
+    Bit-identical to per-lane
+    :func:`repro.routing.single_path.simulate_single_path` calls with
+    ``n_packets = config.batch_size``.  Each lane's retry loop is
+    feedback-bound (it stops at the first acknowledged attempt), so the
+    uniforms cannot merge into one draw; instead the lane pre-draws an
+    upper-bound block, consumes it sequentially, and then rewinds its
+    generator to advance by exactly the consumed count — the stream any
+    downstream phase sees is unchanged.
+    """
+    from repro.net.etx import best_route
+
+    results = []
+    for lane in lanes:
+        config = lane.config
+        testbed, rng = lane.testbed, lane.rng
+        timing = lane.timing if lane.timing is not None else MacTiming(params=testbed.params)
+        rate = rate_for_mbps(lane.rate_mbps)
+        n_packets = config.batch_size
+        graph = etx_graph(
+            testbed, probe_rate_mbps=config.probe_rate_mbps, probe_bytes=config.payload_bytes
+        )
+        route_key = ("best_route", config.probe_rate_mbps, config.payload_bytes, lane.src, lane.dst)
+        route = testbed._routing_cache.get(route_key)
+        if route is None:
+            route = best_route(graph, lane.src, lane.dst) or ()
+            testbed._routing_cache[route_key] = route
+        if len(route) < 2:
+            results.append(SinglePathResult(0.0, 0, n_packets, 0, tuple(route)))
+            continue
+        matrix = testbed.delivery_prob_matrix(rate, config.payload_bytes)
+        idx = testbed._node_index
+        hop_probs = [
+            float(matrix[idx[a], idx[b]]) for a, b in zip(route[:-1], route[1:])
+        ]
+        per_attempt = timing.single_transaction_us(config.payload_bytes, rate)
+        snapshot = {**rng.bit_generator.state}
+        draws = rng.random(n_packets * len(hop_probs) * retry_limit).tolist()
+        position = 0
+        delivered = transmissions = 0
+        elapsed = 0.0
+        for _ in range(n_packets):
+            alive = True
+            for prob in hop_probs:
+                success = False
+                for _ in range(retry_limit):
+                    got_through = draws[position] < prob
+                    position += 1
+                    elapsed += per_attempt
+                    transmissions += 1
+                    if got_through:
+                        success = True
+                        break
+                if not success:
+                    alive = False
+                    break
+            if alive:
+                delivered += 1
+        # Rewind and re-consume exactly the used draws: the generator ends
+        # in the same state as the sequential retry loops leave it.
+        rng.bit_generator.state = snapshot
+        if position:
+            rng.random(position)
+        bits = delivered * config.payload_bytes * 8
+        throughput = bits / elapsed if elapsed > 0 else 0.0
+        results.append(
+            SinglePathResult(
+                throughput_mbps=throughput,
+                delivered_packets=delivered,
+                total_packets=n_packets,
+                transmissions=transmissions,
+                route=tuple(route),
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Last-hop downlink placements in lockstep
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DownlinkLane:
+    """One client placement's downlink stream for the lockstep last hop."""
+
+    testbed: Testbed
+    controller: SourceSyncController
+    client: int
+    scheme: str
+    rng: np.random.Generator
+    n_packets: int = 200
+    payload_bytes: int = 1460
+    retry_limit: int = 7
+    timing: MacTiming | None = None
+
+
+def _lane_senders(lane: DownlinkLane) -> list[int]:
+    """Resolve the transmitting APs exactly as :func:`simulate_downlink` does."""
+    if lane.scheme == "sourcesync":
+        return lane.controller.downlink_senders(lane.client)
+    if lane.scheme == "best_ap":
+        return [lane.controller.best_single_ap(lane.client)]
+    if lane.scheme.startswith("single_ap:"):
+        return [int(lane.scheme.split(":", 1)[1])]
+    raise ValueError(f"unknown scheme {lane.scheme!r}")
+
+
+def simulate_downlink_ensemble(lanes: list[DownlinkLane]) -> list[LastHopResult]:
+    """Advance many last-hop downlink streams in lockstep.
+
+    Bit-identical to per-lane :func:`repro.lasthop.simulation.simulate_downlink`
+    calls: each lane's generator sees the identical draw sequence (the
+    SampleRate sampling draw, then one uniform per transmission attempt).
+    The SampleRate decision state of every lane is held in stacked arrays,
+    per-(sender set, rate) delivery probabilities are precomputed with one
+    batched EESM pass per lane, and airtimes come from dense tables instead
+    of hash lookups, which is where the sequential loop spends its time.
+    All lanes must share ``n_packets``, ``retry_limit`` and the adapter
+    defaults (they do for the Fig. 17 ensemble).
+    """
+    if not lanes:
+        return []
+    if len({id(lane.rng) for lane in lanes}) != len(lanes):
+        raise ValueError(
+            "lockstep lanes must not share a generator; run dependent schemes "
+            "as consecutive ensemble calls instead"
+        )
+    n_packets = {lane.n_packets for lane in lanes}
+    retry_limit = {lane.retry_limit for lane in lanes}
+    if len(n_packets) != 1 or len(retry_limit) != 1:
+        raise ValueError("lockstep downlink lanes must share n_packets and retry_limit")
+    n_packets, retry_limit = n_packets.pop(), retry_limit.pop()
+
+    rates = rates_sorted()
+    n_rates = len(rates)
+    mbps = np.array([rate.mbps for rate in rates])
+    sample_every = SampleRate.sample_every
+    max_failures = SampleRate.max_successive_failures
+
+    n_lanes = len(lanes)
+    # Per-lane setup in lane order: sender resolution may lazily materialise
+    # link profiles (generator draws), exactly as the sequential loop's
+    # controller calls would before its packet loop.
+    senders_per_lane: list[list[int]] = []
+    prob_table = np.empty((n_lanes, n_rates))
+    airtime_table = np.empty((n_lanes, n_rates))
+    lossless = np.empty((n_lanes, n_rates))
+    for row, lane in enumerate(lanes):
+        senders = _lane_senders(lane)
+        senders_per_lane.append(senders)
+        timing = lane.timing if lane.timing is not None else MacTiming(params=lane.testbed.params)
+        if len(senders) == 1:
+            profile = lane.testbed.link_profile(senders[0], lane.client)[None, :]
+        else:
+            from repro.analysis.error_models import combined_subcarrier_snr
+
+            profile = combined_subcarrier_snr(
+                [lane.testbed.link_profile(s, lane.client) for s in senders]
+            )[None, :]
+        prob_table[row] = delivery_probabilities_rates(profile, rates, lane.payload_bytes)[0]
+        n_cosenders = len(senders) - 1
+        for col, rate in enumerate(rates):
+            if n_cosenders > 0:
+                airtime_table[row, col] = timing.joint_transaction_us(
+                    lane.payload_bytes, rate, n_cosenders
+                )
+            else:
+                airtime_table[row, col] = timing.single_transaction_us(lane.payload_bytes, rate)
+            lossless[row, col] = timing.single_transaction_us(lane.payload_bytes, rate)
+
+    # SampleRate statistics, one row per lane (see repro.lasthop.rate_adaptation).
+    successes = np.zeros((n_lanes, n_rates), dtype=np.int64)
+    totals = np.zeros((n_lanes, n_rates))
+    streak_failures = np.zeros((n_lanes, n_rates), dtype=np.int64)
+    elapsed = np.zeros(n_lanes)
+    transmissions = np.zeros(n_lanes, dtype=np.int64)
+    delivered = np.zeros(n_lanes, dtype=np.int64)
+    lane_rows = np.arange(n_lanes)
+
+    def current_best() -> np.ndarray:
+        """Vectorised SampleRate._current_best over every lane."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            average = np.where(successes > 0, totals / successes, np.inf)
+        effective = np.where(successes > 0, average, lossless * 1.2)
+        effective = np.where(streak_failures >= max_failures, np.inf, effective)
+        minima = effective.min(axis=1)
+        # Ties break towards the higher rate (the sequential sort key is
+        # (average, -mbps)); all-excluded lanes fall back to the lowest rate.
+        is_min = effective == minima[:, None]
+        best = n_rates - 1 - np.argmax(is_min[:, ::-1], axis=1)
+        return np.where(np.isinf(minima), 0, best)
+
+    for packet_index in range(n_packets):
+        chosen = current_best()
+        if sample_every > 0 and (packet_index + 1) % sample_every == 0:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                average = np.where(successes > 0, totals / successes, np.inf)
+            best_average = average[lane_rows, chosen]
+            viable = lossless < best_average[:, None]
+            viable[lane_rows, chosen] = False
+            for row, lane in enumerate(lanes):
+                options = np.nonzero(viable[row])[0]
+                if options.size == 0:
+                    options = np.array([c for c in range(n_rates) if c != chosen[row]])
+                chosen[row] = options[int(lane.rng.integers(0, options.size))]
+
+        packet_success = np.zeros(n_lanes, dtype=bool)
+        attempts = np.zeros(n_lanes, dtype=np.int64)
+        remaining = lane_rows
+        for _ in range(retry_limit):
+            if remaining.size == 0:
+                break
+            draws = np.array([lanes[row].rng.random() for row in remaining])
+            succeeded = draws < prob_table[remaining, chosen[remaining]]
+            elapsed[remaining] += airtime_table[remaining, chosen[remaining]]
+            transmissions[remaining] += 1
+            attempts[remaining] += 1
+            packet_success[remaining[succeeded]] = True
+            remaining = remaining[~succeeded]
+
+        # adapter.report(rate, success, attempts) for every lane at once
+        totals[lane_rows, chosen] += lossless[lane_rows, chosen] * attempts
+        successes[lane_rows, chosen] += packet_success
+        streak_failures[lane_rows, chosen] = np.where(
+            packet_success, 0, streak_failures[lane_rows, chosen] + 1
+        )
+        delivered += packet_success
+
+    results = []
+    for row, lane in enumerate(lanes):
+        bits = int(delivered[row]) * lane.payload_bytes * 8
+        throughput = bits / elapsed[row] if elapsed[row] > 0 else 0.0
+        results.append(
+            LastHopResult(
+                throughput_mbps=float(throughput),
+                delivered_packets=int(delivered[row]),
+                total_packets=n_packets,
+                transmissions=int(transmissions[row]),
+                scheme=lane.scheme,
+                senders=tuple(senders_per_lane[row]),
+            )
+        )
+    return results

@@ -32,7 +32,7 @@ from repro.net.mac import CsmaState, MacTiming
 from repro.net.topology import Testbed
 from repro.phy.rates import Rate, rate_for_mbps
 
-__all__ = ["ExorConfig", "ExorResult", "simulate_exor"]
+__all__ = ["ExorConfig", "ExorResult", "exor_priority", "simulate_exor"]
 
 
 @dataclass(frozen=True)
@@ -89,6 +89,35 @@ def _attempt(
     return testbed.attempt_delivery(senders if len(senders) > 1 else senders[0], dst, rate, payload_bytes, rng)
 
 
+def exor_priority(
+    testbed: Testbed,
+    relays: list[int],
+    src: int,
+    dst: int,
+    config: ExorConfig,
+) -> list[int]:
+    """Forwarder priority list for one ExOR transfer, source last.
+
+    Computed once per (testbed, probe rate, probe length, candidate set,
+    destination) and memoised on the testbed: both schemes of a topology
+    (plain ExOR and ExOR + SourceSync) share the identical ETX graph and
+    forwarder ordering, so neither is recomputed inside every
+    :func:`simulate_exor` call.
+    """
+    candidates = tuple(node for node in relays if node not in (src, dst))
+    key = ("exor_priority", config.probe_rate_mbps, config.payload_bytes, candidates, src, dst)
+    cached = testbed._routing_cache.get(key)
+    if cached is not None:
+        return list(cached)
+    graph = etx_graph(testbed, probe_rate_mbps=config.probe_rate_mbps, probe_bytes=config.payload_bytes)
+    # The source acts as the lowest-priority forwarder: it keeps
+    # re-broadcasting packets that no relay (and not the destination) has
+    # received yet, exactly as in ExOR's scheduler.
+    priority = [*forwarder_order(graph, list(candidates), dst), src]
+    testbed._routing_cache[key] = tuple(priority)
+    return priority
+
+
 def simulate_exor(
     testbed: Testbed,
     src: int,
@@ -112,13 +141,11 @@ def simulate_exor(
     timing = timing if timing is not None else MacTiming(params=testbed.params)
     rate: Rate = rate_for_mbps(rate_mbps)
 
-    graph = etx_graph(testbed, probe_rate_mbps=config.probe_rate_mbps, probe_bytes=config.payload_bytes)
-    candidates = [node for node in relays if node not in (src, dst)]
-    priority = forwarder_order(graph, candidates, dst)
-    # The source acts as the lowest-priority forwarder: it keeps
-    # re-broadcasting packets that no relay (and not the destination) has
-    # received yet, exactly as in ExOR's scheduler.
-    priority = [*priority, src]
+    priority = exor_priority(testbed, relays, src, dst, config)
+    # The ETX priming above materialised every link profile, so the dense
+    # probability matrix can be built without consuming the generator; the
+    # per-attempt probability lookups below become array gathers.
+    testbed.delivery_prob_matrix(rate, config.payload_bytes)
 
     # Who holds which packet.  The destination is the highest-priority
     # "holder"; once it has a packet nobody forwards that packet again.
@@ -154,16 +181,21 @@ def simulate_exor(
             src, listeners, config.batch_size, rate, config.payload_bytes, rng
         )
         for packet_id in batch:
-            mac.account(single_airtime, True)
+            # A broadcast succeeds when any targeted listener received it;
+            # throughput only reads elapsed_us, so the success flag affects
+            # CsmaState.failures alone.
+            mac.account(single_airtime, bool(outcomes[packet_id].any()))
             for col, node in enumerate(listeners):
                 if outcomes[packet_id, col]:
                     holds[node].add(packet_id)
     else:
         for packet_id in batch:
-            mac.account(single_airtime, True)
+            heard = False
             for node in listeners:
                 if _attempt(testbed, [src], node, rate, config.payload_bytes, rng):
                     holds[node].add(packet_id)
+                    heard = True
+            mac.account(single_airtime, heard)
 
     # ------------------------------------------------------------------
     # Forwarding rounds in priority order.
@@ -194,7 +226,6 @@ def simulate_exor(
                 airtime = charge(len(senders) - 1)
                 if len(senders) > 1:
                     joint_count += 1
-                mac.account(airtime, True)
                 receivers = receivers_for(packet_id, index)
                 if config.batched:
                     delivered = testbed.attempt_deliveries(
@@ -205,6 +236,10 @@ def simulate_exor(
                         _attempt(testbed, senders, node, rate, config.payload_bytes, rng)
                         for node in receivers
                     ]
+                # As in the broadcast phase: success means some targeted
+                # receiver got the packet (the forwarding analogue of a
+                # missing ACK), not merely that airtime was spent.
+                mac.account(airtime, any(delivered))
                 for node, ok in zip(receivers, delivered):
                     if ok:
                         holds[node].add(packet_id)

@@ -69,3 +69,27 @@ def test_fig17_jobs_overrides_are_deterministic():
     base = spec.run(spec.make_config("smoke"))
     pooled = spec.run(spec.make_config("smoke", {"jobs": 2}))
     assert base.summary == pooled.summary
+
+
+def test_fig18_jobs_overrides_are_deterministic():
+    """The lockstep topology ensemble shards across processes without drift."""
+    from repro.experiments import registry
+
+    spec = registry.get("fig18")
+    base = spec.run(spec.make_config("smoke"))
+    pooled = spec.run(spec.make_config("smoke", {"jobs": 2}))
+    assert base.summary == pooled.summary
+
+
+def _square_chunk(children, offset):
+    """Module-level chunk body so run_seed_chunks can pickle it."""
+    return [offset + np.random.default_rng(child).integers(0, 1000) for child in children]
+
+
+def test_run_seed_chunks_matches_unchunked():
+    from repro.experiments.batch import run_seed_chunks
+
+    single = run_seed_chunks(_square_chunk, 7, 5, 1, 100)
+    pooled = run_seed_chunks(_square_chunk, 7, 5, 3, 100)
+    assert single == pooled
+    assert len(single) == 7

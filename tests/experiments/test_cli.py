@@ -79,3 +79,48 @@ def test_docs_check_detects_stale(tmp_path, capsys):
     stale = tmp_path / "EXPERIMENTS.md"
     stale.write_text("old\n")
     assert main(["docs", "--check", "--output", str(stale)]) == 1
+
+
+def test_compare_identical_artifacts(tmp_path, capsys):
+    assert main([
+        "run", "fig14", "--preset", "smoke", "--output-dir", str(tmp_path), "--quiet",
+    ]) == 0
+    artifact = tmp_path / "fig14.json"
+    twin = tmp_path / "twin.json"
+    twin.write_text(artifact.read_text())
+    capsys.readouterr()
+    assert main(["compare", str(artifact), str(twin)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_compare_reports_config_seed_and_summary_differences(tmp_path, capsys):
+    assert main([
+        "run", "fig14", "--preset", "smoke", "--output-dir", str(tmp_path), "--quiet",
+    ]) == 0
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text((tmp_path / "fig14.json").read_text())
+    assert main([
+        "run", "fig14", "--preset", "smoke", "--set", "seed=123",
+        "--output-dir", str(tmp_path), "--quiet",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["compare", str(baseline), str(tmp_path / "fig14.json")]) == 1
+    out = capsys.readouterr().out
+    assert "config.seed" in out
+    assert "seed: 14 != 123" in out
+
+
+def test_compare_tolerance_masks_tiny_drift(tmp_path, capsys):
+    assert main([
+        "run", "fig14", "--preset", "smoke", "--output-dir", str(tmp_path), "--quiet",
+    ]) == 0
+    artifact = tmp_path / "fig14.json"
+    payload = json.loads(artifact.read_text())
+    key = next(iter(payload["summary"]))
+    value = payload["summary"][key]
+    payload["summary"][key] = value * (1.0 + 1e-12)
+    drifted = tmp_path / "drifted.json"
+    drifted.write_text(json.dumps(payload))
+    capsys.readouterr()
+    assert main(["compare", str(artifact), str(drifted)]) == 0
+    assert main(["compare", str(artifact), str(drifted), "--rtol", "1e-15"]) == 1

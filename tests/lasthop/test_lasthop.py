@@ -150,3 +150,64 @@ class TestDownlinkSimulation:
             testbed, controller, 2, "sourcesync", n_packets=10, rng=rng, timing=timing
         )
         assert result.total_packets == 10
+
+
+class TestDownlinkEnsemble:
+    """Lockstep last-hop engine vs per-placement simulate_downlink."""
+
+    def _placements(self, n, seed):
+        out = []
+        for child in np.random.SeedSequence(seed).spawn(n):
+            rng = np.random.default_rng(child)
+            testbed = Testbed.from_positions(
+                [(0.0, 0.0), (40.0, 0.0), (22.0, 21.0)],
+                rng=rng,
+                path_loss=PathLossModel(exponent=3.5, shadowing_sigma_db=5.0),
+            )
+            out.append((testbed, SourceSyncController(testbed, ap_ids=[0, 1]), rng))
+        return out
+
+    @pytest.mark.parametrize("scheme", ["best_ap", "sourcesync", "single_ap:1"])
+    def test_bit_identical_to_sequential_downlink(self, scheme):
+        from repro.routing.ensemble import DownlinkLane, simulate_downlink_ensemble
+
+        sequential = [
+            simulate_downlink(tb, controller, 2, scheme, n_packets=60, rng=rng)
+            for tb, controller, rng in self._placements(5, seed=31)
+        ]
+        lanes = [
+            DownlinkLane(tb, controller, 2, scheme, rng, n_packets=60)
+            for tb, controller, rng in self._placements(5, seed=31)
+        ]
+        batched = simulate_downlink_ensemble(lanes)
+        assert batched == sequential
+
+    def test_schemes_chain_on_one_generator(self):
+        from repro.routing.ensemble import DownlinkLane, simulate_downlink_ensemble
+
+        sequential = []
+        for tb, controller, rng in self._placements(4, seed=32):
+            best = simulate_downlink(tb, controller, 2, "best_ap", n_packets=30, rng=rng)
+            joint = simulate_downlink(tb, controller, 2, "sourcesync", n_packets=30, rng=rng)
+            sequential.append((best, joint))
+        placements = self._placements(4, seed=32)
+        best_batched = simulate_downlink_ensemble(
+            [DownlinkLane(tb, c, 2, "best_ap", rng, n_packets=30) for tb, c, rng in placements]
+        )
+        joint_batched = simulate_downlink_ensemble(
+            [DownlinkLane(tb, c, 2, "sourcesync", rng, n_packets=30) for tb, c, rng in placements]
+        )
+        assert best_batched == [b for b, _ in sequential]
+        assert joint_batched == [j for _, j in sequential]
+
+    def test_mismatched_packet_counts_rejected(self):
+        from repro.routing.ensemble import DownlinkLane, simulate_downlink_ensemble
+
+        (tb1, c1, r1), (tb2, c2, r2) = self._placements(2, seed=33)
+        with pytest.raises(ValueError, match="n_packets"):
+            simulate_downlink_ensemble(
+                [
+                    DownlinkLane(tb1, c1, 2, "best_ap", r1, n_packets=10),
+                    DownlinkLane(tb2, c2, 2, "best_ap", r2, n_packets=20),
+                ]
+            )

@@ -139,6 +139,101 @@ class TestEtx:
         assert best_route(graph, 0, 1) is None
 
 
+class TestDeliveryTables:
+    def _mesh(self, seed=0):
+        from repro.channel.propagation import PathLossModel
+
+        rng = np.random.default_rng(seed)
+        return Testbed.from_positions(
+            [(0.0, 0.0), (85.0, 0.0), (30.0, 8.0), (55.0, -7.0)],
+            rng=rng,
+            path_loss=PathLossModel(exponent=3.3, reference_loss_db=43.0, shadowing_sigma_db=4.0),
+        )
+
+    def test_delivery_prob_matrix_matches_scalar_cache(self):
+        tb = self._mesh(1)
+        matrix = tb.delivery_prob_matrix(12.0, 1460)
+        for a in tb.node_ids:
+            for b in tb.node_ids:
+                if a == b:
+                    assert matrix[tb._node_index[a], tb._node_index[b]] == 0.0
+                else:
+                    assert matrix[tb._node_index[a], tb._node_index[b]] == tb.delivery_probability(
+                        a, b, 12.0, 1460
+                    )
+
+    def test_delivery_prob_matrix_is_cached(self):
+        tb = self._mesh(2)
+        assert tb.delivery_prob_matrix(6.0, 1460) is tb.delivery_prob_matrix(6.0, 1460)
+
+    def test_joint_row_matches_scalar_joint_probability(self):
+        tb = self._mesh(3)
+        tb.prime_delivery_cache(6.0, 1460)
+        row = tb.joint_delivery_prob_row([2, 3], [0, 1], 6.0, 1460)
+        fresh = self._mesh(3)
+        fresh.prime_delivery_cache(6.0, 1460)  # same canonical link realisations
+        expected = [fresh.joint_delivery_probability([2, 3], d, 6.0, 1460) for d in (0, 1)]
+        assert row.tolist() == expected
+
+    def test_joint_row_fill_respects_sender_order(self):
+        """The batched row fill and the scalar memo produce one shared value."""
+        tb = self._mesh(4)
+        tb.prime_delivery_cache(6.0, 1460)
+        row = tb.joint_delivery_prob_row([3, 2, 0], [1], 6.0, 1460)
+        # A later scalar call with any permutation hits the same cache entry.
+        assert tb.joint_delivery_probability([2, 0, 3], 1, 6.0, 1460) == row[0]
+
+    def test_prime_testbeds_lockstep_bitwise_matches_sequential_prime(self):
+        from repro.routing.ensemble import prime_testbeds_lockstep
+
+        sequential = [self._mesh(seed) for seed in (10, 11, 12)]
+        for tb in sequential:
+            tb.prime_delivery_cache(6.0, 1460)
+        lockstep = [self._mesh(seed) for seed in (10, 11, 12)]
+        prime_testbeds_lockstep(lockstep, 6.0, 1460)
+        for seq_tb, lock_tb in zip(sequential, lockstep):
+            assert seq_tb._delivery_cache == lock_tb._delivery_cache
+            assert seq_tb._profile_cache.keys() == lock_tb._profile_cache.keys()
+            for key in seq_tb._profile_cache:
+                np.testing.assert_array_equal(
+                    seq_tb._profile_cache[key], lock_tb._profile_cache[key]
+                )
+            # The generators must be in identical states afterwards.
+            assert seq_tb.rng.random() == lock_tb.rng.random()
+
+    def test_etx_graph_cache_hit(self, monkeypatch):
+        """Both schemes of a topology share one ETX graph build."""
+        import repro.net.etx as etx_module
+        from repro.routing.exor import ExorConfig, simulate_exor
+        from repro.routing.exor_sourcesync import simulate_exor_sourcesync
+
+        builds = []
+        original = etx_module._build_etx_graph
+
+        def counting_build(*args, **kwargs):
+            builds.append(args)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(etx_module, "_build_etx_graph", counting_build)
+        tb = self._mesh(5)
+        rng = np.random.default_rng(99)
+        config = ExorConfig(batch_size=4)
+        simulate_exor(tb, 0, 1, 6.0, [2, 3], config=config, rng=rng)
+        simulate_exor_sourcesync(tb, 0, 1, 6.0, [2, 3], config=config, rng=rng)
+        assert len(builds) == 1
+
+    def test_exor_priority_cache_hit(self):
+        from repro.routing.exor import ExorConfig, exor_priority
+
+        tb = self._mesh(6)
+        config = ExorConfig()
+        first = exor_priority(tb, [2, 3], 0, 1, config)
+        assert ("exor_priority", config.probe_rate_mbps, config.payload_bytes, (2, 3), 0, 1) in (
+            tb._routing_cache
+        )
+        assert exor_priority(tb, [2, 3], 0, 1, config) == first
+
+
 class TestMacTiming:
     def test_frame_airtime_decreases_with_rate(self):
         timing = MacTiming()

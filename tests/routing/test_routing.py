@@ -81,6 +81,41 @@ class TestExor:
         assert exor_total > single_total
 
 
+class TestExorMacAccounting:
+    def _record_mac(self, monkeypatch):
+        """Capture the CsmaState instances simulate_exor creates."""
+        import repro.routing.exor as exor_module
+        from repro.net.mac import CsmaState
+
+        created = []
+
+        class RecordingCsma(CsmaState):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(exor_module, "CsmaState", RecordingCsma)
+        return created
+
+    def test_failures_counted_in_broadcast_and_forwarding(self, monkeypatch):
+        """A lossy mesh records failed attempts; success means some receiver heard."""
+        created = self._record_mac(monkeypatch)
+        testbed, rng = _mesh(12)
+        result = simulate_exor(testbed, 0, 1, 12.0, relays=[2, 3, 4], config=ExorConfig(batch_size=12), rng=rng)
+        (mac,) = created
+        assert mac.transmissions == result.transmissions
+        assert 0 < mac.failures < mac.transmissions
+
+    def test_throughput_reads_only_elapsed_airtime(self, monkeypatch):
+        """The success flag feeds CsmaState.failures alone, never throughput."""
+        created = self._record_mac(monkeypatch)
+        testbed, rng = _mesh(13)
+        result = simulate_exor(testbed, 0, 1, 6.0, relays=[2, 3, 4], config=ExorConfig(batch_size=10), rng=rng)
+        (mac,) = created
+        expected = result.delivered_packets * 1460 * 8 / mac.elapsed_us
+        assert result.throughput_mbps == expected
+
+
 class TestExorSourceSync:
     def test_joint_transmissions_used(self):
         testbed, rng = _mesh(8)
