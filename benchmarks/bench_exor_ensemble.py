@@ -18,12 +18,13 @@ scales are recorded per experiment:
 * **quick** — the quick presets (10-12 lanes).  Lane counts are modest,
   so the fixed lockstep overhead is only partly amortised; this is the
   conservative number.
-* **full** — the full presets (40 topologies x 2 rates for fig18, 40
-  placements for fig17), where the stacked priming and per-turn batching
-  dominate and the ratio reflects the engine's real throughput.
+* **full** — the full presets (200 topologies x 2 rates for fig18 — the
+  hundreds-of-topologies sweep the heterogeneous-lane engine exists for —
+  and 40 placements for fig17), where the stacked priming and per-turn
+  batching dominate and the ratio reflects the engine's real throughput.
 
 The asserted floors (fig18: 1.5x quick, 2.5x full) are deliberately below
-the typically observed ratios (~2.5x quick, ~3.4x full) to keep the smoke
+the typically observed ratios (~2.5x quick, ~3.5x full) to keep the smoke
 test robust on loaded CI machines; fig17's ratios are recorded but not
 asserted — its trials are rate-adaptation feedback loops, so its engine
 gains come only from stacked decision state, not from merged draws.
@@ -50,8 +51,12 @@ def _time_both(name: str, preset: str, repeats: int) -> tuple[float, float]:
 def test_exor_ensemble_batched_vs_per_topology(benchmark):
     ratios: dict[str, dict[str, float]] = {}
     for name in _EXPERIMENTS:
-        quick_batched, quick_sequential = _time_both(name, "quick", repeats=3)
-        full_batched, full_sequential = _time_both(name, "full", repeats=2)
+        # The quick presets finish in tens of milliseconds, where scheduler
+        # bursts dominate single measurements — best-of-5 stabilises them;
+        # fig18's full preset is now a hundreds-of-topologies sweep, where
+        # best-of-3 suffices.
+        quick_batched, quick_sequential = _time_both(name, "quick", repeats=5)
+        full_batched, full_sequential = _time_both(name, "full", repeats=3)
         ratios[name] = {
             "quick": round(quick_sequential / quick_batched, 1),
             "full": round(full_sequential / full_batched, 1),

@@ -12,9 +12,10 @@ match to float noise); timing is wall-clock ``time.perf_counter`` (best of
 the configured repeats) over the full experiment including topology
 construction.  Two workload scales are recorded:
 
-* **quick** — the four quick presets end-to-end.  Ensemble widths are tiny
-  (6-24 lanes), so fixed batching overhead is poorly amortised; this is the
-  conservative number.
+* **quick** — the four quick presets end-to-end.  Ensemble widths are
+  modest (fig13's chains now span three topologies each — 42 lockstep jobs
+  per chain — while the others carry 6-24 lanes), so fixed batching
+  overhead is only partly amortised; this is the conservative number.
 * **scaled** — the full presets of the two joint-frame-bound experiments
   (fig12: 42 lockstep cells, fig15: 30), where the batch axis is wide
   enough to amortise and the ratio reflects the engine's real throughput.

@@ -39,6 +39,25 @@ Entry points
 * :func:`run_sync_trials_batch` — schedule-only synchronization trials;
 * :func:`run_joint_frames_batch` — full joint frames decoded with one
   block-parallel Viterbi pass across the whole ensemble (the Fig. 13 core).
+
+Usage
+-----
+Sessions are prepared exactly as for the sequential API — each with its own
+generator — and handed to the batch entry points as a list; results come
+back per session, in order::
+
+    sessions = [SourceSyncSession(topo, config, rng=rng)
+                for topo, rng in zip(topologies, rngs)]
+    measure_delays_batch(sessions)                  # probe phase, all at once
+    converge_tracking_batch(sessions, rounds=4)     # §4.5 warm-up in lockstep
+    jobs = [[JointFrameJob(payload, rate_mbps=6.0, data_cp_samples=cp)
+             for cp in cp_sweep] for _ in sessions]
+    outcomes = run_joint_frames_batch(sessions, jobs)
+    # outcomes[s][r] == sessions[s].run_joint_frame(...) for job r, bit-for-bit
+
+Heterogeneous ensembles are fine: ``jobs_per_session`` rows may have
+different lengths (sessions simply drop out of later waves), which is how
+Fig. 13 decodes several topologies per measurement chain in one pass.
 """
 
 from __future__ import annotations

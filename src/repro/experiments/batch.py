@@ -279,7 +279,9 @@ def run_trials(trial_fn, n_trials: int, seed: int | np.random.SeedSequence, jobs
         return list(pool.map(_run_seeded_trial, job_list))
 
 
-def run_seed_chunks(chunk_fn, n_trials: int, seed: int, jobs: int = 1, *args) -> list:
+def run_seed_chunks(
+    chunk_fn, n_trials: int, seed: int, jobs: int = 1, *args, chunk_size: int | None = None
+) -> list:
     """Run ``chunk_fn(children, *args)`` over sharded per-trial seeds.
 
     The lockstep-ensemble counterpart of :func:`run_trials`: trials are
@@ -289,17 +291,33 @@ def run_seed_chunks(chunk_fn, n_trials: int, seed: int, jobs: int = 1, *args) ->
     result per child, in order, and must be picklable for ``jobs > 1``
     (trials are independent, so sharding cannot change any output);
     chunked results are concatenated back into trial order.
+
+    ``chunk_size`` caps how many trials one lockstep call sees.  By default
+    the shard width is ``n_trials / jobs`` — the widest (fastest) ensembles
+    — but callers driving very large sweeps (hundreds to thousands of
+    lanes) can bound per-chunk memory by passing an explicit cap; the
+    chunks then run back-to-back in process (``jobs == 1``) or across the
+    pool, with identical results for every setting.
     """
     if n_trials < 0:
         raise ValueError("n_trials must be non-negative")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
     children = np.random.SeedSequence(seed).spawn(n_trials)
-    if jobs <= 1 or n_trials <= 1:
+    if chunk_size is None:
+        if jobs <= 1 or n_trials <= 1:
+            return list(chunk_fn(children, *args))
+        bounds = np.linspace(0, n_trials, min(jobs, n_trials) + 1).astype(int)
+    else:
+        bounds = np.arange(0, n_trials + chunk_size, chunk_size)
+        bounds[-1] = n_trials
+    chunks = [children[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+    if not chunks:
         return list(chunk_fn(children, *args))
+    if jobs <= 1 or len(chunks) == 1:
+        return [result for chunk in chunks for result in chunk_fn(chunk, *args)]
     from concurrent.futures import ProcessPoolExecutor
 
-    n_chunks = min(jobs, n_trials)
-    bounds = np.linspace(0, n_trials, n_chunks + 1).astype(int)
-    chunks = [children[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
-    with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
         parts = pool.map(chunk_fn, chunks, *([value] * len(chunks) for value in args))
         return [result for part in parts for result in part]

@@ -38,6 +38,7 @@ _DEFAULT_OUTPUT_DIR = "results"
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.experiments`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run, sweep and report the paper's registered experiments.",
@@ -101,11 +102,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative tolerance for summary scalars (default: 1e-9)",
     )
 
-    p_docs = sub.add_parser("docs", help="regenerate EXPERIMENTS.md from the registry")
+    p_docs = sub.add_parser(
+        "docs", help="regenerate EXPERIMENTS.md and docs/experiments/ from the registry"
+    )
     p_docs.add_argument("--output", default=None, help="output path (default: EXPERIMENTS.md at repo root)")
     p_docs.add_argument(
+        "--pages-dir",
+        default=None,
+        help="directory for per-experiment pages (default: docs/experiments/ at repo root)",
+    )
+    p_docs.add_argument(
         "--check", action="store_true",
-        help="exit non-zero if the file is out of date instead of rewriting it",
+        help="exit non-zero if any generated file is out of date instead of rewriting",
     )
     return parser
 
@@ -254,19 +262,49 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_docs(args: argparse.Namespace) -> int:
-    from repro.experiments.docs import DEFAULT_DOC_PATH, render_markdown
+    """Regenerate (or ``--check``) EXPERIMENTS.md and the per-experiment pages."""
+    from repro.experiments.docs import (
+        DEFAULT_DOC_PATH,
+        DEFAULT_PAGES_DIR,
+        render_markdown,
+        render_pages,
+    )
 
     target = Path(args.output) if args.output else DEFAULT_DOC_PATH
-    content = render_markdown()
+    pages_dir = Path(args.pages_dir) if args.pages_dir else DEFAULT_PAGES_DIR
+    expected: dict[Path, str] = {target: render_markdown()}
+    pages = render_pages()
+    for name, content in pages.items():
+        expected[pages_dir / name] = content
+    # Pages not generated for any registered experiment are stale — but the
+    # index target itself may legitimately live inside the pages directory.
+    expected_paths = {path.resolve() for path in expected}
+    stale = sorted(
+        path
+        for path in pages_dir.glob("*.md")
+        if path.name not in pages and path.resolve() not in expected_paths
+    ) if pages_dir.exists() else []
+
     if args.check:
-        current = target.read_text() if target.exists() else None
-        if current != content:
-            print(f"{target} is out of date; run `python -m repro.experiments docs`", file=sys.stderr)
+        out_of_date = [
+            path for path, content in expected.items()
+            if not path.exists() or path.read_text() != content
+        ]
+        for path in out_of_date:
+            print(f"{path} is out of date; run `python -m repro.experiments docs`", file=sys.stderr)
+        for path in stale:
+            print(f"{path} documents no registered experiment; run `python -m repro.experiments docs`", file=sys.stderr)
+        if out_of_date or stale:
             return 1
-        print(f"{target} is up to date")
+        print(f"{target} and {len(pages)} pages under {pages_dir} are up to date")
         return 0
-    target.write_text(content)
-    print(f"wrote {target}")
+    for path, content in expected.items():
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+        print(f"wrote {path}")
+    for path in stale:
+        path.unlink()
+        print(f"removed stale {path}")
     return 0
 
 
@@ -281,6 +319,7 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code instead of raising."""
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)

@@ -41,12 +41,16 @@ class Config:
     with the tracking loop *converged and frozen* — feedback is applied
     during the warm-up exchanges, not per measured frame — so the frames
     are independent and the batched and sequential paths produce identical
-    seeded results.
+    seeded results.  ``n_topologies`` measures each chain over that many
+    independent joint topologies and averages the per-CP SNR across them;
+    every topology of both chains joins the same lockstep ensemble, so
+    widening the sweep costs one wider Viterbi pass, not more Python loops.
     """
 
     cp_values_samples: tuple[int, ...] = (0, 2, 4, 6, 8, 12, 16, 20, 26, 32)
     snr_db: float = 20.0
     n_frames: int = 2
+    n_topologies: int = 1
     seed: int = 5
     batched: bool = True
     params: OFDMParams = DEFAULT_PARAMS
@@ -59,6 +63,8 @@ class Config:
             raise ValueError("cyclic-prefix lengths must be >= 0 samples")
         if self.n_frames < 1:
             raise ValueError("n_frames must be >= 1")
+        if self.n_topologies < 1:
+            raise ValueError("n_topologies must be >= 1")
         if not 0.0 < self.snr_fraction <= 1.0:
             raise ValueError("snr_fraction must be in (0, 1]")
 
@@ -80,6 +86,18 @@ def _build_session(
     return SourceSyncSession(topo, SourceSyncConfig(params=params), rng=rng), rng
 
 
+def _chain_seeds(seed: int, n_topologies: int) -> list:
+    """Per-topology session seeds for one measurement chain.
+
+    One topology keeps the legacy stream (the raw experiment seed, so
+    historical pinned results survive); wider chains spawn one child
+    sequence per topology, making every topology's stream independent.
+    """
+    if n_topologies == 1:
+        return [seed]
+    return list(np.random.SeedSequence(seed).spawn(n_topologies))
+
+
 def measure_snr_vs_cp(
     cp_values_samples: tuple[int, ...],
     compensate: bool,
@@ -89,6 +107,7 @@ def measure_snr_vs_cp(
     seed: int = 5,
     params: OFDMParams = DEFAULT_PARAMS,
     batched: bool = True,
+    n_topologies: int = 1,
 ) -> list[float]:
     """Average effective SNR at each CP value, with or without compensation.
 
@@ -97,15 +116,66 @@ def measure_snr_vs_cp(
     would only inject estimator noise into the sweep); the frames are
     therefore independent and, with ``batched``, decode as one ensemble
     through :func:`repro.core.ensemble.run_joint_frames_batch` with
-    identical seeded results.
+    identical seeded results.  ``n_topologies`` widens the chain: the sweep
+    is measured over that many independent joint topologies (sessions) and
+    averaged per CP value, which is also what lets the lockstep engine
+    amortise — every topology's frames decode in one ensemble.
     """
-    session, payload = _prepare_chain(compensate, snr_db, payload_bytes, seed, params)
+    folds = _measure_folds(
+        cp_values_samples, compensate, snr_db, payload_bytes, n_frames, seed,
+        params, batched, n_topologies,
+    )
+    return _mean_over_topologies(folds)
+
+
+def _measure_folds(
+    cp_values_samples: tuple[int, ...],
+    compensate: bool,
+    snr_db: float,
+    payload_bytes: int,
+    n_frames: int,
+    seed: int,
+    params: OFDMParams,
+    batched: bool,
+    n_topologies: int,
+) -> list[list[float]]:
+    """Per-topology SNR-vs-CP folds for one measurement chain."""
+    chains = [
+        _prepare_chain(compensate, snr_db, payload_bytes, chain_seed, params)
+        for chain_seed in _chain_seeds(seed, n_topologies)
+    ]
     if batched:
-        jobs = _sweep_jobs(payload, cp_values_samples, n_frames, compensate)
-        outcomes = run_joint_frames_batch([session], [jobs])[0]
+        jobs = [
+            _sweep_jobs(payload, cp_values_samples, n_frames, compensate)
+            for _, payload in chains
+        ]
+        outcome_lists = run_joint_frames_batch([session for session, _ in chains], jobs)
     else:
-        outcomes = _run_sweep_sequential(session, payload, cp_values_samples, n_frames, compensate)
-    return _fold_sweep(outcomes, payload, cp_values_samples, n_frames)
+        outcome_lists = [
+            _run_sweep_sequential(session, payload, cp_values_samples, n_frames, compensate)
+            for session, payload in chains
+        ]
+    return [
+        _fold_sweep(outcomes, payload, cp_values_samples, n_frames)
+        for outcomes, (_, payload) in zip(outcome_lists, chains)
+    ]
+
+
+def _mean_over_topologies(folds: list[list[float]]) -> list[float]:
+    """Per-CP mean over topology folds, ignoring NaN entries.
+
+    A single topology passes through exactly (``x / 1 == x`` in IEEE
+    arithmetic), so legacy single-session results are preserved bit for
+    bit.
+    """
+    values = np.asarray(folds, dtype=float)
+    finite = np.isfinite(values)
+    counts = finite.sum(axis=0)
+    sums = np.where(finite, values, 0.0).sum(axis=0)
+    return [
+        float(total / count) if count else float("nan")
+        for total, count in zip(sums.tolist(), counts.tolist())
+    ]
 
 
 def _prepare_chain(
@@ -187,11 +257,19 @@ def _fold_sweep(
     config=Config,
     presets={
         "smoke": {"cp_values_samples": (0, 8, 32), "n_frames": 1},
-        "quick": {"cp_values_samples": (0, 2, 4, 8, 16, 24, 32), "n_frames": 1},
-        "full": {"n_frames": 4},
+        # Three topologies per chain widen the quick ensemble to 42 lockstep
+        # jobs per chain, enough batch width for the joint-frame engine to
+        # amortise its per-call overhead (ROADMAP follow-up to PR 3).
+        "quick": {"cp_values_samples": (0, 2, 4, 8, 16, 24, 32), "n_frames": 1, "n_topologies": 3},
+        "full": {"n_frames": 4, "n_topologies": 4},
     },
     tags=("sync", "phy"),
     batched=True,
+    summary_keys={
+        "sourcesync_cp_for_95pct_peak_ns": "smallest CP (ns) at which SourceSync reaches 95% of its peak SNR, averaged over topologies (paper: 117 ns)",
+        "baseline_cp_for_95pct_peak_ns": "smallest CP (ns) at which the unsynchronized baseline reaches 95% of peak, averaged over topologies (paper: 469 ns)",
+        "cp_reduction_factor": "baseline CP requirement divided by the SourceSync requirement",
+    },
 )
 def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 13: SNR vs CP for SourceSync and the unsynchronized baseline.
@@ -203,33 +281,52 @@ def _run(config: Config) -> ExperimentResult:
     """
     cp_values_samples, params, snr_fraction = config.cp_values_samples, config.params, config.snr_fraction
     if config.batched:
+        # Both chains (compensated and baseline), each over n_topologies
+        # sessions, decode as ONE joint-frame ensemble: 2 * n_topologies
+        # lockstep lanes and a single block-parallel Viterbi pass.
         chains = [
-            _prepare_chain(compensate, config.snr_db, 60, config.seed, params)
+            (
+                compensate,
+                [
+                    _prepare_chain(compensate, config.snr_db, 60, chain_seed, params)
+                    for chain_seed in _chain_seeds(config.seed, config.n_topologies)
+                ],
+            )
             for compensate in (True, False)
         ]
+        sessions = [session for _, prepared in chains for session, _ in prepared]
         jobs = [
             _sweep_jobs(payload, cp_values_samples, config.n_frames, compensate)
-            for (session, payload), compensate in zip(chains, (True, False))
+            for compensate, prepared in chains
+            for _, payload in prepared
         ]
-        outcomes = run_joint_frames_batch([session for session, _ in chains], jobs)
-        sourcesync = _fold_sweep(
-            outcomes[0], chains[0][1], cp_values_samples, config.n_frames
-        )
-        baseline = _fold_sweep(
-            outcomes[1], chains[1][1], cp_values_samples, config.n_frames
-        )
+        outcome_lists = run_joint_frames_batch(sessions, jobs)
+        per_chain_folds = []
+        position = 0
+        for _, prepared in chains:
+            folds = []
+            for _, payload in prepared:
+                folds.append(
+                    _fold_sweep(outcome_lists[position], payload, cp_values_samples, config.n_frames)
+                )
+                position += 1
+            per_chain_folds.append(folds)
+        sourcesync_folds, baseline_folds = per_chain_folds
     else:
-        sourcesync = measure_snr_vs_cp(
-            cp_values_samples, True, config.snr_db, n_frames=config.n_frames,
-            seed=config.seed, params=params, batched=False,
+        sourcesync_folds = _measure_folds(
+            cp_values_samples, True, config.snr_db, 60, config.n_frames,
+            config.seed, params, False, config.n_topologies,
         )
-        baseline = measure_snr_vs_cp(
-            cp_values_samples, False, config.snr_db, n_frames=config.n_frames,
-            seed=config.seed, params=params, batched=False,
+        baseline_folds = _measure_folds(
+            cp_values_samples, False, config.snr_db, 60, config.n_frames,
+            config.seed, params, False, config.n_topologies,
         )
+    sourcesync = _mean_over_topologies(sourcesync_folds)
+    baseline = _mean_over_topologies(baseline_folds)
     cp_ns = [cp * params.sample_period_ns for cp in cp_values_samples]
 
     def cp_for_fraction(snrs: list[float]) -> float:
+        """Smallest swept CP (ns) whose SNR reaches ``snr_fraction`` of peak."""
         values = np.asarray(snrs)
         if not np.any(np.isfinite(values)):
             return float("nan")
@@ -240,8 +337,21 @@ def _run(config: Config) -> ExperimentResult:
                 return cp
         return cp_ns[-1]
 
-    ss_cp = cp_for_fraction(sourcesync)
-    base_cp = cp_for_fraction(baseline)
+    def mean_cp_requirement(folds: list[list[float]]) -> float:
+        """Average the per-topology CP requirements.
+
+        Each topology's curve is thresholded against its *own* peak before
+        averaging — averaging the curves first would blur topologies with
+        different peak SNRs into a flatter sweep and overstate the CP a
+        typical deployment needs.  One topology reduces to the legacy
+        single-curve statistic exactly.
+        """
+        values = [cp_for_fraction(fold) for fold in folds]
+        finite = [v for v in values if np.isfinite(v)]
+        return float(np.sum(finite) / len(finite)) if finite else float("nan")
+
+    ss_cp = mean_cp_requirement(sourcesync_folds)
+    base_cp = mean_cp_requirement(baseline_folds)
     return ExperimentResult(
         name="fig13",
         description="Joint-transmission SNR vs cyclic prefix (SourceSync vs unsynchronized baseline)",

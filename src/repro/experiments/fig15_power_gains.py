@@ -151,6 +151,10 @@ def measure_regime(
     },
     tags=("phy", "diversity"),
     batched=True,
+    summary_keys={
+        "min_gain_db": "smallest joint-over-single average SNR gain (dB) across the regimes (paper: 2-3 dB)",
+        "max_gain_db": "largest joint-over-single average SNR gain (dB) across the regimes",
+    },
 )
 def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 15: average SNR, single sender vs SourceSync, per regime.

@@ -90,6 +90,11 @@ def measure_profiles(
     config=Config,
     presets={"smoke": {}, "quick": {}, "full": {}},
     tags=("phy", "diversity"),
+    summary_keys={
+        "{regime}_single_flatness_db": "per-subcarrier SNR standard deviation of the better single sender in the {regime} regime",
+        "{regime}_sourcesync_flatness_db": "per-subcarrier SNR standard deviation of the joint transmission in the {regime} regime",
+        "{regime}_gain_db": "joint-transmission mean SNR gain (dB) over the senders' average in the {regime} regime",
+    },
 )
 def _run(config: Config) -> ExperimentResult:
     """Regenerate Fig. 16(a-c): per-subcarrier SNR in the three regimes."""

@@ -71,6 +71,10 @@ def overhead_fraction(
         "full": {"sender_counts": (1, 2, 3, 4, 5, 6, 7, 8)},
     },
     tags=("mac", "overhead"),
+    summary_keys={
+        "two_senders_percent": "airtime overhead of synchronization headers with two concurrent senders (paper: 1.7%)",
+        "five_senders_percent": "airtime overhead with five concurrent senders (paper: 2.8%)",
+    },
 )
 def _run(config: Config) -> ExperimentResult:
     """Regenerate the §4.4 overhead numbers."""

@@ -37,8 +37,10 @@ from __future__ import annotations
 
 import dataclasses
 import importlib
+import re
 import typing
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.experiments.common import ExperimentResult, collect_provenance
@@ -111,6 +113,17 @@ def config_to_jsonable(config: Any) -> dict[str, Any]:
 
 
 _SIMPLE_TYPES = (bool, int, float, str)
+
+
+@lru_cache(maxsize=None)
+def _summary_key_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a summary-key pattern: ``{placeholder}`` matches one value.
+
+    Placeholders stand for configuration-derived segments (a bit rate, an
+    SNR regime name); everything else matches literally.
+    """
+    parts = re.split(r"\{[a-zA-Z_][a-zA-Z0-9_]*\}", pattern)
+    return re.compile("[A-Za-z0-9.+-]+".join(re.escape(part) for part in parts))
 
 
 def _coerce_scalar(text: str, target: type) -> Any:
@@ -208,6 +221,13 @@ class ExperimentSpec:
     batched:
         Whether the experiment's Monte-Carlo core runs through the batched
         ensemble kernels of :mod:`repro.experiments.batch`.
+    summary_keys:
+        Documentation of the scalar ``summary`` keys the experiment's
+        artifacts carry: mapping of key *pattern* to a one-line description.
+        Patterns may contain ``{placeholder}`` segments for keys that are
+        generated per configuration value (e.g. ``exor_over_single_{rate}mbps``);
+        :meth:`documents_summary_key` matches a concrete key against them,
+        and the smoke tests assert every produced key is documented.
     """
 
     name: str
@@ -217,6 +237,11 @@ class ExperimentSpec:
     presets: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     tags: tuple[str, ...] = ()
     batched: bool = False
+    summary_keys: Mapping[str, str] = field(default_factory=dict)
+
+    def documents_summary_key(self, key: str) -> bool:
+        """True when ``key`` matches one of the declared summary-key patterns."""
+        return any(_summary_key_regex(pattern).fullmatch(key) for pattern in self.summary_keys)
 
     def make_config(self, preset: str = "quick", overrides: Mapping[str, Any] | None = None) -> Any:
         """Instantiate the config for ``preset`` with optional field overrides."""
@@ -277,6 +302,7 @@ def experiment(
     presets: Mapping[str, Mapping[str, Any]],
     tags: Iterable[str] = (),
     batched: bool = False,
+    summary_keys: Mapping[str, str] | None = None,
 ) -> Callable[[Callable[[Any], ExperimentResult]], Callable[[Any], ExperimentResult]]:
     """Register the decorated ``fn(config) -> ExperimentResult`` function.
 
@@ -304,6 +330,7 @@ def experiment(
             presets={k: dict(v) for k, v in presets.items()},
             tags=tuple(tags),
             batched=batched,
+            summary_keys=dict(summary_keys or {}),
         )
         for preset in spec.presets:
             spec.make_config(preset)  # validates the preset's field values

@@ -24,6 +24,15 @@ following the same pattern as :mod:`repro.core.ensemble`:
   packets with the SampleRate statistics of all lanes held in stacked
   arrays (:func:`simulate_downlink_ensemble`).
 
+Heterogeneous lanes
+-------------------
+Lanes of one ensemble call do not have to be uniform: ExOR lanes may mix
+batch sizes, topology sizes, rates and retry depths, and downlink lanes
+may mix packet counts and retry limits.  The scheduler advances every
+lane at its own pace inside one lockstep schedule — a lane that runs out
+of packets (or stalls) simply stops participating in the stacked draws
+while the rest continue.
+
 Determinism contract
 --------------------
 Every RNG draw is made from the owning lane's generator in exactly the
@@ -35,9 +44,22 @@ attempt loops) keep per-lane scalar draws in sequential order.  A
 lockstep run over lanes ``[l1, ..., ln]`` therefore produces *bit
 identical* results to running each lane's sequential simulation to
 completion, which ``tests/routing/test_exor_ensemble.py`` asserts.
-Lanes must not share a generator; callers with phases that reuse one
-stream (e.g. Fig. 18 running plain ExOR and then ExOR + SourceSync on
-the same topology) run one ensemble call per phase.
+
+Two lanes may share one generator only when they are *chained*: a lane
+constructed with ``after=<other lane>`` does not start (neither its
+setup nor its first draw) until the referenced lane has fully finished,
+so the shared stream is consumed in exactly the sequential order.  This
+is how Fig. 18 runs plain ExOR and then ExOR + SourceSync on the same
+topology, and Fig. 17 runs the best-AP and SourceSync schemes of one
+placement, as a single ensemble call::
+
+    exor  = ExorLane(testbed, src, dst, rate, relays, config, rng)
+    joint = ExorLane(testbed, src, dst, rate, relays, joint_config, rng,
+                     after=exor)
+    exor_result, joint_result = simulate_exor_ensemble([exor, joint])
+
+Unchained lanes must use distinct generators; the engines reject
+ensembles that violate the rule.
 """
 
 from __future__ import annotations
@@ -161,7 +183,14 @@ def prime_testbeds_lockstep(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ExorLane:
-    """One ExOR batch transfer to advance inside the lockstep ensemble."""
+    """One ExOR batch transfer to advance inside the lockstep ensemble.
+
+    ``after`` chains this lane behind another lane of the same ensemble
+    call: it starts only once that lane has fully finished (including its
+    last-hop cleanup), which is the only way two lanes may share one
+    generator.  Lanes may otherwise differ freely in batch size, topology,
+    rate and retry depth.
+    """
 
     testbed: Testbed
     src: int
@@ -171,6 +200,44 @@ class ExorLane:
     config: ExorConfig
     rng: np.random.Generator
     timing: MacTiming | None = None
+    after: "ExorLane | None" = None
+
+
+def _resolve_chains(lanes: list) -> tuple[list[int | None], list[list[int]]]:
+    """Validate lane chaining and generator sharing for one ensemble call.
+
+    Returns ``(after, successors)`` where ``after[i]`` is the index of the
+    lane that lane ``i`` waits for (or ``None`` for a root lane) and
+    ``successors[j]`` lists the lanes to start when lane ``j`` finishes.
+    Lanes that share a generator must form one chain in input order —
+    anything else would let the lockstep schedule interleave draws from a
+    single stream and silently diverge from the sequential path.
+    """
+    index_of = {id(lane): i for i, lane in enumerate(lanes)}
+    after: list[int | None] = []
+    successors: list[list[int]] = [[] for _ in lanes]
+    for i, lane in enumerate(lanes):
+        if lane.after is None:
+            after.append(None)
+            continue
+        predecessor = index_of.get(id(lane.after))
+        if predecessor is None:
+            raise ValueError("lane.after must reference another lane of the same ensemble call")
+        after.append(predecessor)
+        successors[predecessor].append(i)
+    by_rng: dict[int, list[int]] = {}
+    for i, lane in enumerate(lanes):
+        by_rng.setdefault(id(lane.rng), []).append(i)
+    for rows in by_rng.values():
+        for previous, current in zip(rows, rows[1:]):
+            if after[current] != previous:
+                raise ValueError(
+                    "lockstep lanes that share a generator must be chained in "
+                    "input order (each lane's `after` pointing at the previous "
+                    "lane on that generator); unrelated lanes need distinct "
+                    "generators"
+                )
+    return after, successors
 
 
 def _bit_indices(mask: int) -> list[int]:
@@ -213,10 +280,12 @@ class _ExorLaneState:
 
     @property
     def delivered(self) -> int:
+        """Number of batch packets the destination currently holds."""
         return self.holds[0].bit_count()
 
     @property
     def active(self) -> bool:
+        """Whether the transfer still has forwarding rounds to run."""
         config = self.lane.config
         return (
             self.rounds < config.max_rounds
@@ -422,25 +491,62 @@ def _cleanup(state: _ExorLaneState) -> None:
             state.failures += 1
 
 
+def _prime_lane_caches(lane: ExorLane) -> None:
+    """Prime one lane's probe/data caches in its sequential stream position.
+
+    Used when a chained lane activates: when its predecessor already primed
+    the shared testbed at the same rates this is a pure cache hit (detected
+    up front so the common chained case — same testbed, same rates — costs
+    two dict lookups), and when it did not, the draws land exactly where the
+    sequential code would make them (right after the predecessor's last
+    draw).
+    """
+    config = lane.config
+    cache = lane.testbed._routing_cache
+    probe_mbps = rate_for_mbps(config.probe_rate_mbps).mbps
+    if not cache.get(("delivery_primed", probe_mbps, config.payload_bytes)):
+        prime_testbeds_lockstep([lane.testbed], config.probe_rate_mbps, config.payload_bytes)
+    etx_graph(
+        lane.testbed,
+        probe_rate_mbps=config.probe_rate_mbps,
+        probe_bytes=config.payload_bytes,
+    )
+    data_mbps = rate_for_mbps(lane.rate_mbps).mbps
+    if not cache.get(("delivery_primed", data_mbps, config.payload_bytes)):
+        prime_testbeds_lockstep([lane.testbed], lane.rate_mbps, config.payload_bytes)
+
+
 def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
     """Advance many ExOR batch transfers in lockstep.
 
     Bit-identical to calling :func:`repro.routing.exor.simulate_exor` once
     per lane with the same arguments — every lane's generator is consumed
     in its sequential order — while the probability priming is batched
-    across lanes and each phase runs as stacked array operations.
+    across lanes and each phase runs as stacked array operations.  Lanes
+    may be fully heterogeneous (mixed batch sizes, topologies, rates and
+    retry depths); chained lanes (``after=...``) start the moment their
+    predecessor finishes, so dependent phases sharing one generator advance
+    inside the same schedule.
+
+    Example::
+
+        lanes = [ExorLane(tb, 0, 1, 12.0, relays, config, rng)
+                 for tb, relays, rng in zip(testbeds, relay_sets, rngs)]
+        results = simulate_exor_ensemble(lanes)  # one ExorResult per lane
     """
-    if len({id(lane.rng) for lane in lanes}) != len(lanes):
-        raise ValueError(
-            "lockstep lanes must not share a generator; run dependent phases "
-            "as consecutive ensemble calls instead"
-        )
-    # Group the priming by (probe rate, payload) and (data rate, payload) so
-    # heterogeneous ensembles batch what they can share.  Building the ETX
-    # graph and dense matrices afterwards consumes no generator draws.
+    if not lanes:
+        return []
+    after, successors = _resolve_chains(lanes)
+    roots = [i for i in range(len(lanes)) if after[i] is None]
+    # Group the root lanes' priming by (probe rate, payload) and (data rate,
+    # payload) so heterogeneous ensembles batch what they can share.
+    # Building the ETX graph and dense matrices afterwards consumes no
+    # generator draws.  Chained lanes prime at activation instead — after
+    # their predecessor's final draw, as the sequential code would.
     probe_groups: dict[tuple, list[Testbed]] = {}
     data_groups: dict[tuple, list[Testbed]] = {}
-    for lane in lanes:
+    for i in roots:
+        lane = lanes[i]
         config = lane.config
         probe_groups.setdefault(
             (config.probe_rate_mbps, config.payload_bytes), []
@@ -448,7 +554,8 @@ def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
         data_groups.setdefault((lane.rate_mbps, config.payload_bytes), []).append(lane.testbed)
     for (probe_rate, payload), testbeds in probe_groups.items():
         prime_testbeds_lockstep(testbeds, probe_rate, payload)
-    for lane in lanes:
+    for i in roots:
+        lane = lanes[i]
         etx_graph(
             lane.testbed,
             probe_rate_mbps=lane.config.probe_rate_mbps,
@@ -457,13 +564,45 @@ def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
     for (rate_mbps, payload), testbeds in data_groups.items():
         prime_testbeds_lockstep(testbeds, rate_mbps, payload)
 
-    states = [_lane_state(lane) for lane in lanes]
-    for state in states:
-        _broadcast_wave(state)
+    results: list[ExorResult | None] = [None] * len(lanes)
+    live: list[tuple[int, _ExorLaneState]] = []
 
-    active = [state for state in states if state.active]
-    while active:
-        for state in active:
+    def _finish(index: int, state: _ExorLaneState) -> None:
+        """Run the lane's cleanup, record its result, start its successors."""
+        _cleanup(state)
+        config = state.lane.config
+        delivered = state.delivered
+        bits = delivered * config.payload_bytes * 8
+        throughput = bits / state.elapsed_us if state.elapsed_us > 0 else 0.0
+        results[index] = ExorResult(
+            throughput_mbps=throughput,
+            delivered_packets=delivered,
+            total_packets=config.batch_size,
+            transmissions=state.transmissions,
+            rounds=state.rounds,
+            forwarders=tuple(state.priority),
+            joint_transmissions=state.joint_count,
+        )
+        for successor in successors[index]:
+            _start(successor)
+
+    def _start(index: int) -> None:
+        """Build the lane's state and run its source-broadcast phase."""
+        lane = lanes[index]
+        if after[index] is not None:
+            _prime_lane_caches(lane)
+        state = _lane_state(lane)
+        _broadcast_wave(state)
+        if state.active:
+            live.append((index, state))
+        else:
+            _finish(index, state)
+
+    for i in roots:
+        _start(i)
+    while live:
+        advancing, live = live, []
+        for index, state in advancing:
             state.rounds += 1
             state.progress = False
             state.elapsed_us += state.lane.config.batch_map_overhead_us
@@ -472,29 +611,13 @@ def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
             # later forwarders, so the union of newly-delivered bits keeps
             # the pending computation current.
             higher_or = state.holds[0]
-            for index in range(len(state.priority)):
-                higher_or |= _forwarding_turn(state, index, higher_or)
-                higher_or |= state.holds[index + 1]
-        active = [state for state in active if state.active]
-
-    results = []
-    for state in states:
-        _cleanup(state)
-        config = state.lane.config
-        delivered = state.delivered
-        bits = delivered * config.payload_bytes * 8
-        throughput = bits / state.elapsed_us if state.elapsed_us > 0 else 0.0
-        results.append(
-            ExorResult(
-                throughput_mbps=throughput,
-                delivered_packets=delivered,
-                total_packets=config.batch_size,
-                transmissions=state.transmissions,
-                rounds=state.rounds,
-                forwarders=tuple(state.priority),
-                joint_transmissions=state.joint_count,
-            )
-        )
+            for index_fwd in range(len(state.priority)):
+                higher_or |= _forwarding_turn(state, index_fwd, higher_or)
+                higher_or |= state.holds[index_fwd + 1]
+            if state.active:
+                live.append((index, state))
+            else:
+                _finish(index, state)
     return results
 
 
@@ -514,7 +637,9 @@ def simulate_single_path_ensemble(
     uniforms cannot merge into one draw; instead the lane pre-draws an
     upper-bound block, consumes it sequentially, and then rewinds its
     generator to advance by exactly the consumed count — the stream any
-    downstream phase sees is unchanged.
+    downstream phase sees is unchanged.  Lanes run to completion in input
+    order, so lanes sharing a generator are naturally sequential here (list
+    them in their dependency order; ``after`` is accepted but not needed).
     """
     from repro.net.etx import best_route
 
@@ -588,7 +713,15 @@ def simulate_single_path_ensemble(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class DownlinkLane:
-    """One client placement's downlink stream for the lockstep last hop."""
+    """One client placement's downlink stream for the lockstep last hop.
+
+    Lanes may differ freely in ``n_packets`` and ``retry_limit``; a lane
+    that runs out of packets stops participating in the stacked waves while
+    the rest continue.  ``after`` chains this lane behind another lane of
+    the same ensemble call (it starts only when that lane has delivered its
+    whole stream), which is the only way two lanes may share one generator
+    — e.g. the best-AP and SourceSync schemes of one Fig. 17 placement.
+    """
 
     testbed: Testbed
     controller: SourceSyncController
@@ -599,6 +732,7 @@ class DownlinkLane:
     payload_bytes: int = 1460
     retry_limit: int = 7
     timing: MacTiming | None = None
+    after: "DownlinkLane | None" = None
 
 
 def _lane_senders(lane: DownlinkLane) -> list[int]:
@@ -620,52 +754,79 @@ def simulate_downlink_ensemble(lanes: list[DownlinkLane]) -> list[LastHopResult]
     SampleRate sampling draw, then one uniform per transmission attempt).
     The SampleRate decision state of every lane is held in stacked arrays,
     per-(sender set, rate) delivery probabilities are precomputed with one
-    batched EESM pass per lane, and airtimes come from dense tables instead
-    of hash lookups, which is where the sequential loop spends its time.
-    All lanes must share ``n_packets``, ``retry_limit`` and the adapter
-    defaults (they do for the Fig. 17 ensemble).
+    batched EESM pass per lane, and each retry sub-wave is one stacked
+    probability/airtime gather over every lane still attempting — which is
+    where the sequential loop spends its time.
+
+    Lanes may be heterogeneous: mixed ``n_packets`` and ``retry_limit``
+    values advance in one schedule (a finished lane drops out of the
+    waves), and chained lanes (``after=...``) activate — including their
+    sender resolution, which may draw — the moment their predecessor's
+    stream completes, so dependent schemes sharing one generator run in a
+    single ensemble call.
+
+    Example::
+
+        best  = DownlinkLane(testbed, controller, client, "best_ap", rng)
+        joint = DownlinkLane(testbed, controller, client, "sourcesync",
+                             rng, after=best)
+        best_result, joint_result = simulate_downlink_ensemble([best, joint])
     """
     if not lanes:
         return []
-    if len({id(lane.rng) for lane in lanes}) != len(lanes):
-        raise ValueError(
-            "lockstep lanes must not share a generator; run dependent schemes "
-            "as consecutive ensemble calls instead"
-        )
-    n_packets = {lane.n_packets for lane in lanes}
-    retry_limit = {lane.retry_limit for lane in lanes}
-    if len(n_packets) != 1 or len(retry_limit) != 1:
-        raise ValueError("lockstep downlink lanes must share n_packets and retry_limit")
-    n_packets, retry_limit = n_packets.pop(), retry_limit.pop()
+    after, successors = _resolve_chains(lanes)
 
     rates = rates_sorted()
     n_rates = len(rates)
-    mbps = np.array([rate.mbps for rate in rates])
     sample_every = SampleRate.sample_every
     max_failures = SampleRate.max_successive_failures
 
     n_lanes = len(lanes)
-    # Per-lane setup in lane order: sender resolution may lazily materialise
-    # link profiles (generator draws), exactly as the sequential loop's
-    # controller calls would before its packet loop.
-    senders_per_lane: list[list[int]] = []
-    prob_table = np.empty((n_lanes, n_rates))
-    airtime_table = np.empty((n_lanes, n_rates))
-    lossless = np.empty((n_lanes, n_rates))
-    for row, lane in enumerate(lanes):
-        senders = _lane_senders(lane)
-        senders_per_lane.append(senders)
-        timing = lane.timing if lane.timing is not None else MacTiming(params=lane.testbed.params)
-        if len(senders) == 1:
-            profile = lane.testbed.link_profile(senders[0], lane.client)[None, :]
-        else:
-            from repro.analysis.error_models import combined_subcarrier_snr
+    n_packets = np.array([lane.n_packets for lane in lanes], dtype=np.int64)
+    retry_limits = np.array([lane.retry_limit for lane in lanes], dtype=np.int64)
 
-            profile = combined_subcarrier_snr(
-                [lane.testbed.link_profile(s, lane.client) for s in senders]
-            )[None, :]
-        prob_table[row] = delivery_probabilities_rates(profile, rates, lane.payload_bytes)[0]
-        n_cosenders = len(senders) - 1
+    # Per-lane tables, rows filled at activation; SampleRate statistics in
+    # stacked arrays, one row per lane (see repro.lasthop.rate_adaptation).
+    # `lossless` rows start at 1.0 so untouched rows cannot divide by zero.
+    senders_per_lane: list[list[int] | None] = [None] * n_lanes
+    prob_table = np.zeros((n_lanes, n_rates))
+    airtime_table = np.zeros((n_lanes, n_rates))
+    lossless = np.ones((n_lanes, n_rates))
+    successes = np.zeros((n_lanes, n_rates), dtype=np.int64)
+    totals = np.zeros((n_lanes, n_rates))
+    streak_failures = np.zeros((n_lanes, n_rates), dtype=np.int64)
+    elapsed = np.zeros(n_lanes)
+    transmissions = np.zeros(n_lanes, dtype=np.int64)
+    delivered = np.zeros(n_lanes, dtype=np.int64)
+    packets_done = np.zeros(n_lanes, dtype=np.int64)
+    WAITING, ACTIVE, DONE = -1, 0, 1
+    status = np.full(n_lanes, WAITING, dtype=np.int64)
+
+    def _resolve(row: int) -> np.ndarray:
+        """Sender resolution in the lane's sequential stream position.
+
+        May lazily materialise link profiles (generator draws), exactly as
+        the sequential loop's controller calls would before its packet loop
+        — so a chained lane must not resolve until its predecessor has
+        finished.  Returns the lane's (combined) per-subcarrier SNR profile.
+        """
+        lane = lanes[row]
+        senders = _lane_senders(lane)
+        senders_per_lane[row] = senders
+        if len(senders) == 1:
+            return lane.testbed.link_profile(senders[0], lane.client)
+        from repro.analysis.error_models import combined_subcarrier_snr
+
+        return combined_subcarrier_snr(
+            [lane.testbed.link_profile(s, lane.client) for s in senders]
+        )
+
+    def _fill_tables(row: int, prob_row: np.ndarray) -> None:
+        """Install a resolved lane's probability/airtime rows and activate it."""
+        lane = lanes[row]
+        timing = lane.timing if lane.timing is not None else MacTiming(params=lane.testbed.params)
+        prob_table[row] = prob_row
+        n_cosenders = len(senders_per_lane[row]) - 1
         for col, rate in enumerate(rates):
             if n_cosenders > 0:
                 airtime_table[row, col] = timing.joint_transaction_us(
@@ -674,22 +835,42 @@ def simulate_downlink_ensemble(lanes: list[DownlinkLane]) -> list[LastHopResult]
             else:
                 airtime_table[row, col] = timing.single_transaction_us(lane.payload_bytes, rate)
             lossless[row, col] = timing.single_transaction_us(lane.payload_bytes, rate)
+        status[row] = ACTIVE
+        if lane.n_packets <= 0:  # degenerate stream: complete immediately
+            status[row] = DONE
+            for successor in successors[row]:
+                _start(successor)
 
-    # SampleRate statistics, one row per lane (see repro.lasthop.rate_adaptation).
-    successes = np.zeros((n_lanes, n_rates), dtype=np.int64)
-    totals = np.zeros((n_lanes, n_rates))
-    streak_failures = np.zeros((n_lanes, n_rates), dtype=np.int64)
-    elapsed = np.zeros(n_lanes)
-    transmissions = np.zeros(n_lanes, dtype=np.int64)
-    delivered = np.zeros(n_lanes, dtype=np.int64)
-    lane_rows = np.arange(n_lanes)
+    def _start(row: int) -> None:
+        """Resolve and activate one lane (chained activation entry point)."""
+        profile = _resolve(row)
+        prob_row = delivery_probabilities_rates(
+            profile[None, :], rates, lanes[row].payload_bytes
+        )[0]
+        _fill_tables(row, prob_row)
 
-    def current_best() -> np.ndarray:
-        """Vectorised SampleRate._current_best over every lane."""
+    # Root lanes: sender resolution draws stay per lane in input order, but
+    # the EESM pass runs stacked across every root sharing a payload size
+    # and profile width (row-wise bit-identical to the per-lane calls).
+    roots = [row for row in range(n_lanes) if after[row] is None]
+    root_profiles = {row: _resolve(row) for row in roots}
+    eesm_groups: dict[tuple[int, int], list[int]] = {}
+    for row in roots:
+        key = (lanes[row].payload_bytes, root_profiles[row].size)
+        eesm_groups.setdefault(key, []).append(row)
+    for (payload_bytes, _), rows in eesm_groups.items():
+        probs = delivery_probabilities_rates(
+            np.vstack([root_profiles[row] for row in rows]), rates, payload_bytes
+        )
+        for row, prob_row in zip(rows, probs):
+            _fill_tables(row, prob_row)
+
+    def _current_best(rows: np.ndarray) -> np.ndarray:
+        """Vectorised SampleRate._current_best over the given lane rows."""
         with np.errstate(divide="ignore", invalid="ignore"):
-            average = np.where(successes > 0, totals / successes, np.inf)
-        effective = np.where(successes > 0, average, lossless * 1.2)
-        effective = np.where(streak_failures >= max_failures, np.inf, effective)
+            average = np.where(successes[rows] > 0, totals[rows] / successes[rows], np.inf)
+        effective = np.where(successes[rows] > 0, average, lossless[rows] * 1.2)
+        effective = np.where(streak_failures[rows] >= max_failures, np.inf, effective)
         minima = effective.min(axis=1)
         # Ties break towards the higher rate (the sequential sort key is
         # (average, -mbps)); all-excluded lanes fall back to the lowest rate.
@@ -697,41 +878,68 @@ def simulate_downlink_ensemble(lanes: list[DownlinkLane]) -> list[LastHopResult]
         best = n_rates - 1 - np.argmax(is_min[:, ::-1], axis=1)
         return np.where(np.isinf(minima), 0, best)
 
-    for packet_index in range(n_packets):
-        chosen = current_best()
-        if sample_every > 0 and (packet_index + 1) % sample_every == 0:
-            with np.errstate(divide="ignore", invalid="ignore"):
-                average = np.where(successes > 0, totals / successes, np.inf)
-            best_average = average[lane_rows, chosen]
-            viable = lossless < best_average[:, None]
-            viable[lane_rows, chosen] = False
-            for row, lane in enumerate(lanes):
-                options = np.nonzero(viable[row])[0]
-                if options.size == 0:
-                    options = np.array([c for c in range(n_rates) if c != chosen[row]])
-                chosen[row] = options[int(lane.rng.integers(0, options.size))]
+    chosen = np.zeros(n_lanes, dtype=np.int64)
+    active = np.nonzero(status == ACTIVE)[0]
+    while active.size:
+        chosen[active] = _current_best(active)
+        if sample_every > 0:
+            due = active[(packets_done[active] + 1) % sample_every == 0]
+            if due.size:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    average = np.where(successes[due] > 0, totals[due] / successes[due], np.inf)
+                best_average = average[np.arange(due.size), chosen[due]]
+                viable = lossless[due] < best_average[:, None]
+                viable[np.arange(due.size), chosen[due]] = False
+                for position, row in enumerate(due.tolist()):
+                    options = np.nonzero(viable[position])[0]
+                    if options.size == 0:
+                        options = np.array([c for c in range(n_rates) if c != chosen[row]])
+                    chosen[row] = options[int(lanes[row].rng.integers(0, options.size))]
 
-        packet_success = np.zeros(n_lanes, dtype=bool)
-        attempts = np.zeros(n_lanes, dtype=np.int64)
-        remaining = lane_rows
-        for _ in range(retry_limit):
+        # Hoist the per-wave (lane, rate) gathers once; the retry sub-waves
+        # below index these 1-D views by position instead of re-gathering
+        # 2-D tables per attempt.
+        act_chosen = chosen[active]
+        act_prob = prob_table[active, act_chosen]
+        act_airtime = airtime_table[active, act_chosen]
+        act_lossless = lossless[active, act_chosen]
+        act_retry = retry_limits[active]
+
+        # Retry sub-waves: every lane still attempting this packet draws one
+        # scalar uniform (its sequential order), the probability and airtime
+        # gathers run stacked; lanes drop out at success or their own limit.
+        success_act = np.zeros(active.size, dtype=bool)
+        attempts_act = np.zeros(active.size, dtype=np.int64)
+        remaining = np.arange(active.size)
+        for attempt in range(int(act_retry.max())):
             if remaining.size == 0:
                 break
-            draws = np.array([lanes[row].rng.random() for row in remaining])
-            succeeded = draws < prob_table[remaining, chosen[remaining]]
-            elapsed[remaining] += airtime_table[remaining, chosen[remaining]]
-            transmissions[remaining] += 1
-            attempts[remaining] += 1
-            packet_success[remaining[succeeded]] = True
+            rows = active[remaining]
+            draws = np.array([lanes[row].rng.random() for row in rows.tolist()])
+            succeeded = draws < act_prob[remaining]
+            elapsed[rows] += act_airtime[remaining]
+            transmissions[rows] += 1
+            attempts_act[remaining] += 1
+            success_act[remaining[succeeded]] = True
             remaining = remaining[~succeeded]
+            remaining = remaining[act_retry[remaining] > attempt + 1]
 
-        # adapter.report(rate, success, attempts) for every lane at once
-        totals[lane_rows, chosen] += lossless[lane_rows, chosen] * attempts
-        successes[lane_rows, chosen] += packet_success
-        streak_failures[lane_rows, chosen] = np.where(
-            packet_success, 0, streak_failures[lane_rows, chosen] + 1
+        # adapter.report(rate, success, attempts) for every active lane at once
+        totals[active, act_chosen] += act_lossless * attempts_act
+        successes[active, act_chosen] += success_act
+        streak_failures[active, act_chosen] = np.where(
+            success_act, 0, streak_failures[active, act_chosen] + 1
         )
-        delivered += packet_success
+        delivered[active] += success_act
+        packets_done[active] += 1
+
+        finished_mask = packets_done[active] >= n_packets[active]
+        if finished_mask.any():
+            for row in active[finished_mask].tolist():
+                status[row] = DONE
+                for successor in successors[row]:
+                    _start(successor)
+            active = np.nonzero(status == ACTIVE)[0]
 
     results = []
     for row, lane in enumerate(lanes):
@@ -741,7 +949,7 @@ def simulate_downlink_ensemble(lanes: list[DownlinkLane]) -> list[LastHopResult]
             LastHopResult(
                 throughput_mbps=float(throughput),
                 delivered_packets=int(delivered[row]),
-                total_packets=n_packets,
+                total_packets=lane.n_packets,
                 transmissions=int(transmissions[row]),
                 scheme=lane.scheme,
                 senders=tuple(senders_per_lane[row]),

@@ -186,6 +186,29 @@ def test_joint_batch_smoke_preset_equivalence(name):
     spec = registry.get(name)
     batched = spec.run(spec.make_config("smoke"))
     sequential = spec.run(spec.make_config("smoke", {"batched": False}))
+    _assert_series_equal(batched, sequential)
+
+
+def test_joint_batch_fig13_multi_topology_equivalence():
+    """fig13's widened chains (n_topologies > 1): both chains' sessions fold
+    into one joint-frame ensemble and must still match the sequential
+    per-session sweeps, summary included."""
+    from repro.experiments import registry
+
+    spec = registry.get("fig13")
+    overrides = {"n_topologies": 3}
+    batched = spec.run(spec.make_config("smoke", overrides))
+    sequential = spec.run(spec.make_config("smoke", {**overrides, "batched": False}))
+    _assert_series_equal(batched, sequential)
+    assert batched.summary.keys() == sequential.summary.keys()
+    for key in batched.summary:
+        np.testing.assert_allclose(
+            batched.summary[key], sequential.summary[key], rtol=1e-9, equal_nan=True
+        )
+
+
+def _assert_series_equal(batched, sequential):
+    """Every series column numerically identical across the two paths."""
     assert batched.series.keys() == sequential.series.keys()
     for key in batched.series:
         first = batched.series[key]

@@ -93,3 +93,43 @@ def test_run_seed_chunks_matches_unchunked():
     pooled = run_seed_chunks(_square_chunk, 7, 5, 3, 100)
     assert single == pooled
     assert len(single) == 7
+
+
+class TestSeedChunkSize:
+    """Explicit chunk_size caps shard width without changing any output."""
+
+    def test_every_chunk_size_matches_unchunked(self):
+        from repro.experiments.batch import run_seed_chunks
+
+        reference = run_seed_chunks(_square_chunk, 9, 13, 1, 7)
+        for chunk_size in (1, 2, 4, 9, 50):
+            capped = run_seed_chunks(_square_chunk, 9, 13, 1, 7, chunk_size=chunk_size)
+            assert capped == reference, chunk_size
+
+    def test_chunk_size_with_process_pool(self):
+        from repro.experiments.batch import run_seed_chunks
+
+        reference = run_seed_chunks(_square_chunk, 8, 21, 1, 0)
+        pooled = run_seed_chunks(_square_chunk, 8, 21, 3, 0, chunk_size=3)
+        assert pooled == reference
+
+    def test_zero_trials(self):
+        from repro.experiments.batch import run_seed_chunks
+
+        assert run_seed_chunks(_square_chunk, 0, 1, 1, 0, chunk_size=4) == []
+
+    def test_invalid_chunk_size_rejected(self):
+        from repro.experiments.batch import run_seed_chunks
+
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_seed_chunks(_square_chunk, 4, 1, 1, 0, chunk_size=0)
+
+
+def test_fig18_chunk_topologies_is_deterministic():
+    """Capping the lockstep lane width cannot change seeded results."""
+    from repro.experiments import registry
+
+    spec = registry.get("fig18")
+    base = spec.run(spec.make_config("smoke"))
+    capped = spec.run(spec.make_config("smoke", {"chunk_topologies": 1}))
+    assert base.summary == capped.summary

@@ -81,6 +81,43 @@ def test_docs_check_detects_stale(tmp_path, capsys):
     assert main(["docs", "--check", "--output", str(stale)]) == 1
 
 
+def test_docs_writes_and_checks_experiment_pages(tmp_path, capsys):
+    """The docs command emits one page per experiment and detects drift."""
+    output = tmp_path / "EXPERIMENTS.md"
+    pages = tmp_path / "pages"
+    assert main(["docs", "--output", str(output), "--pages-dir", str(pages)]) == 0
+    capsys.readouterr()
+    from repro.experiments import registry
+
+    generated = {path.name for path in pages.glob("*.md")}
+    assert generated == {f"{name}.md" for name in registry.names()}
+    assert main(["docs", "--check", "--output", str(output), "--pages-dir", str(pages)]) == 0
+    capsys.readouterr()
+    # Drift one page: check fails and a rewrite repairs it.
+    (pages / "fig18.md").write_text("drifted\n")
+    assert main(["docs", "--check", "--output", str(output), "--pages-dir", str(pages)]) == 1
+    assert "fig18.md" in capsys.readouterr().err
+    # A stray page for an unregistered experiment fails check and is removed.
+    assert main(["docs", "--output", str(output), "--pages-dir", str(pages)]) == 0
+    capsys.readouterr()
+    (pages / "fig99.md").write_text("orphan\n")
+    assert main(["docs", "--check", "--output", str(output), "--pages-dir", str(pages)]) == 1
+    assert "fig99.md" in capsys.readouterr().err
+    assert main(["docs", "--output", str(output), "--pages-dir", str(pages)]) == 0
+    assert not (pages / "fig99.md").exists()
+
+
+def test_docs_output_inside_pages_dir_survives_stale_sweep(tmp_path, capsys):
+    """Regression: the index written into the pages directory must not be
+    swept as a stale page on the next run."""
+    target = tmp_path / "EXPERIMENTS.md"
+    assert main(["docs", "--output", str(target), "--pages-dir", str(tmp_path)]) == 0
+    assert main(["docs", "--output", str(target), "--pages-dir", str(tmp_path)]) == 0
+    assert target.exists()
+    capsys.readouterr()
+    assert main(["docs", "--check", "--output", str(target), "--pages-dir", str(tmp_path)]) == 0
+
+
 def test_compare_identical_artifacts(tmp_path, capsys):
     assert main([
         "run", "fig14", "--preset", "smoke", "--output-dir", str(tmp_path), "--quiet",

@@ -36,3 +36,10 @@ def test_smoke_preset_end_to_end(name, tmp_path):
     assert restored.summary.keys() == result.summary.keys()
     for key in result.summary:
         assert _equal_or_both_nan(restored.summary[key], result.summary[key]), key
+
+    # Docs-freshness guarantee: every summary key the experiment actually
+    # produces must match one of the spec's documented key patterns (the
+    # generated docs/experiments/<name>.md page is rendered from them).
+    assert spec.summary_keys, f"{name} declares no summary_keys documentation"
+    undocumented = [k for k in result.summary if not spec.documents_summary_key(k)]
+    assert not undocumented, f"{name} summary keys missing from spec.summary_keys: {undocumented}"

@@ -200,14 +200,91 @@ class TestDownlinkEnsemble:
         assert best_batched == [b for b, _ in sequential]
         assert joint_batched == [j for _, j in sequential]
 
-    def test_mismatched_packet_counts_rejected(self):
+    def test_heterogeneous_packet_counts_and_retry_limits(self):
+        """Mixed n_packets / retry_limit lanes == their per-placement runs."""
         from repro.routing.ensemble import DownlinkLane, simulate_downlink_ensemble
 
-        (tb1, c1, r1), (tb2, c2, r2) = self._placements(2, seed=33)
-        with pytest.raises(ValueError, match="n_packets"):
+        shapes = [(10, 7), (45, 3), (28, 1), (60, 5)]
+        sequential = [
+            simulate_downlink(tb, c, 2, "best_ap", n_packets=n, retry_limit=r, rng=rng)
+            for (tb, c, rng), (n, r) in zip(self._placements(4, seed=33), shapes)
+        ]
+        batched = simulate_downlink_ensemble(
+            [
+                DownlinkLane(tb, c, 2, "best_ap", rng, n_packets=n, retry_limit=r)
+                for (tb, c, rng), (n, r) in zip(self._placements(4, seed=33), shapes)
+            ]
+        )
+        assert batched == sequential
+        # Mixed counts must actually interleave lane lifetimes.
+        assert len({n for n, _ in shapes}) > 1
+
+    def test_chained_schemes_single_ensemble_call(self):
+        """best_ap -> sourcesync chained on one generator, as fig17 runs them."""
+        from repro.routing.ensemble import DownlinkLane, simulate_downlink_ensemble
+
+        sequential = []
+        for tb, controller, rng in self._placements(4, seed=34):
+            best = simulate_downlink(tb, controller, 2, "best_ap", n_packets=25, rng=rng)
+            joint = simulate_downlink(tb, controller, 2, "sourcesync", n_packets=25, rng=rng)
+            sequential.append((best, joint))
+        lanes = []
+        for tb, controller, rng in self._placements(4, seed=34):
+            best = DownlinkLane(tb, controller, 2, "best_ap", rng, n_packets=25)
+            joint = DownlinkLane(tb, controller, 2, "sourcesync", rng, n_packets=25, after=best)
+            lanes.extend([best, joint])
+        results = simulate_downlink_ensemble(lanes)
+        batched = [(results[2 * i], results[2 * i + 1]) for i in range(4)]
+        assert batched == sequential
+
+    def test_chained_schemes_with_mixed_packet_counts(self):
+        """Chains of different lengths interleave: one lane's second scheme
+        starts while another lane's first scheme is still streaming."""
+        from repro.routing.ensemble import DownlinkLane, simulate_downlink_ensemble
+
+        counts = [8, 40, 16]
+        sequential = []
+        for (tb, controller, rng), n in zip(self._placements(3, seed=35), counts):
+            best = simulate_downlink(tb, controller, 2, "best_ap", n_packets=n, rng=rng)
+            joint = simulate_downlink(tb, controller, 2, "sourcesync", n_packets=n, rng=rng)
+            sequential.append((best, joint))
+        lanes = []
+        for (tb, controller, rng), n in zip(self._placements(3, seed=35), counts):
+            best = DownlinkLane(tb, controller, 2, "best_ap", rng, n_packets=n)
+            joint = DownlinkLane(tb, controller, 2, "sourcesync", rng, n_packets=n, after=best)
+            lanes.extend([best, joint])
+        results = simulate_downlink_ensemble(lanes)
+        batched = [(results[2 * i], results[2 * i + 1]) for i in range(3)]
+        assert batched == sequential
+
+    def test_degenerate_packet_counts_consume_no_draws(self):
+        """n_packets <= 0 lanes deliver nothing and leave the stream where
+        the sequential zero-iteration loop would, so chained successors see
+        identical draws."""
+        from repro.routing.ensemble import DownlinkLane, simulate_downlink_ensemble
+
+        for n in (0, -1):
+            sequential = []
+            for tb, c, rng in self._placements(2, seed=37):
+                empty = simulate_downlink(tb, c, 2, "best_ap", n_packets=n, rng=rng)
+                follow = simulate_downlink(tb, c, 2, "sourcesync", n_packets=12, rng=rng)
+                sequential.append((empty, follow))
+            lanes = []
+            for tb, c, rng in self._placements(2, seed=37):
+                empty = DownlinkLane(tb, c, 2, "best_ap", rng, n_packets=n)
+                follow = DownlinkLane(tb, c, 2, "sourcesync", rng, n_packets=12, after=empty)
+                lanes.extend([empty, follow])
+            results = simulate_downlink_ensemble(lanes)
+            assert [(results[2 * i], results[2 * i + 1]) for i in range(2)] == sequential
+
+    def test_unchained_shared_generator_rejected(self):
+        from repro.routing.ensemble import DownlinkLane, simulate_downlink_ensemble
+
+        (tb1, c1, r1), (tb2, c2, _) = self._placements(2, seed=36)
+        with pytest.raises(ValueError, match="share a generator"):
             simulate_downlink_ensemble(
                 [
                     DownlinkLane(tb1, c1, 2, "best_ap", r1, n_packets=10),
-                    DownlinkLane(tb2, c2, 2, "best_ap", r2, n_packets=20),
+                    DownlinkLane(tb2, c2, 2, "best_ap", r1, n_packets=10),
                 ]
             )

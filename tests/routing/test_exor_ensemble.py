@@ -157,6 +157,131 @@ class TestExorEnsembleEquivalence:
         with pytest.raises(ValueError, match="share a generator"):
             simulate_exor_ensemble(lanes)
 
+    def test_foreign_after_lane_rejected(self):
+        pairs = _relay_testbeds(2, seed=3)
+        config = ExorConfig(batch_size=4)
+        outsider = ExorLane(pairs[0][0], 0, 1, 6.0, [2, 3, 4], config, pairs[0][1])
+        lane = ExorLane(
+            pairs[1][0], 0, 1, 6.0, [2, 3, 4], config, pairs[1][1], after=outsider
+        )
+        with pytest.raises(ValueError, match="same ensemble call"):
+            simulate_exor_ensemble([lane])
+
+
+class TestHeterogeneousLanes:
+    """Mixed batch-size / topology-size / retry-depth lanes in one schedule."""
+
+    def test_mixed_batch_sizes_and_retry_depths(self):
+        """Per-lane configs differ in every knob the scheduler touches."""
+        configs = [
+            ExorConfig(batch_size=4, retry_limit_last_hop=2),
+            ExorConfig(batch_size=24, retry_limit_last_hop=8, sender_diversity=True),
+            ExorConfig(batch_size=12, retry_limit_last_hop=5, max_rounds=6),
+            ExorConfig(batch_size=17, sender_diversity=True),
+        ]
+        sequential = [
+            simulate_exor(tb, 0, 1, 12.0, [2, 3, 4], config=config, rng=rng)
+            for (tb, rng), config in zip(_relay_testbeds(4, seed=91), configs)
+        ]
+        batched = simulate_exor_ensemble(
+            [
+                ExorLane(tb, 0, 1, 12.0, [2, 3, 4], config, rng)
+                for (tb, rng), config in zip(_relay_testbeds(4, seed=91), configs)
+            ]
+        )
+        _assert_results_equal(batched, sequential)
+        assert len({r.total_packets for r in batched}) == len(configs)
+
+    def test_mixed_topology_sizes(self):
+        """Lanes over 2-relay, 3-relay and 5-relay meshes advance together."""
+        relay_counts = [2, 3, 5, 3]
+        rngs = _spawned(4, seed=92)
+        config = ExorConfig(batch_size=10, sender_diversity=True)
+
+        def build(rng, n_relays):
+            return random_relay_topology(rng, n_relays=n_relays)
+
+        sequential = []
+        for rng, n_relays in zip(_spawned(4, seed=92), relay_counts):
+            tb = build(rng, n_relays)
+            relays = [n for n in tb.node_ids if n not in (0, 1)]
+            sequential.append(
+                simulate_exor(tb, 0, 1, 6.0, relays, config=config, rng=rng)
+            )
+        lanes = []
+        for rng, n_relays in zip(rngs, relay_counts):
+            tb = build(rng, n_relays)
+            relays = [n for n in tb.node_ids if n not in (0, 1)]
+            lanes.append(ExorLane(tb, 0, 1, 6.0, relays, config, rng))
+        batched = simulate_exor_ensemble(lanes)
+        _assert_results_equal(batched, sequential)
+        assert len({len(r.forwarders) for r in batched}) > 1
+
+    def test_chained_schemes_single_ensemble_call(self):
+        """ExOR then ExOR+SourceSync chained on one generator, in one call."""
+        config = ExorConfig(batch_size=10)
+        joint_config = replace(config, sender_diversity=True)
+        sequential = []
+        for tb, rng in _relay_testbeds(5, seed=93):
+            exor = simulate_exor(tb, 0, 1, 6.0, [2, 3, 4], config=config, rng=rng)
+            joint = simulate_exor_sourcesync(tb, 0, 1, 6.0, [2, 3, 4], config=config, rng=rng)
+            sequential.append((exor, joint))
+        lanes = []
+        for tb, rng in _relay_testbeds(5, seed=93):
+            exor_lane = ExorLane(tb, 0, 1, 6.0, [2, 3, 4], config, rng)
+            joint_lane = ExorLane(
+                tb, 0, 1, 6.0, [2, 3, 4], joint_config, rng, after=exor_lane
+            )
+            lanes.extend([exor_lane, joint_lane])
+        results = simulate_exor_ensemble(lanes)
+        batched = [(results[2 * i], results[2 * i + 1]) for i in range(5)]
+        for got, expected in zip(batched, sequential):
+            assert got == expected
+
+    def test_chained_lane_primes_in_stream_order(self):
+        """A chained lane on a *different unprimed testbed* sharing the
+        generator must draw its link realisations after the predecessor's
+        last draw, not during the up-front batched priming."""
+        config = ExorConfig(batch_size=8)
+
+        def build_pair(seed):
+            rng = np.random.default_rng(seed)
+            first = random_relay_topology(rng)
+            second = random_relay_topology(rng)
+            return first, second, rng
+
+        sequential = []
+        for seed in (201, 202, 203):
+            first, second, rng = build_pair(seed)
+            r1 = simulate_exor(first, 0, 1, 6.0, [2, 3, 4], config=config, rng=rng)
+            r2 = simulate_exor(second, 0, 1, 6.0, [2, 3, 4], config=config, rng=rng)
+            sequential.append((r1, r2))
+        lanes = []
+        for seed in (201, 202, 203):
+            first, second, rng = build_pair(seed)
+            lane1 = ExorLane(first, 0, 1, 6.0, [2, 3, 4], config, rng)
+            lane2 = ExorLane(second, 0, 1, 6.0, [2, 3, 4], config, rng, after=lane1)
+            lanes.extend([lane1, lane2])
+        results = simulate_exor_ensemble(lanes)
+        batched = [(results[2 * i], results[2 * i + 1]) for i in range(3)]
+        for got, expected in zip(batched, sequential):
+            assert got == expected
+
+    def test_heterogeneous_single_path_lanes(self):
+        """Mixed batch sizes through the single-path ensemble."""
+        sizes = [5, 14, 9]
+        sequential = [
+            simulate_single_path(tb, 0, 1, 6.0, n_packets=n, rng=rng)
+            for (tb, rng), n in zip(_relay_testbeds(3, seed=95), sizes)
+        ]
+        batched = simulate_single_path_ensemble(
+            [
+                ExorLane(tb, 0, 1, 6.0, [2, 3, 4], ExorConfig(batch_size=n), rng)
+                for (tb, rng), n in zip(_relay_testbeds(3, seed=95), sizes)
+            ]
+        )
+        _assert_results_equal(batched, sequential)
+
 
 class TestSinglePathEnsembleEquivalence:
     def test_bit_identical_and_stream_preserving(self):
