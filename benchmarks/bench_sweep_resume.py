@@ -1,0 +1,68 @@
+"""Benchmark: cold grid sweep vs warm-cache resume (``BENCH_sweep_cache.json``).
+
+The fault-tolerant sweep engine's serving story is "precompute once,
+answer any grid query from cache": a completed cell is keyed by a content
+address of (experiment, resolved config, seed, schema/code version), so
+re-running the same grid must be a directory of lookups, not a
+simulation.  This benchmark runs one grid cold, resumes it warm against
+the same run directory, checks the resumed results are identical, and
+records the ratio.  The warm resume of a fully completed grid must be
+near-instant — a regression here means the cache fast path is broken and
+``sweep --resume`` silently re-simulates.
+"""
+
+from bench_utils import timed, write_baseline
+
+from repro.experiments.runner import run_sweep
+from repro.experiments.supervisor import RetryPolicy
+
+_GRID = {"seed": [1, 2, 3, 4, 5, 6, 7, 8]}
+_OVERRIDES = {"n_realizations": 800}
+_JOBS = 2
+
+
+def test_sweep_cold_vs_warm_cache_resume(benchmark, tmp_path):
+    run_dir = tmp_path / "sweep"
+    policy = RetryPolicy(retries=1, backoff_base_s=0.01)
+
+    def sweep_into_dir():
+        return run_sweep(
+            "fig14", _GRID, preset="smoke", overrides=_OVERRIDES,
+            jobs=_JOBS, policy=policy, run_dir=run_dir,
+        )
+
+    cold_s, cold = timed(sweep_into_dir)
+    warm_s, warm = timed(sweep_into_dir)
+
+    # The warm pass must be pure cache: every cell served without simulation,
+    # with results identical to the cold run.
+    assert [outcome.status for outcome in cold.outcomes] == ["completed"] * len(cold.outcomes)
+    assert [outcome.status for outcome in warm.outcomes] == ["cached"] * len(warm.outcomes)
+    for first, second in zip(cold.outcomes, warm.outcomes):
+        assert first.result.to_json() == second.result.to_json()
+
+    speedup = cold_s / max(warm_s, 1e-9)
+    write_baseline(
+        "sweep_cache",
+        {
+            "experiment": "fig14",
+            "preset": "smoke",
+            "cells": len(cold.outcomes),
+            "jobs": _JOBS,
+            # Coarse buckets: the committed file should change only when the
+            # engine's behaviour changes, not with scheduler jitter.
+            "cold_s_bucket": round(cold_s, 1),
+            "warm_resume_near_instant": bool(warm_s < 0.5),
+            "warm_over_cold_percent_bucket": int(round(warm_s / cold_s * 100 / 5.0) * 5),
+        },
+    )
+    print(
+        f"\ncold sweep: {cold_s*1e3:.0f} ms, warm-cache resume: {warm_s*1e3:.0f} ms "
+        f"({speedup:.0f}x), {len(cold.outcomes)} cells"
+    )
+    # A resume of a completed grid is a handful of file loads; anything
+    # slower means cells are being re-simulated.
+    assert warm_s < 0.5
+    assert warm_s < cold_s / 2.0
+
+    benchmark.pedantic(sweep_into_dir, rounds=1, iterations=1)

@@ -40,6 +40,15 @@ the exact config, the seed, and library/git provenance, and round-trip
 through :meth:`ExperimentResult.load` — ``report`` re-prints them without
 re-simulating.
 
+``sweep`` additionally runs under the fault-tolerant sweep engine
+(:mod:`repro.experiments.supervisor`): grid cells execute on supervised
+worker processes with per-cell ``--timeout`` and ``--retries`` (with
+exponential backoff), completed cells land in a content-addressed
+artifact cache (:mod:`repro.experiments.cache`) beside an append-only
+JSONL run manifest, and an interrupted or partially failed sweep resumes
+with ``sweep --resume DIR`` — completed cells become cache hits and the
+remainder re-executes, converging to bit-identical artifacts.
+
 Python API
 ----------
 ::

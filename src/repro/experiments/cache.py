@@ -1,0 +1,153 @@
+"""Content-addressed artifact cache for experiment results.
+
+Every completed grid cell of a sweep (and any registry run routed through
+the supervised scheduler) is stored under a *content address*: a SHA-256
+hash of the experiment name, the fully resolved config, the seed and the
+artifact-schema / code version (:func:`cache_key`).  Re-running a cell
+whose key is already present is a file load, not a simulation — this is
+the fast path behind ``sweep --resume`` and the warm-cache numbers in
+``BENCH_sweep_cache.json``.
+
+Robustness properties:
+
+* **Atomic writes.** Entries are written with
+  :func:`repro.experiments.common.atomic_write_text` (temp file +
+  ``os.replace`` in the cache directory), so a crashed or killed worker can
+  never leave a truncated entry behind.
+* **Corrupt-entry quarantine.** :meth:`ArtifactCache.get` validates every
+  entry on load; anything unparsable (disk corruption, a fault-injected
+  writer, a foreign file) is moved aside to ``<key>.corrupt`` and reported
+  as a miss, so one bad file degrades to a re-simulation instead of
+  poisoning the whole sweep.
+
+Keys are deliberately *resolved-config* addressed, not preset addressed:
+two presets that resolve to the same config share one entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.experiments.common import ARTIFACT_SCHEMA, ExperimentResult, _encode_value
+from repro.version import __version__
+
+__all__ = ["ArtifactCache", "cache_key", "CACHE_DIR_NAME"]
+
+#: Name of the cache directory created inside a sweep output directory.
+CACHE_DIR_NAME = "cache"
+
+#: Exceptions that mark a cache entry as corrupt rather than a bug: anything
+#: the JSON artifact loader raises for malformed or truncated content.
+_CORRUPT_ERRORS = (ValueError, KeyError, TypeError, json.JSONDecodeError)
+
+
+def cache_key(
+    name: str,
+    config: Mapping[str, Any],
+    *,
+    seed: Any = None,
+    schema: int = ARTIFACT_SCHEMA,
+    code_version: str = __version__,
+) -> str:
+    """Stable content address of one experiment run.
+
+    ``config`` must be the *resolved* JSON-compatible config mapping (see
+    :func:`repro.experiments.registry.config_to_jsonable`), so two runs that
+    differ in any field — including defaults filled in by a preset — hash
+    differently.  ``seed`` defaults to ``config["seed"]`` when present; it
+    is kept as an explicit key component because the seed is the one field
+    every Monte-Carlo artifact must be addressed by.  ``schema`` and
+    ``code_version`` fence off artifacts written by incompatible layouts or
+    library versions.
+    """
+    payload = {
+        "experiment": name,
+        "config": config,
+        "seed": seed if seed is not None else config.get("seed"),
+        "schema": schema,
+        "code_version": code_version,
+    }
+    # Route through the artifact layer's strict-JSON encoding so non-finite
+    # config values (e.g. a Rayleigh profile's -inf K-factor) hash stably.
+    blob = json.dumps(
+        _encode_value(payload), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ArtifactCache:
+    """Content-addressed store of :class:`ExperimentResult` JSON artifacts.
+
+    The layout is flat: entry ``key`` lives at ``<root>/<key>.json`` and a
+    quarantined corrupt entry at ``<root>/<key>.corrupt``.  All writes are
+    atomic; concurrent writers of the same key are safe (last atomic
+    replace wins, and both wrote identical content by construction).
+    """
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of the entry for ``key`` (whether or not it exists)."""
+        return self.root / f"{key}.json"
+
+    def quarantine_path_for(self, key: str) -> Path:
+        """Path a corrupt entry for ``key`` is moved to by :meth:`get`."""
+        return self.root / f"{key}.corrupt"
+
+    def contains(self, key: str) -> bool:
+        """True when an entry file for ``key`` exists (without validating it)."""
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> ExperimentResult | None:
+        """Load the entry for ``key``, or None on a miss or corrupt entry.
+
+        A corrupt entry (unparsable JSON, wrong schema, missing fields) is
+        moved to :meth:`quarantine_path_for` so the next :meth:`get` is a
+        clean miss and the bad bytes stay on disk for post-mortem.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None
+        try:
+            return ExperimentResult.from_json(text)
+        except _CORRUPT_ERRORS:
+            self._quarantine(key)
+            return None
+
+    def put(self, key: str, result: ExperimentResult) -> Path:
+        """Atomically store ``result`` as the entry for ``key``."""
+        return result.save(self.path_for(key))
+
+    def keys(self) -> list[str]:
+        """Keys of every (unvalidated) entry currently in the cache."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def quarantined(self) -> list[str]:
+        """Keys of every quarantined corrupt entry."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.corrupt"))
+
+    def _quarantine(self, key: str) -> None:
+        """Move the entry for ``key`` aside as ``<key>.corrupt``."""
+        try:
+            os.replace(self.path_for(key), self.quarantine_path_for(key))
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactCache({str(self.root)!r}, entries={len(self)})"

@@ -10,7 +10,12 @@
     overrides; writes one JSON artifact per experiment.
 ``sweep``
     Run one experiment over a parameter grid (``--sweep key=v1,v2,...``,
-    repeatable; cartesian product).
+    repeatable; cartesian product) under the fault-tolerant sweep engine:
+    per-cell ``--timeout``/``--retries`` with exponential backoff, a
+    content-addressed artifact cache plus JSONL run manifest in the output
+    directory, ``--keep-going`` for partial results instead of aborting,
+    and ``--resume DIR`` to continue an interrupted or partially failed
+    run (completed cells are cache hits, not re-simulations).
 ``report``
     Re-print saved JSON artifacts without re-simulating.
 ``compare``
@@ -30,7 +35,13 @@ from typing import Any, Sequence
 
 from repro.experiments import registry
 from repro.experiments.common import ExperimentResult
-from repro.experiments.runner import _resolve_names, run_all, sweep
+from repro.experiments.runner import (
+    _resolve_names,
+    run_all,
+    run_sweep,
+    sweep_definition_from_manifest,
+)
+from repro.experiments.supervisor import RetryPolicy, RunManifest, SweepFailure
 
 __all__ = ["main", "build_parser"]
 
@@ -69,14 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-save", action="store_true", help="do not write JSON artifacts")
     p_run.add_argument("--quiet", action="store_true", help="print one summary line per experiment")
 
-    p_sweep = sub.add_parser("sweep", help="run one experiment over a parameter grid")
-    p_sweep.add_argument("name", help="experiment name")
+    p_sweep = sub.add_parser(
+        "sweep", help="run one experiment over a parameter grid (fault-tolerant, resumable)"
+    )
+    p_sweep.add_argument("name", nargs="?", default=None, help="experiment name (omit with --resume)")
     p_sweep.add_argument(
         "--sweep",
         dest="grid",
         action="append",
         default=[],
-        required=True,
         metavar="KEY=V1,V2,...",
         help="field and comma-separated values to sweep (repeatable; cartesian product)",
     )
@@ -88,6 +100,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--jobs", type=int, default=1, help="process-parallel grid points")
     p_sweep.add_argument("--output-dir", default=_DEFAULT_OUTPUT_DIR)
     p_sweep.add_argument("--no-save", action="store_true")
+    p_sweep.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="resume the sweep recorded in DIR's manifest: completed cells are "
+        "served from the artifact cache, the remainder is (re-)executed",
+    )
+    p_sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock timeout; a cell past it is killed and retried",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per cell after a crash/timeout/corrupt artifact (default: 2)",
+    )
+    p_sweep.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base retry backoff, doubled per attempt with deterministic jitter (default: 0.5)",
+    )
+    p_sweep.add_argument(
+        "--keep-going", action="store_true",
+        help="complete the rest of the grid when a cell permanently fails and "
+        "report partial results, instead of aborting the sweep",
+    )
 
     p_report = sub.add_parser("report", help="re-print saved JSON artifacts (no simulation)")
     p_report.add_argument("paths", nargs="+", help="artifact files or directories of *.json")
@@ -173,26 +209,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    spec = registry.get(args.name)
-    grid: dict[str, list[Any]] = {}
-    for token in args.grid:
-        key, sep, text = token.partition("=")
-        if not sep or not key:
-            raise ValueError(f"sweep token {token!r} is not of the form key=v1,v2,...")
-        values = registry.coerce_sweep_values(spec.config_cls, key.strip(), text)
-        grid.setdefault(key.strip(), []).extend(values)
-    fixed = spec.parse_overrides(args.overrides) if args.overrides else None
-    points = sweep(args.name, grid, preset=args.preset, overrides=fixed, jobs=args.jobs)
-    for point in points:
-        head = ", ".join(f"{k}={v:.4g}" for k, v in list(point.result.summary.items())[:3])
-        print(f"{args.name}[{point.label()}]: {head}")
+    """Run (or resume) a grid sweep under the fault-tolerant engine."""
+    if args.resume:
+        if args.grid or args.overrides:
+            raise ValueError(
+                "--resume reconstructs the grid from the run manifest; "
+                "do not combine it with --sweep/--set"
+            )
+        out = Path(args.resume)
+        name, grid, preset, fixed = sweep_definition_from_manifest(RunManifest.in_dir(out))
+        if args.name and args.name != name:
+            raise ValueError(
+                f"--resume directory records experiment {name!r}, not {args.name!r}"
+            )
+    else:
+        if not args.name:
+            raise ValueError("sweep requires an experiment name (or --resume DIR)")
+        if not args.grid:
+            raise ValueError("sweep requires at least one --sweep KEY=V1,V2,... token")
+        name, preset, out = args.name, args.preset, Path(args.output_dir)
+        spec = registry.get(name)
+        grid = {}
+        for token in args.grid:
+            key, sep, text = token.partition("=")
+            if not sep or not key:
+                raise ValueError(f"sweep token {token!r} is not of the form key=v1,v2,...")
+            values = registry.coerce_sweep_values(spec.config_cls, key.strip(), text)
+            grid.setdefault(key.strip(), []).extend(values)
+        fixed = spec.parse_overrides(args.overrides) if args.overrides else None
+
+    policy = RetryPolicy(
+        timeout_s=args.timeout,
+        retries=max(args.retries, 0),
+        backoff_base_s=max(args.backoff, 0.0),
+        keep_going=args.keep_going,
+    )
+    try:
+        run = run_sweep(
+            name, grid, preset=preset, overrides=fixed, jobs=args.jobs,
+            policy=policy, run_dir=None if args.no_save else out,
+        )
+    except SweepFailure as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("completed cells are recorded; `sweep --resume "
+              f"{out}` retries the rest" if not args.no_save else "", file=sys.stderr)
+        return 1
+    for outcome in run.outcomes:
+        label = outcome.job.label or ""
+        if outcome.result is not None:
+            head = ", ".join(f"{k}={v:.4g}" for k, v in list(outcome.result.summary.items())[:3])
+            suffix = " [cached]" if outcome.status == "cached" else ""
+            print(f"{name}[{label}]: {head}{suffix}")
+        else:
+            history = ",".join(attempt.outcome for attempt in outcome.attempts)
+            print(f"{name}[{label}]: FAILED ({history})")
     if not args.no_save:
-        out = Path(args.output_dir)
-        for point in points:
+        for point in run.points:
             # Preset-qualified so sweeps of the same grid at different
-            # presets do not overwrite each other's artifacts.
-            path = point.result.save(out / f"{args.name}__{args.preset}__{point.label()}.json")
+            # presets do not overwrite each other's artifacts; labels are
+            # slugified so exotic override values cannot produce invalid
+            # or colliding paths.
+            path = point.result.save(out / f"{name}__{preset}__{point.filename_label()}.json")
             print(f"wrote {path}")
+    if run.failures:
+        print(run.failure_report(), file=sys.stderr)
+        return 1
     return 0
 
 

@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import platform
 import subprocess
+import tempfile
 from dataclasses import dataclass, field
 from functools import lru_cache
 from pathlib import Path
@@ -26,10 +28,39 @@ import numpy as np
 
 from repro.version import __version__
 
-__all__ = ["ExperimentResult", "format_table", "collect_provenance"]
+__all__ = ["ExperimentResult", "format_table", "collect_provenance", "atomic_write_text"]
 
 #: Version of the JSON artifact layout written by :meth:`ExperimentResult.to_json`.
 ARTIFACT_SCHEMA = 1
+
+
+def atomic_write_text(path: "str | Path", text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives in the destination directory, so the final
+    rename is a same-filesystem ``os.replace`` and readers can never observe
+    a partially written file: a crash or SIGINT mid-write leaves the old
+    content (or nothing) behind, never a truncated one.  Parent directories
+    are created.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 @lru_cache(maxsize=1)
@@ -191,11 +222,13 @@ class ExperimentResult:
         )
 
     def save(self, path: "str | Path") -> Path:
-        """Write the JSON artifact to ``path`` (parent directories are created)."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n")
-        return path
+        """Write the JSON artifact to ``path`` (parent directories are created).
+
+        The write is atomic (see :func:`atomic_write_text`): a crash or
+        SIGINT mid-save can never leave a truncated artifact for ``report``,
+        ``compare`` or the artifact cache to trip over.
+        """
+        return atomic_write_text(path, self.to_json() + "\n")
 
     @classmethod
     def load(cls, path: "str | Path") -> "ExperimentResult":

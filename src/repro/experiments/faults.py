@@ -1,0 +1,140 @@
+"""Deterministic fault injection for the supervised sweep engine.
+
+The supervisor's recovery paths — worker-crash respawn, hang timeout,
+corrupt-artifact quarantine — are only trustworthy if they are exercised,
+so this module lets tests (and brave operators) make chosen grid cells
+fail in chosen ways, deterministically.
+
+Faults are requested through the :data:`FAULT_ENV` environment variable
+(inherited by worker processes), as comma-separated rules::
+
+    REPRO_FAULT_INJECT="crash:2,hang:4:2,corrupt:0:*"
+
+Each rule is ``mode:cell[:attempts]``:
+
+``mode``
+    ``crash`` — the worker process dies with :func:`os._exit` before
+    running the cell (simulates an OOM kill / segfault).
+    ``hang`` — the worker sleeps far past any reasonable timeout
+    (simulates a wedged simulation; the supervisor must kill it).
+    ``corrupt`` — the cell runs normally but its cache entry is truncated
+    after the atomic write (simulates on-disk corruption; the supervisor
+    must quarantine it).
+
+``cell``
+    The zero-based cell index within the run the rule applies to.
+
+``attempts``
+    How many attempts of that cell fail: an integer ``N`` fails attempts
+    ``1..N`` and lets attempt ``N+1`` succeed (default ``1`` — exercises
+    the retry-then-succeed path), or ``*`` to fail every attempt
+    (exercises the max-retries permanent-failure path).
+
+The rules are pure data: whether a given (cell, attempt) faults is a
+deterministic function of the spec, so fault-injected runs are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FAULT_ENV",
+    "FaultRule",
+    "parse_fault_spec",
+    "rules_from_env",
+    "active_fault",
+    "CRASH_EXIT_CODE",
+]
+
+#: Environment variable holding the fault-injection spec.
+FAULT_ENV = "REPRO_FAULT_INJECT"
+
+#: Exit code of a fault-injected worker crash (distinct from signal deaths).
+CRASH_EXIT_CODE = 87
+
+#: Recognised fault modes.
+_MODES = ("crash", "hang", "corrupt")
+
+#: How long a fault-injected hang sleeps; far past any test timeout, short
+#: enough that a leaked worker cannot outlive a CI job by much.
+_HANG_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed fault rule: ``mode`` applied to ``cell``.
+
+    ``attempts`` is the number of leading attempts that fail (``None``
+    means every attempt fails).
+    """
+
+    mode: str
+    cell: int
+    attempts: int | None = 1
+
+    def applies(self, cell: int, attempt: int) -> bool:
+        """True when this rule faults ``attempt`` (1-based) of ``cell``."""
+        if cell != self.cell:
+            return False
+        return self.attempts is None or attempt <= self.attempts
+
+
+def parse_fault_spec(text: str) -> tuple[FaultRule, ...]:
+    """Parse a :data:`FAULT_ENV`-style spec string into rules.
+
+    Raises :class:`ValueError` for unknown modes or malformed tokens, so a
+    typo in a fault spec fails loudly instead of silently injecting
+    nothing.
+    """
+    rules: list[FaultRule] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"fault rule {token!r} is not of the form mode:cell[:attempts]")
+        mode, cell_text = parts[0].strip(), parts[1].strip()
+        if mode not in _MODES:
+            raise ValueError(f"unknown fault mode {mode!r} in {token!r}; known: {_MODES}")
+        cell = int(cell_text)
+        attempts: int | None = 1
+        if len(parts) == 3:
+            attempts_text = parts[2].strip()
+            attempts = None if attempts_text == "*" else int(attempts_text)
+            if attempts is not None and attempts < 1:
+                raise ValueError(f"fault rule {token!r} must fail at least one attempt")
+        rules.append(FaultRule(mode=mode, cell=cell, attempts=attempts))
+    return tuple(rules)
+
+
+def rules_from_env() -> tuple[FaultRule, ...]:
+    """The fault rules currently requested via :data:`FAULT_ENV` (often none)."""
+    text = os.environ.get(FAULT_ENV, "")
+    return parse_fault_spec(text) if text else ()
+
+
+def active_fault(rules: tuple[FaultRule, ...], cell: int, attempt: int) -> str | None:
+    """The fault mode to inject for (``cell``, ``attempt``), or None."""
+    for rule in rules:
+        if rule.applies(cell, attempt):
+            return rule.mode
+    return None
+
+
+def trip_preexec_fault(mode: str | None) -> None:
+    """Execute a ``crash`` or ``hang`` fault inside a worker process.
+
+    ``crash`` terminates the process immediately without cleanup (like a
+    segfault would); ``hang`` blocks far past any configured timeout so the
+    supervisor's kill path has something to kill.  ``corrupt`` (and None)
+    are no-ops here — corruption is applied after the artifact write.
+    """
+    if mode == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if mode == "hang":
+        time.sleep(_HANG_SECONDS)

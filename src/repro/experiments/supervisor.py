@@ -1,0 +1,586 @@
+"""Supervised job scheduler: fault-tolerant execution of experiment grids.
+
+This module replaces the runner's bare ``ProcessPoolExecutor.map`` with a
+supervisor that owns its worker processes and survives their failures.
+Each worker is a long-lived child process fed one cell at a time over a
+private pipe, so the supervisor always knows *which* cell a worker is
+running and *when* it started — the two facts a pool ``map`` throws away
+and exactly what per-cell timeouts and crash attribution need.
+
+Recovery paths (all exercised by the fault-injection suite,
+``tests/experiments/test_sweep_fault.py``):
+
+* **Worker crash** (segfault, OOM kill, ``BrokenProcessPool``-style death):
+  detected as EOF on the worker's pipe; the dead worker is respawned, the
+  cell's attempt is recorded as ``crash`` and the cell is retried with
+  exponential backoff.  Other in-flight cells are unaffected — a single
+  death never poisons the pool.
+* **Hang**: a cell that exceeds the per-cell wall-clock timeout has its
+  worker killed (SIGKILL) and respawned; the attempt is recorded as
+  ``timeout`` and the cell retried.
+* **Corrupt artifact**: after a worker reports success, the supervisor
+  re-validates the cell's cache entry; an unreadable entry is quarantined
+  by :class:`repro.experiments.cache.ArtifactCache` and the attempt is
+  recorded as ``corrupt`` and retried.
+* **Permanent failure**: a cell that fails ``retries + 1`` attempts is
+  recorded as ``failed`` in the run manifest.  With
+  ``RetryPolicy.keep_going`` the sweep completes every other cell and
+  returns partial results plus a failure report; without it the sweep
+  aborts (pending cells cancelled, in-flight workers killed) and raises
+  :class:`SweepFailure`.
+
+Every completed, cached or failed cell is journalled to an append-only
+JSONL run manifest (:class:`RunManifest`), written line-atomically so an
+interrupted sweep can be resumed: completed cells are skipped via the
+content-addressed artifact cache and only the remainder is re-executed.
+
+Determinism: retries, backoff jitter, scheduling order and worker count
+never change *results* — every experiment seeds its RNGs from its config,
+so a resumed, retried, rescheduled grid converges to the bit-identical
+artifacts of an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import wait as _connection_wait
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.experiments import faults, registry
+from repro.experiments.cache import ArtifactCache
+from repro.experiments.common import ExperimentResult, _decode_value, _encode_value
+
+__all__ = [
+    "Job",
+    "RetryPolicy",
+    "Attempt",
+    "CellOutcome",
+    "RunManifest",
+    "SweepFailure",
+    "run_supervised",
+    "failure_report",
+    "MANIFEST_SCHEMA",
+]
+
+#: Version of the JSONL manifest layout.
+MANIFEST_SCHEMA = 1
+
+#: Poll interval of the supervision loop, seconds.  Small enough that
+#: timeouts are enforced promptly, large enough not to spin.
+_TICK_S = 0.05
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable grid cell: an experiment run plus its identity.
+
+    ``cell`` is the stable zero-based index of the cell within the run —
+    the unit fault rules, manifest records and retry state are keyed by.
+    ``key`` is the content address of the cell's artifact (None disables
+    caching for the job); ``label`` is the human-readable cell name used
+    in manifests and failure reports.
+    """
+
+    cell: int
+    name: str
+    preset: str
+    overrides: Mapping[str, Any] | None = None
+    key: str | None = None
+    label: str | None = None
+
+    def describe(self) -> str:
+        """Short human-readable identity for logs and failure reports."""
+        text = f"cell {self.cell} ({self.name}"
+        if self.label:
+            text += f"[{self.label}]"
+        return text + f", preset {self.preset})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-cell fault-handling knobs of a supervised run.
+
+    ``timeout_s``
+        Wall-clock budget of one attempt; None disables the timeout.
+    ``retries``
+        Extra attempts after the first (0 = fail on first error).
+    ``backoff_base_s`` / ``backoff_factor`` / ``backoff_jitter``
+        A failed attempt ``k`` (1-based) waits
+        ``base * factor**(k-1) * (1 + jitter * u)`` before retrying, with
+        ``u`` drawn deterministically from the (cell, attempt) pair so
+        backoff schedules are reproducible and decorrelated across cells.
+    ``keep_going``
+        True: permanently failed cells are recorded and the sweep carries
+        on, returning partial results.  False: the first permanent failure
+        aborts the run and raises :class:`SweepFailure`.
+    """
+
+    timeout_s: float | None = None
+    retries: int = 0
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
+    keep_going: bool = False
+
+    def backoff_delay(self, cell: int, failed_attempts: int) -> float:
+        """Seconds to wait before retry number ``failed_attempts`` of ``cell``."""
+        base = self.backoff_base_s * self.backoff_factor ** max(failed_attempts - 1, 0)
+        jitter_u = random.Random(f"repro-backoff:{cell}:{failed_attempts}").random()
+        return base * (1.0 + self.backoff_jitter * jitter_u)
+
+
+@dataclass
+class Attempt:
+    """Record of one execution attempt of one cell."""
+
+    outcome: str  #: "ok", "crash", "timeout", "corrupt" or "error"
+    error: str | None = None
+    duration_s: float | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-compatible manifest representation."""
+        record: dict[str, Any] = {"outcome": self.outcome}
+        if self.error is not None:
+            record["error"] = self.error
+        if self.duration_s is not None:
+            record["duration_s"] = round(self.duration_s, 3)
+        return record
+
+
+@dataclass
+class CellOutcome:
+    """Final state of one cell after supervision: status, attempts, result.
+
+    ``status`` is ``"completed"`` (ran to success), ``"cached"`` (served
+    from the artifact cache without simulation) or ``"failed"``
+    (exhausted retries).  ``result`` is None exactly when failed.
+    """
+
+    job: Job
+    status: str
+    attempts: list[Attempt] = field(default_factory=list)
+    result: ExperimentResult | None = None
+
+    @property
+    def failed(self) -> bool:
+        """True when the cell permanently failed."""
+        return self.status == "failed"
+
+
+class SweepFailure(RuntimeError):
+    """A supervised run had permanently failed cells (and keep_going is off).
+
+    Carries the partial ``outcomes`` collected before the failure so
+    callers can still inspect or persist completed cells.
+    """
+
+    def __init__(self, message: str, outcomes: list[CellOutcome]):
+        super().__init__(message)
+        self.outcomes = outcomes
+
+
+class RunManifest:
+    """Append-only JSONL journal of a sweep run directory.
+
+    One record per line.  The first ``sweep`` record stores the run
+    definition (experiment, preset, grid, fixed overrides) so
+    ``sweep --resume DIR`` can reconstruct the grid without re-supplying
+    the command line; each completed/cached/failed cell appends a ``cell``
+    record.  Appends are single ``write`` calls of one line, and the
+    reader drops an unparsable trailing line, so a crash mid-append can
+    never make the manifest unreadable.
+    """
+
+    #: Conventional manifest filename inside a sweep output directory.
+    FILENAME = "manifest.jsonl"
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+
+    @classmethod
+    def in_dir(cls, directory: "str | Path") -> "RunManifest":
+        """The manifest of sweep output directory ``directory``."""
+        return cls(Path(directory) / cls.FILENAME)
+
+    def exists(self) -> bool:
+        """True when the manifest file is present on disk."""
+        return self.path.exists()
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Append one JSON record as a single line (atomic enough for JSONL).
+
+        Values pass through the artifact layer's strict-JSON encoding, so
+        non-finite floats (e.g. a swept ``-inf`` config value) survive the
+        round trip without emitting bare ``NaN`` tokens.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(_encode_value(dict(record)), sort_keys=True, allow_nan=False)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append_header(
+        self,
+        *,
+        experiment: str,
+        preset: str,
+        grid: Mapping[str, Sequence[Any]] | None,
+        fixed: Mapping[str, Any] | None,
+        cells: int,
+    ) -> None:
+        """Append the run-definition record consumed by ``sweep --resume``."""
+        self.append(
+            {
+                "event": "sweep",
+                "schema": MANIFEST_SCHEMA,
+                "experiment": experiment,
+                "preset": preset,
+                "grid": {k: list(v) for k, v in grid.items()} if grid else None,
+                "fixed": dict(fixed) if fixed else None,
+                "cells": cells,
+            }
+        )
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every parsable record, dropping a truncated trailing line."""
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return []
+        records: list[dict[str, Any]] = []
+        lines = text.splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(_decode_value(json.loads(line)))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break  # torn tail write from an interrupted append
+                raise ValueError(f"{self.path}:{index + 1}: corrupt manifest line")
+        return records
+
+    def header(self) -> dict[str, Any] | None:
+        """The first ``sweep`` run-definition record, or None."""
+        for record in self.records():
+            if record.get("event") == "sweep":
+                return record
+        return None
+
+    def cell_records(self) -> dict[int, dict[str, Any]]:
+        """Latest ``cell`` record per cell index (later runs supersede)."""
+        latest: dict[int, dict[str, Any]] = {}
+        for record in self.records():
+            if record.get("event") == "cell" and isinstance(record.get("cell"), int):
+                latest[record["cell"]] = record
+        return latest
+
+
+def failure_report(outcomes: Sequence[CellOutcome]) -> str:
+    """Human-readable summary of the failed cells of a supervised run."""
+    failed = [outcome for outcome in outcomes if outcome.failed]
+    if not failed:
+        return "all cells completed"
+    lines = [f"{len(failed)} cell(s) permanently failed:"]
+    for outcome in failed:
+        history = ", ".join(
+            attempt.outcome + (f" ({attempt.error})" if attempt.error else "")
+            for attempt in outcome.attempts
+        )
+        lines.append(f"  {outcome.job.describe()}: {history}")
+    lines.append("re-run with `sweep --resume <output-dir>` to retry failed cells")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+
+def _worker_main(conn) -> None:
+    """Worker-process loop: receive (job, attempt) tasks, send results.
+
+    Messages back to the supervisor are ``("done", cell, attempt,
+    duration_s, result)`` or ``("error", cell, attempt, duration_s,
+    message)``.  A fault-injected crash sends nothing (the process dies);
+    a hang sends nothing until killed.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if task is None:
+            return
+        cell, attempt, name, preset, overrides, cache_root, key = task
+        fault = faults.active_fault(faults.rules_from_env(), cell, attempt)
+        faults.trip_preexec_fault(fault)  # crash / hang; no-op otherwise
+        start = time.perf_counter()
+        try:
+            spec = registry.get(name)
+            result = spec.run(spec.make_config(preset, overrides))
+            if cache_root is not None and key is not None:
+                cache = ArtifactCache(cache_root)
+                path = cache.put(key, result)
+                if fault == "corrupt":
+                    # Simulate on-disk corruption *after* the atomic write:
+                    # the entry exists but is truncated mid-payload.
+                    path.write_text(path.read_text()[:24])
+            message = ("done", cell, attempt, time.perf_counter() - start, result)
+        except KeyboardInterrupt:
+            return
+        except Exception as exc:  # noqa: BLE001 - report, don't kill the worker
+            message = (
+                "error", cell, attempt, time.perf_counter() - start,
+                f"{type(exc).__name__}: {exc}",
+            )
+        try:
+            conn.send(message)
+        except (BrokenPipeError, EOFError, KeyboardInterrupt):
+            return
+
+
+class _WorkerHandle:
+    """Supervisor-side view of one worker process and its private pipe."""
+
+    __slots__ = ("proc", "conn", "job", "attempt", "deadline")
+
+    def __init__(self, ctx):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.job: Job | None = None
+        self.attempt = 0
+        self.deadline: float | None = None
+
+    @property
+    def busy(self) -> bool:
+        return self.job is not None
+
+    def assign(self, job: Job, attempt: int, cache_root: str | None, timeout_s: float | None) -> None:
+        self.conn.send(
+            (
+                job.cell, attempt, job.name, job.preset,
+                dict(job.overrides) if job.overrides else None,
+                cache_root, job.key,
+            )
+        )
+        self.job = job
+        self.attempt = attempt
+        self.deadline = (time.monotonic() + timeout_s) if timeout_s else None
+
+    def clear(self) -> None:
+        self.job = None
+        self.attempt = 0
+        self.deadline = None
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+            self.proc.join(5.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self) -> None:
+        """Graceful shutdown: ask the worker to exit, escalate to kill."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(1.0)
+        if self.proc.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+
+# --------------------------------------------------------------------------
+# Supervisor loop
+# --------------------------------------------------------------------------
+
+
+def run_supervised(
+    jobs: Sequence[Job],
+    *,
+    workers: int = 1,
+    policy: RetryPolicy | None = None,
+    cache: ArtifactCache | None = None,
+    manifest: RunManifest | None = None,
+) -> list[CellOutcome]:
+    """Execute ``jobs`` under supervision; return one outcome per job.
+
+    Cells whose cache key already resolves to a valid entry are served
+    from the cache without simulation (status ``"cached"``).  The rest run
+    on ``workers`` respawnable worker processes under ``policy``'s
+    timeout/retry/backoff rules; every terminal cell state is journalled
+    to ``manifest`` when given.  Outcomes are returned in job order.
+
+    Raises :class:`SweepFailure` when a cell permanently fails and
+    ``policy.keep_going`` is False (pending cells are cancelled and
+    in-flight workers killed first — their cells simply remain unrecorded
+    and re-run on resume).
+    """
+    policy = policy or RetryPolicy()
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    outcomes: dict[int, CellOutcome] = {}
+    attempts: dict[int, list[Attempt]] = {job.cell: [] for job in jobs}
+    by_cell = {job.cell: job for job in jobs}
+    if len(by_cell) != len(jobs):
+        raise ValueError("job cell indices must be unique")
+
+    def record(outcome: CellOutcome) -> None:
+        outcomes[outcome.job.cell] = outcome
+        if manifest is not None:
+            manifest.append(
+                {
+                    "event": "cell",
+                    "cell": outcome.job.cell,
+                    "experiment": outcome.job.name,
+                    "label": outcome.job.label,
+                    "key": outcome.job.key,
+                    "status": outcome.status,
+                    "attempts": [attempt.to_json() for attempt in outcome.attempts],
+                }
+            )
+
+    # Cache fast path: completed cells (this run or any previous one with
+    # the same keys) are lookups, not simulations.
+    pending: deque[tuple[Job, int]] = deque()
+    for job in jobs:
+        hit = cache.get(job.key) if (cache is not None and job.key) else None
+        if hit is not None:
+            record(CellOutcome(job=job, status="cached", result=hit))
+        else:
+            pending.append((job, 1))
+
+    if not pending:
+        return [outcomes[job.cell] for job in jobs]
+
+    ctx = get_context()
+    cache_root = str(cache.root) if cache is not None else None
+    pool = [_WorkerHandle(ctx) for _ in range(min(workers, len(pending)))]
+    waiting: list[tuple[float, int, Job, int]] = []  # (ready_at, seq, job, attempt)
+    waiting_seq = 0
+    aborted: SweepFailure | None = None
+
+    def handle_failure(job: Job, attempt_no: int, outcome: str, error: str | None, duration: float | None) -> None:
+        nonlocal waiting_seq, aborted
+        attempts[job.cell].append(Attempt(outcome=outcome, error=error, duration_s=duration))
+        if attempt_no <= policy.retries:
+            delay = policy.backoff_delay(job.cell, attempt_no)
+            waiting_seq += 1
+            heapq.heappush(waiting, (time.monotonic() + delay, waiting_seq, job, attempt_no + 1))
+            return
+        record(
+            CellOutcome(job=job, status="failed", attempts=list(attempts[job.cell]))
+        )
+        if not policy.keep_going and aborted is None:
+            aborted = SweepFailure(
+                f"{job.describe()} failed after {attempt_no} attempt(s) "
+                f"(last: {outcome}{': ' + error if error else ''}); "
+                "use keep_going/--keep-going for partial results",
+                [],
+            )
+
+    def handle_success(worker: _WorkerHandle, job: Job, attempt_no: int, duration: float, result: ExperimentResult) -> None:
+        if cache is not None and job.key:
+            validated = cache.get(job.key)
+            if validated is None:
+                # Entry unreadable right after the worker wrote it: corrupt
+                # artifact (quarantined by cache.get).  Count as a failed
+                # attempt and retry.
+                handle_failure(job, attempt_no, "corrupt", "cache entry failed validation", duration)
+                return
+            result = validated
+        attempts[job.cell].append(Attempt(outcome="ok", duration_s=duration))
+        record(
+            CellOutcome(
+                job=job, status="completed",
+                attempts=list(attempts[job.cell]), result=result,
+            )
+        )
+
+    try:
+        while (pending or waiting or any(w.busy for w in pool)) and aborted is None:
+            now = time.monotonic()
+            while waiting and waiting[0][0] <= now:
+                _, _, job, attempt_no = heapq.heappop(waiting)
+                pending.append((job, attempt_no))
+            for worker in pool:
+                if pending and not worker.busy:
+                    job, attempt_no = pending.popleft()
+                    worker.assign(job, attempt_no, cache_root, policy.timeout_s)
+
+            busy = [worker for worker in pool if worker.busy]
+            if busy:
+                readable = set(
+                    _connection_wait([worker.conn for worker in busy], timeout=_TICK_S)
+                )
+            else:
+                readable = set()
+                time.sleep(min(_TICK_S, max(waiting[0][0] - now, 0.0)) if waiting else _TICK_S)
+
+            now = time.monotonic()
+            for index, worker in enumerate(pool):
+                if not worker.busy:
+                    continue
+                job, attempt_no = worker.job, worker.attempt
+                if worker.conn in readable:
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Worker died without reporting: crash.  Respawn the
+                        # slot; only this cell's attempt is charged.
+                        worker.kill()
+                        pool[index] = _WorkerHandle(ctx)
+                        handle_failure(job, attempt_no, "crash", "worker process died", None)
+                        continue
+                    worker.clear()
+                    kind, _cell, _attempt, duration, payload = message
+                    if kind == "done":
+                        handle_success(worker, job, attempt_no, duration, payload)
+                    else:
+                        handle_failure(job, attempt_no, "error", payload, duration)
+                elif not worker.proc.is_alive():
+                    worker.kill()
+                    pool[index] = _WorkerHandle(ctx)
+                    handle_failure(job, attempt_no, "crash", "worker process died", None)
+                elif worker.deadline is not None and now > worker.deadline:
+                    worker.kill()
+                    pool[index] = _WorkerHandle(ctx)
+                    handle_failure(
+                        job, attempt_no, "timeout",
+                        f"exceeded {policy.timeout_s:g}s wall-clock timeout", None,
+                    )
+    finally:
+        for worker in pool:
+            worker.stop()
+
+    if aborted is not None:
+        aborted.outcomes = [outcomes[job.cell] for job in jobs if job.cell in outcomes]
+        raise aborted
+
+    ordered = [outcomes[job.cell] for job in jobs]
+    failed = [outcome for outcome in ordered if outcome.failed]
+    if failed and not policy.keep_going:
+        raise SweepFailure(failure_report(ordered), ordered)
+    return ordered

@@ -1,0 +1,156 @@
+"""Tests for the content-addressed artifact cache and atomic artifact I/O."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.cache import ArtifactCache, cache_key
+from repro.experiments.common import ExperimentResult, atomic_write_text
+from repro.experiments.runner import slugify_label
+
+
+def _result(name="demo", metric=1.5):
+    return ExperimentResult(
+        name=name,
+        description="cache demo",
+        series={"x": [1, 2, 3]},
+        summary={"metric": metric},
+        config={"n": 3, "seed": 7},
+        provenance={"experiment": name, "seed": 7},
+    )
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        config = {"n_trials": 10, "seed": 7}
+        assert cache_key("fig14", config) == cache_key("fig14", dict(config))
+
+    def test_key_depends_on_every_component(self):
+        config = {"n_trials": 10, "seed": 7}
+        base = cache_key("fig14", config)
+        assert cache_key("fig15", config) != base
+        assert cache_key("fig14", {**config, "n_trials": 11}) != base
+        assert cache_key("fig14", {**config, "seed": 8}) != base
+        assert cache_key("fig14", config, schema=2) != base
+        assert cache_key("fig14", config, code_version="0.0.0-other") != base
+
+    def test_key_ignores_dict_ordering(self):
+        a = {"n_trials": 10, "seed": 7}
+        b = {"seed": 7, "n_trials": 10}
+        assert cache_key("fig14", a) == cache_key("fig14", b)
+
+    def test_key_matches_resolved_config_of_registry_run(self):
+        spec = registry.get("overhead")
+        config = registry.config_to_jsonable(spec.make_config("smoke"))
+        key = cache_key("overhead", config)
+        assert len(key) == 64 and int(key, 16) >= 0
+
+
+class TestArtifactCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        key = cache_key("demo", {"n": 3, "seed": 7})
+        assert cache.get(key) is None
+        cache.put(key, _result())
+        restored = cache.get(key)
+        assert restored is not None
+        assert restored.summary == {"metric": 1.5}
+        assert cache.contains(key)
+        assert cache.keys() == [key]
+
+    def test_corrupt_entry_is_quarantined_and_missed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("demo", {"n": 3, "seed": 7})
+        path = cache.put(key, _result())
+        path.write_text(path.read_text()[:20])  # truncated mid-payload
+        assert cache.get(key) is None
+        assert not cache.contains(key)
+        assert cache.quarantined() == [key]
+        assert cache.quarantine_path_for(key).exists()
+        # The quarantined bytes survive for post-mortem; the next get is a miss.
+        assert cache.get(key) is None
+
+    def test_wrong_schema_entry_is_quarantined(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("demo", {"n": 3})
+        path = cache.put(key, _result())
+        payload = json.loads(path.read_text())
+        payload["schema"] = 99
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+        assert cache.quarantined() == [key]
+
+    def test_requarantine_overwrites_previous_corpse(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache_key("demo", {"n": 3})
+        for _ in range(2):
+            path = cache.put(key, _result())
+            path.write_text("garbage")
+            assert cache.get(key) is None
+        assert cache.quarantined() == [key]
+
+
+class TestAtomicWrites:
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_replace_preserves_old_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        real_replace = os.replace
+
+        def failing_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "new")
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert target.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_result_save_is_atomic(self, tmp_path, monkeypatch):
+        target = tmp_path / "demo.json"
+        _result(metric=1.0).save(target)
+        before = target.read_text()
+
+        def failing_replace(src, dst):
+            raise OSError("interrupted")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            _result(metric=2.0).save(target)
+        monkeypatch.undo()
+        # The old artifact is intact and still parses.
+        assert target.read_text() == before
+        assert ExperimentResult.load(target).summary == {"metric": 1.0}
+
+
+class TestSlugifyLabel:
+    def test_safe_labels_pass_through(self):
+        assert slugify_label("payload_bytes=400") == "payload_bytes=400"
+        assert slugify_label("n_trials=8__seed=1") == "n_trials=8__seed=1"
+
+    def test_unsafe_characters_are_replaced_and_hash_suffixed(self):
+        slug = slugify_label("delays_samples=(2.0, 4.0)")
+        assert "/" not in slug and " " not in slug and "(" not in slug
+        assert "--" in slug  # hash suffix present
+
+    def test_colliding_raw_labels_stay_distinct(self):
+        assert slugify_label("a/b") != slugify_label("a b")
+        assert slugify_label("a/b") != slugify_label("a:b")
+
+    def test_long_labels_are_truncated_but_unique(self):
+        long_a = "x=" + "1" * 300
+        long_b = "x=" + "1" * 299 + "2"
+        slug_a, slug_b = slugify_label(long_a), slugify_label(long_b)
+        assert len(slug_a) < 120 and len(slug_b) < 120
+        assert slug_a != slug_b
+
+    def test_path_separators_never_survive(self):
+        assert "/" not in slugify_label("profile=../../etc/passwd")

@@ -1,0 +1,347 @@
+"""Fault-injection and resume coverage for the supervised sweep engine.
+
+Every recovery path of :mod:`repro.experiments.supervisor` is exercised
+with deterministic injected faults (:mod:`repro.experiments.faults`):
+worker crashes, hangs past the per-cell timeout, and corrupt artifacts.
+The convergence tests assert the engine's central promise — an
+interrupted, crashed or partially failed sweep, resumed, produces the
+bit-identical artifacts of an uninterrupted run.
+
+This module is part of the ROADMAP quick-check group
+(``-k "smoke or joint_batch or exor_ensemble or sweep_fault"``).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.experiments import faults
+from repro.experiments.cli import main as cli_main
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import run_all, run_sweep
+from repro.experiments.supervisor import (
+    Attempt,
+    RetryPolicy,
+    RunManifest,
+    SweepFailure,
+    failure_report,
+)
+
+_GRID = {"payload_bytes": [400, 800, 1200, 1460]}
+
+#: Fast-retry policy for tests: near-zero backoff keeps retries cheap.
+_FAST = dict(backoff_base_s=0.01, backoff_jitter=0.1)
+
+
+def _sweep(run_dir, *, policy, jobs=2, grid=_GRID):
+    return run_sweep("overhead", grid, preset="smoke", jobs=jobs, policy=policy, run_dir=run_dir)
+
+
+def _statuses(run):
+    return [(o.status, [a.outcome for a in o.attempts]) for o in run.outcomes]
+
+
+class TestFaultSpecParsing:
+    def test_round_trip(self):
+        rules = faults.parse_fault_spec("crash:2,hang:4:2,corrupt:0:*")
+        assert [(r.mode, r.cell, r.attempts) for r in rules] == [
+            ("crash", 2, 1), ("hang", 4, 2), ("corrupt", 0, None),
+        ]
+
+    def test_applies_semantics(self):
+        crash_once, always = faults.parse_fault_spec("crash:1,corrupt:2:*")
+        assert crash_once.applies(1, 1) and not crash_once.applies(1, 2)
+        assert not crash_once.applies(2, 1)
+        assert always.applies(2, 1) and always.applies(2, 99)
+        assert faults.active_fault((crash_once, always), 2, 5) == "corrupt"
+        assert faults.active_fault((crash_once, always), 3, 1) is None
+
+    def test_malformed_specs_fail_loudly(self):
+        with pytest.raises(ValueError):
+            faults.parse_fault_spec("explode:1")
+        with pytest.raises(ValueError):
+            faults.parse_fault_spec("crash")
+        with pytest.raises(ValueError):
+            faults.parse_fault_spec("crash:1:0")
+
+
+class TestCrashRecovery:
+    def test_crashed_cell_is_retried_and_sweep_completes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "crash:1")
+        run = _sweep(tmp_path, policy=RetryPolicy(retries=2, **_FAST))
+        assert _statuses(run) == [
+            ("completed", ["ok"]),
+            ("completed", ["crash", "ok"]),
+            ("completed", ["ok"]),
+            ("completed", ["ok"]),
+        ]
+        records = RunManifest.in_dir(tmp_path).cell_records()
+        assert records[1]["status"] == "completed"
+        assert [a["outcome"] for a in records[1]["attempts"]] == ["crash", "ok"]
+
+    def test_crash_only_charges_its_own_cell(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "crash:0")
+        run = _sweep(tmp_path, policy=RetryPolicy(retries=1, **_FAST), jobs=2)
+        assert all(o.status == "completed" for o in run.outcomes)
+        # No other cell recorded a failed attempt.
+        for outcome in run.outcomes[1:]:
+            assert [a.outcome for a in outcome.attempts] == ["ok"]
+
+
+class TestHangRecovery:
+    def test_hung_cell_is_killed_and_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "hang:0")
+        start = time.monotonic()
+        run = _sweep(tmp_path, policy=RetryPolicy(timeout_s=0.5, retries=1, **_FAST))
+        elapsed = time.monotonic() - start
+        assert _statuses(run)[0] == ("completed", ["timeout", "ok"])
+        assert all(o.status == "completed" for o in run.outcomes)
+        # The hang was bounded by the timeout, not the 600 s fault sleep.
+        assert elapsed < 30.0
+
+    def test_timeout_exhaustion_fails_the_cell(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "hang:2:*")
+        run = _sweep(
+            tmp_path,
+            policy=RetryPolicy(timeout_s=0.3, retries=1, keep_going=True, **_FAST),
+        )
+        assert run.outcomes[2].status == "failed"
+        assert [a.outcome for a in run.outcomes[2].attempts] == ["timeout", "timeout"]
+        assert "timeout" in run.failure_report()
+
+
+class TestCorruptArtifactRecovery:
+    def test_corrupt_entry_is_quarantined_and_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "corrupt:3")
+        run = _sweep(tmp_path, policy=RetryPolicy(retries=2, **_FAST))
+        assert _statuses(run)[3] == ("completed", ["corrupt", "ok"])
+        # The corrupt bytes were moved aside, and the final entry validates.
+        assert run.cache.quarantined() == [run.outcomes[3].job.key]
+        assert run.cache.get(run.outcomes[3].job.key) is not None
+
+
+class TestPermanentFailure:
+    def test_keep_going_returns_partial_results_and_failure_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "crash:3:*")
+        run = _sweep(tmp_path, policy=RetryPolicy(retries=1, keep_going=True, **_FAST))
+        assert [o.status for o in run.outcomes] == ["completed"] * 3 + ["failed"]
+        assert len(run.points) == 3
+        assert len(run.failures) == 1
+        report = run.failure_report()
+        assert "1 cell(s) permanently failed" in report
+        assert "--resume" in report
+        assert RunManifest.in_dir(tmp_path).cell_records()[3]["status"] == "failed"
+
+    def test_default_aborts_with_sweep_failure(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, "crash:0:*")
+        with pytest.raises(SweepFailure, match="cell 0"):
+            _sweep(tmp_path, policy=RetryPolicy(retries=0, **_FAST))
+
+    def test_failure_report_empty_case(self):
+        assert failure_report([]) == "all cells completed"
+
+
+class TestResumeConvergence:
+    def test_resume_after_permanent_failure_is_bit_identical(self, tmp_path, monkeypatch):
+        faulty_dir, clean_dir = tmp_path / "faulty", tmp_path / "clean"
+        monkeypatch.setenv(faults.FAULT_ENV, "crash:1:*,corrupt:2")
+        first = _sweep(faulty_dir, policy=RetryPolicy(retries=1, keep_going=True, **_FAST))
+        assert [o.status for o in first.outcomes] == [
+            "completed", "failed", "completed", "completed",
+        ]
+        # Clear the faults and resume: only the failed cell re-executes.
+        monkeypatch.delenv(faults.FAULT_ENV)
+        resumed = _sweep(faulty_dir, policy=RetryPolicy(retries=1, **_FAST))
+        assert [o.status for o in resumed.outcomes] == [
+            "cached", "completed", "cached", "cached",
+        ]
+        # An uninterrupted run of the same grid produces bit-identical artifacts.
+        clean = _sweep(clean_dir, policy=RetryPolicy(retries=1, **_FAST))
+        for res, cln in zip(resumed.outcomes, clean.outcomes):
+            assert res.job.key == cln.job.key
+            assert res.result.to_json() == cln.result.to_json()
+            resumed_bytes = resumed.cache.path_for(res.job.key).read_bytes()
+            clean_bytes = clean.cache.path_for(cln.job.key).read_bytes()
+            assert resumed_bytes == clean_bytes
+
+    def test_resume_of_completed_grid_is_all_cache_hits(self, tmp_path):
+        _sweep(tmp_path, policy=RetryPolicy(**_FAST))
+        start = time.monotonic()
+        rerun = _sweep(tmp_path, policy=RetryPolicy(**_FAST))
+        elapsed = time.monotonic() - start
+        assert [o.status for o in rerun.outcomes] == ["cached"] * 4
+        assert all(not o.attempts for o in rerun.outcomes)  # zero simulation
+        assert elapsed < 5.0
+
+
+class TestManifest:
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        _sweep(tmp_path, policy=RetryPolicy(**_FAST))
+        manifest = RunManifest.in_dir(tmp_path)
+        complete = len(manifest.records())
+        with open(manifest.path, "a") as handle:
+            handle.write('{"event": "cell", "cell": 99, "status"')  # torn write
+        assert len(manifest.records()) == complete
+        assert 99 not in manifest.cell_records()
+
+    def test_corrupt_interior_line_fails_loudly(self, tmp_path):
+        _sweep(tmp_path, policy=RetryPolicy(**_FAST))
+        manifest = RunManifest.in_dir(tmp_path)
+        lines = manifest.path.read_text().splitlines()
+        lines[0] = "not json"
+        manifest.path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt manifest line"):
+            manifest.records()
+
+    def test_header_records_the_run_definition(self, tmp_path):
+        _sweep(tmp_path, policy=RetryPolicy(**_FAST))
+        header = RunManifest.in_dir(tmp_path).header()
+        assert header["experiment"] == "overhead"
+        assert header["preset"] == "smoke"
+        assert header["grid"] == {"payload_bytes": [400, 800, 1200, 1460]}
+        assert header["cells"] == 4
+
+    def test_attempt_json_shape(self):
+        attempt = Attempt(outcome="timeout", error="exceeded", duration_s=1.23456)
+        assert attempt.to_json() == {
+            "outcome": "timeout", "error": "exceeded", "duration_s": 1.235,
+        }
+
+
+class TestRunAllOrdering:
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_all(["fig14", "overhead", "fig14"], preset="smoke")
+
+    def test_execution_follows_registry_order(self):
+        results = run_all(["overhead", "fig14"], preset="smoke")
+        assert list(results) == ["fig14", "overhead"]  # registry order, not input order
+
+
+class TestSweepFaultCli:
+    def test_cli_sweep_retries_and_resumes(self, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "run"
+        monkeypatch.setenv(faults.FAULT_ENV, "crash:1:*")
+        code = cli_main([
+            "sweep", "overhead", "--sweep", "payload_bytes=400,1460",
+            "--preset", "smoke", "--output-dir", str(out),
+            "--retries", "1", "--backoff", "0.01", "--keep-going",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED (crash,crash)" in captured.out
+        assert "permanently failed" in captured.err
+        # Only the completed cell's labeled artifact exists.
+        assert sorted(p.name for p in out.glob("*.json")) == [
+            "overhead__smoke__payload_bytes=400.json",
+        ]
+        monkeypatch.delenv(faults.FAULT_ENV)
+        assert cli_main(["sweep", "--resume", str(out), "--backoff", "0.01"]) == 0
+        captured = capsys.readouterr()
+        assert "[cached]" in captured.out
+        assert sorted(p.name for p in out.glob("*.json")) == [
+            "overhead__smoke__payload_bytes=1460.json",
+            "overhead__smoke__payload_bytes=400.json",
+        ]
+
+    def test_cli_resume_rejects_grid_flags_and_wrong_name(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert cli_main([
+            "sweep", "overhead", "--sweep", "payload_bytes=400",
+            "--preset", "smoke", "--output-dir", str(out),
+        ]) == 0
+        capsys.readouterr()
+        assert cli_main(["sweep", "--resume", str(out), "--sweep", "payload_bytes=800"]) == 2
+        assert "--resume" in capsys.readouterr().err
+        assert cli_main(["sweep", "fig14", "--resume", str(out)]) == 2
+        assert "records experiment" in capsys.readouterr().err
+
+    def test_cli_resume_restores_tuple_typed_grid(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert cli_main([
+            "sweep", "ablation_slope",
+            "--sweep", "delays_samples=2.0,4.0", "--sweep", "delays_samples=3.0",
+            "--preset", "smoke", "--output-dir", str(out),
+        ]) == 0
+        first = {p.name for p in out.glob("*.json")}
+        capsys.readouterr()
+        assert cli_main(["sweep", "--resume", str(out)]) == 0
+        assert "[cached]" in capsys.readouterr().out
+        assert {p.name for p in out.glob("*.json")} == first
+
+    def test_cli_sweep_sanitizes_unsafe_labels(self, tmp_path, capsys):
+        out = tmp_path / "run"
+        assert cli_main([
+            "sweep", "ablation_slope", "--sweep", "delays_samples=2.0,4.0",
+            "--preset", "smoke", "--output-dir", str(out),
+        ]) == 0
+        names = [p.name for p in out.glob("ablation_slope__*.json")]
+        assert len(names) == 1
+        assert "(" not in names[0] and " " not in names[0] and "/" not in names[0]
+        assert "--" in names[0]  # hash suffix keeps sanitized labels collision-free
+
+    def test_cli_sweep_requires_name_or_resume(self, capsys):
+        assert cli_main(["sweep", "--sweep", "payload_bytes=400"]) == 2
+        assert "requires an experiment name" in capsys.readouterr().err
+        assert cli_main(["sweep", "overhead"]) == 2
+        assert "--sweep" in capsys.readouterr().err
+
+    def test_cli_run_rejects_duplicate_names(self, capsys):
+        assert cli_main(["run", "fig14", "fig14", "--no-save"]) == 2
+        assert "duplicate" in capsys.readouterr().err
+
+
+class TestSweepFaultInterrupt:
+    """SIGINT mid-sweep leaves only valid artifacts and a resumable manifest."""
+
+    def test_sigint_mid_sweep_then_resume_is_bit_identical(self, tmp_path):
+        out, clean = tmp_path / "run", tmp_path / "clean"
+        src_root = Path(repro.__file__).resolve().parents[1]
+        sweep_args = [
+            "sweep", "fig14", "--sweep", "seed=1,2,3,4,5,6", "--preset", "smoke",
+            "--set", "n_realizations=150", "--jobs", "2", "--backoff", "0.01",
+        ]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src_root) + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments", *sweep_args,
+             "--output-dir", str(out)],
+            env=env, cwd=str(tmp_path),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        manifest_path = out / RunManifest.FILENAME
+        deadline = time.monotonic() + 120.0
+        try:
+            # Interrupt as soon as at least one cell has been journalled.
+            while time.monotonic() < deadline and proc.poll() is None:
+                if manifest_path.exists() and '"event": "cell"' in manifest_path.read_text():
+                    break
+                time.sleep(0.005)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGINT)
+            proc.wait(timeout=60.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30.0)
+
+        # Whatever survived the interrupt is valid: every artifact parses,
+        # the manifest reads back, nothing is truncated.
+        for artifact in out.rglob("*.json"):
+            ExperimentResult.load(artifact)  # raises on a torn write
+        RunManifest.in_dir(out).records()
+
+        # Resume completes the grid; a clean run matches bit for bit.
+        assert cli_main(["sweep", "--resume", str(out), "--backoff", "0.01", "--jobs", "2"]) == 0
+        assert cli_main([*sweep_args, "--output-dir", str(clean)]) == 0
+        resumed = {p.name: p.read_bytes() for p in out.glob("fig14__*.json")}
+        fresh = {p.name: p.read_bytes() for p in clean.glob("fig14__*.json")}
+        assert len(fresh) == 6
+        assert resumed == fresh
