@@ -1,0 +1,85 @@
+"""Benchmark: flows/sec through the traffic layer (``BENCH_traffic_load.json``).
+
+The traffic layer's serving claim is that flows-as-lanes on the lockstep
+mesh engine beats serving flows one at a time: one Poisson population is
+simulated under all three routing schemes through the lockstep path and
+through the per-flow sequential oracle, their results are checked
+bit-identical, and the flows/sec rates at three offered-load points are
+recorded.  Because services are independent of the arrival rate (common
+random numbers across the load axis), one serving answers every load
+point — the per-load numbers differ only in the FCT composition, which is
+effectively free.
+"""
+
+from functools import partial
+
+from bench_utils import timed, write_baseline
+
+from repro.analysis.fct import extract_fct
+from repro.traffic import (
+    SCHEMES,
+    mice_elephants,
+    poisson_workload,
+    relay_mesh,
+    simulate_flow_services,
+)
+
+_N_FLOWS = 96
+_LOADS = (0.05, 0.2, 0.8)
+_RATE_MBPS = 12.0
+_PAYLOAD = 1460
+_SEED = 19
+
+
+def test_traffic_load_lockstep_vs_sequential(benchmark):
+    mix = mice_elephants(mice_packets=2, elephant_packets=16, elephant_fraction=0.15)
+    factory = partial(relay_mesh, 17, n_relays=3)
+    workloads = [
+        poisson_workload(_N_FLOWS, load, mix, _RATE_MBPS, _PAYLOAD, seed=_SEED)
+        for load in _LOADS
+    ]
+
+    def serve(lockstep):
+        return simulate_flow_services(workloads[0], factory, dst=1, lockstep=lockstep)
+
+    lockstep_s, lockstep = timed(lambda: serve(True), repeats=3)
+    sequential_s, sequential = timed(lambda: serve(False), repeats=3)
+    benchmark.pedantic(lambda: serve(True), rounds=1, iterations=1)
+
+    # The lockstep path must reproduce the sequential oracle bit for bit.
+    assert lockstep == sequential
+
+    # FCT composition per load point (pure arithmetic on the shared serving).
+    per_load = {}
+    for load, workload in zip(_LOADS, workloads):
+        summary = extract_fct(
+            workload.arrivals_us(),
+            [s.service_us for s in lockstep["sourcesync"]],
+            [s.delivered_packets for s in lockstep["sourcesync"]],
+            [s.size_packets for s in lockstep["sourcesync"]],
+            payload_bytes=_PAYLOAD,
+        )
+        # Coarse rate buckets: the committed file should change only when
+        # the engine's behaviour changes, not with timer jitter.
+        per_load[f"{load:g}"] = {
+            "flows_per_sec_lockstep_bucket": int(round(_N_FLOWS / lockstep_s / 1000) * 1000),
+            "flows_per_sec_sequential_bucket": int(round(_N_FLOWS / sequential_s / 1000) * 1000),
+            "p95_fct_ms_sourcesync_bucket": round(summary.p95_us / 1e3, 1),
+        }
+
+    speedup = sequential_s / max(lockstep_s, 1e-9)
+    write_baseline(
+        "traffic_load",
+        {
+            "n_flows": _N_FLOWS,
+            "schemes": list(SCHEMES),
+            "loads": per_load,
+            "bit_identical": True,
+            "lockstep_over_sequential_bucket": round(speedup * 2) / 2,
+        },
+    )
+    print(
+        f"\nserve {_N_FLOWS} flows x {len(SCHEMES)} schemes: "
+        f"lockstep {lockstep_s*1e3:.0f} ms, sequential {sequential_s*1e3:.0f} ms "
+        f"({speedup:.1f}x)"
+    )

@@ -27,6 +27,9 @@ Top-level layout
     Single-path routing, ExOR, and ExOR+SourceSync.
 ``repro.lasthop``
     Multi-AP downlink diversity with a wired controller and SampleRate.
+``repro.traffic``
+    Flow-level traffic: arrival processes, flow-size mixes, the offered-load
+    knob, and flows-as-lanes service measurement over the mesh.
 ``repro.analysis``
     SNR/throughput metrics, CDFs and summary statistics.
 ``repro.experiments``

@@ -1,0 +1,155 @@
+"""Flow-completion-time extraction: FCT percentiles, CDFs, load metrics.
+
+The traffic layer (:mod:`repro.traffic`) measures each flow's *service
+time* — the medium time its transfer occupies — independently; this module
+composes those services with the workload's arrival times into the
+quantities the traffic experiments report:
+
+* :func:`fifo_completion_times` — completion instants under the shared
+  medium's FIFO discipline (one collision domain: a flow starts service at
+  ``max(arrival, previous completion)``);
+* :func:`extract_fct` — per-flow FCTs plus the summary scalars (p50 / p95
+  / p99 / mean, goodput, offered utilization, makespan);
+* :func:`saturation_load` — the offered load at which a scheme's service
+  queue saturates, from a least-squares fit of utilization versus load.
+
+Everything here is pure arithmetic on arrays: no randomness, so results
+inherit the traffic layer's bit-identity guarantees unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+
+__all__ = ["FctSummary", "fifo_completion_times", "extract_fct", "saturation_load"]
+
+
+@dataclass(frozen=True)
+class FctSummary:
+    """Per-flow FCTs of one (workload, scheme) serving plus summary scalars."""
+
+    n_flows: int
+    #: Flow-completion times in flow-index order (µs).
+    fct_us: tuple[float, ...]
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    mean_us: float
+    #: Delivered payload bits over the makespan (Mb/s); 0 for empty serves.
+    goodput_mbps: float
+    #: Offered utilization: total service time over the arrival span;
+    #: ``inf`` for bursts whose arrivals (nearly) coincide.
+    utilization: float
+    #: Time from the first arrival to the last completion (µs).
+    makespan_us: float
+    #: Fraction of offered packets that reached the destination.
+    delivered_fraction: float
+
+    def cdf(self) -> EmpiricalCDF:
+        """Empirical CDF over the per-flow FCTs."""
+        return EmpiricalCDF(list(self.fct_us))
+
+
+def fifo_completion_times(arrival_us: Sequence[float], service_us: Sequence[float]) -> np.ndarray:
+    """Completion instants under FIFO service of one shared medium.
+
+    Flows are served in arrival order (stable ties by index): flow *i*
+    begins at ``max(arrival_i, completion of its predecessor)`` and
+    completes after its service time.  Returns completions in the input
+    (flow-index) order, not arrival order.
+    """
+    arrivals = np.asarray(arrival_us, dtype=np.float64)
+    services = np.asarray(service_us, dtype=np.float64)
+    if arrivals.shape != services.shape or arrivals.ndim != 1:
+        raise ValueError("arrival_us and service_us must be equal-length 1-D sequences")
+    if np.any(services < 0) or np.any(arrivals < 0):
+        raise ValueError("arrivals and services must be non-negative")
+    order = np.argsort(arrivals, kind="stable")
+    completions = np.empty_like(arrivals)
+    previous = 0.0
+    for k in order:
+        previous = max(float(arrivals[k]), previous) + float(services[k])
+        completions[k] = previous
+    return completions
+
+
+def extract_fct(
+    arrival_us: Sequence[float],
+    service_us: Sequence[float],
+    delivered_packets: Sequence[int] | None = None,
+    size_packets: Sequence[int] | None = None,
+    payload_bytes: int = 1460,
+) -> FctSummary:
+    """Compose arrivals and services into per-flow FCTs and summary scalars.
+
+    FCT is completion minus arrival under :func:`fifo_completion_times`
+    (a flow that loses packets still completes when its transfer attempt
+    ends — the delivered fraction reports the loss separately).  Goodput
+    is delivered payload bits over the makespan; utilization is total
+    service time over the arrival span (the open-loop offered load as the
+    medium actually experienced it).
+    """
+    arrivals = np.asarray(arrival_us, dtype=np.float64)
+    completions = fifo_completion_times(arrivals, service_us)
+    services = np.asarray(service_us, dtype=np.float64)
+    n_flows = arrivals.size
+    if n_flows == 0:
+        raise ValueError("extract_fct needs at least one flow")
+    fct = completions - arrivals
+    cdf = EmpiricalCDF(fct)
+
+    if delivered_packets is None or size_packets is None:
+        delivered_bits = 0.0
+        delivered_fraction = float("nan")
+    else:
+        delivered = np.asarray(delivered_packets, dtype=np.float64)
+        sizes = np.asarray(size_packets, dtype=np.float64)
+        if delivered.shape != arrivals.shape or sizes.shape != arrivals.shape:
+            raise ValueError("delivered_packets / size_packets must match arrivals")
+        delivered_bits = float(delivered.sum()) * payload_bytes * 8
+        delivered_fraction = float(delivered.sum() / sizes.sum()) if sizes.sum() > 0 else 0.0
+
+    makespan = float(completions.max() - arrivals.min())
+    goodput = delivered_bits / makespan if makespan > 0 else 0.0
+    span = float(arrivals.max() - arrivals.min())
+    utilization = float(services.sum()) / span if span > 0 else float("inf")
+    return FctSummary(
+        n_flows=int(n_flows),
+        fct_us=tuple(float(value) for value in fct),
+        p50_us=cdf.quantile(0.5),
+        p95_us=cdf.quantile(0.95),
+        p99_us=cdf.quantile(0.99),
+        mean_us=cdf.mean,
+        goodput_mbps=goodput,
+        utilization=utilization,
+        makespan_us=makespan,
+        delivered_fraction=delivered_fraction,
+    )
+
+
+def saturation_load(loads: Sequence[float], utilizations: Sequence[float]) -> float:
+    """Offered load at which the service queue saturates (utilization = 1).
+
+    Open-loop utilization is linear in offered load (services do not
+    depend on the arrival rate), so a least-squares fit through the origin
+    — ``utilization = k · load`` — estimates the saturation point as
+    ``1 / k``.  Returns ``inf`` when the fit slope is non-positive (an
+    idle medium never saturates).
+    """
+    load_arr = np.asarray(loads, dtype=np.float64)
+    util_arr = np.asarray(utilizations, dtype=np.float64)
+    if load_arr.shape != util_arr.shape or load_arr.ndim != 1 or load_arr.size == 0:
+        raise ValueError("loads and utilizations must be equal-length non-empty 1-D sequences")
+    if np.any(load_arr <= 0):
+        raise ValueError("loads must be positive")
+    if not np.all(np.isfinite(util_arr)):
+        raise ValueError("utilizations must be finite (incast bursts have no offered load)")
+    slope = float(np.dot(load_arr, util_arr) / np.dot(load_arr, load_arr))
+    if slope <= 0:
+        return float("inf")
+    return 1.0 / slope

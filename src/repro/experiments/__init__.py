@@ -17,6 +17,7 @@ fig15                Fig. 15 — average SNR gains per SNR regime
 fig16                Fig. 16 — per-subcarrier SNR profiles
 fig17                Fig. 17 — last-hop throughput CDF
 fig18                Fig. 18 — opportunistic routing throughput CDFs
+fig19_traffic_load   §8.4 ext. — flow-level FCT and saturation vs offered load
 overhead             §4.4 — synchronization overhead vs sender count
 ablation_combining   §6 — naive combining vs Alamouti (design-choice ablation)
 ablation_slope       §4.2 — windowed vs whole-band phase-slope estimation
@@ -32,6 +33,7 @@ The package is executable::
     python -m repro.experiments run --tag routing --preset smoke
     python -m repro.experiments sweep fig14 --sweep n_realizations=100,300,1000
     python -m repro.experiments report results/fig17.json    # re-print a saved run
+    python -m repro.experiments report --sweep results/grid  # tidy per-cell table
     python -m repro.experiments docs                         # regenerate EXPERIMENTS.md
 
 ``run`` and ``sweep`` write one JSON artifact per run under ``results/``

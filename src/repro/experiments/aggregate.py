@@ -1,0 +1,117 @@
+"""Sweep aggregation: join a sweep directory into one tidy per-figure table.
+
+A finished (or partially finished) ``sweep`` output directory holds the
+grid definition in its run manifest and one cached artifact per completed
+cell.  :func:`aggregate_sweep` joins the two into a *tidy* table — one row
+per grid cell, one column per grid axis plus one per summary scalar — the
+shape a plotting layer or a dataframe consumes directly, without
+re-simulating anything:
+
+>>> table = aggregate_sweep("results/fig19_grid")   # doctest: +SKIP
+>>> table["columns"]["load"], table["columns"]["saturation_load_sourcesync"]
+
+``python -m repro.experiments report --sweep DIR`` prints the table (and
+``--out FILE`` saves it as JSON).  Cells not yet completed — pending,
+permanently failed, or with a quarantined cache entry — keep their row
+with a non-``completed`` status and empty summary columns, so a partial
+grid aggregates cleanly and ``sweep --resume`` can fill in the gaps
+later.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.experiments import registry
+from repro.experiments.cache import CACHE_DIR_NAME, ArtifactCache
+from repro.experiments.common import _encode_value, atomic_write_text, format_table
+from repro.experiments.runner import _expand_grid, sweep_definition_from_manifest
+from repro.experiments.supervisor import RunManifest
+
+__all__ = ["aggregate_sweep", "render_aggregate", "save_aggregate"]
+
+
+def aggregate_sweep(run_dir: "str | Path") -> dict[str, Any]:
+    """Tidy per-cell table of a sweep directory's cached artifacts.
+
+    Reconstructs the grid from the manifest header (exactly as
+    ``sweep --resume`` does), loads each completed/cached cell's artifact
+    from the content-addressed cache, and returns::
+
+        {
+          "experiment": name, "preset": preset, "n_cells": N,
+          "grid_keys": [...], "summary_keys": [...],
+          "columns": {"cell": [...], <grid key>: [...], "status": [...],
+                       <summary key>: [...]},
+        }
+
+    Columns are equal-length (one entry per grid cell, in grid order);
+    summary values of unfinished cells are ``None``.  A journalled-complete
+    cell whose cache entry no longer loads is reported with status
+    ``"missing"`` rather than trusted.
+    """
+    run_dir = Path(run_dir)
+    manifest = RunManifest.in_dir(run_dir)
+    if not manifest.exists():
+        raise ValueError(
+            f"{run_dir} has no {RunManifest.FILENAME}; was this directory "
+            "written by `python -m repro.experiments sweep`?"
+        )
+    name, grid, preset, fixed = sweep_definition_from_manifest(manifest)
+    spec = registry.get(name)
+    combos = _expand_grid(spec, grid, preset, fixed)
+    cells = manifest.cell_records()
+    cache = ArtifactCache(run_dir / CACHE_DIR_NAME)
+
+    grid_keys = list(grid)
+    summary_keys: list[str] = []
+    statuses: list[str] = []
+    summaries: list[dict[str, Any]] = []
+    for index in range(len(combos)):
+        record = cells.get(index)
+        status = str(record["status"]) if record else "pending"
+        summary: dict[str, Any] = {}
+        if record and record.get("key") and status in ("completed", "cached"):
+            result = cache.get(str(record["key"]))
+            if result is None:
+                status = "missing"
+            else:
+                summary = dict(result.summary)
+        statuses.append(status)
+        summaries.append(summary)
+        for key in summary:
+            if key not in summary_keys:
+                summary_keys.append(key)
+
+    columns: dict[str, list[Any]] = {"cell": list(range(len(combos)))}
+    for key in grid_keys:
+        columns[key] = [merged.get(key) for merged in combos]
+    columns["status"] = statuses
+    for key in summary_keys:
+        columns[key] = [summary.get(key) for summary in summaries]
+    return {
+        "experiment": name,
+        "preset": preset,
+        "n_cells": len(combos),
+        "grid_keys": grid_keys,
+        "summary_keys": summary_keys,
+        "columns": columns,
+    }
+
+
+def render_aggregate(table: dict[str, Any]) -> str:
+    """Human-readable rendering of an :func:`aggregate_sweep` table."""
+    done = sum(1 for status in table["columns"]["status"] if status in ("completed", "cached"))
+    header = (
+        f"{table['experiment']} [{table['preset']}]: "
+        f"{done}/{table['n_cells']} cells aggregated"
+    )
+    return f"{header}\n{format_table(table['columns'])}"
+
+
+def save_aggregate(table: dict[str, Any], path: "str | Path") -> Path:
+    """Write an aggregate table as strict JSON (atomic, non-finite-safe)."""
+    text = json.dumps(_encode_value(table), indent=2, sort_keys=True, allow_nan=False)
+    return atomic_write_text(path, text + "\n")

@@ -268,6 +268,12 @@ def run_trials(trial_fn, n_trials: int, seed: int | np.random.SeedSequence, jobs
     """
     if n_trials < 0:
         raise ValueError("n_trials must be non-negative")
+    # Empty-ensemble guard (mirrors run_packet_ensemble's zero-packet
+    # guard): a zero-trial call invokes nothing and consumes no entropy,
+    # so experiments whose lane sets come up empty leave every stream
+    # exactly where the sequential path would.
+    if n_trials == 0:
+        return []
     root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     children = root.spawn(n_trials)
     if jobs <= 1 or n_trials <= 1:
@@ -303,6 +309,12 @@ def run_seed_chunks(
         raise ValueError("n_trials must be non-negative")
     if chunk_size is not None and chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
+    # Empty-ensemble guard: never hand ``chunk_fn`` an empty child set — a
+    # lockstep chunk built over zero lanes could still prime caches or
+    # draw from shared streams, which would make results depend on whether
+    # an empty ensemble happened to run (see run_packet_ensemble).
+    if n_trials == 0:
+        return []
     children = np.random.SeedSequence(seed).spawn(n_trials)
     if chunk_size is None:
         if jobs <= 1 or n_trials <= 1:
@@ -312,8 +324,6 @@ def run_seed_chunks(
         bounds = np.arange(0, n_trials + chunk_size, chunk_size)
         bounds[-1] = n_trials
     chunks = [children[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
-    if not chunks:
-        return list(chunk_fn(children, *args))
     if jobs <= 1 or len(chunks) == 1:
         return [result for chunk in chunks for result in chunk_fn(chunk, *args)]
     from concurrent.futures import ProcessPoolExecutor

@@ -126,7 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_report = sub.add_parser("report", help="re-print saved JSON artifacts (no simulation)")
-    p_report.add_argument("paths", nargs="+", help="artifact files or directories of *.json")
+    p_report.add_argument("paths", nargs="*", help="artifact files or directories of *.json")
+    p_report.add_argument(
+        "--sweep",
+        metavar="DIR",
+        default=None,
+        help="aggregate a sweep output directory (manifest + artifact cache) "
+        "into one tidy per-cell table instead of re-printing artifacts",
+    )
+    p_report.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="with --sweep: also save the tidy table as JSON to FILE",
+    )
 
     p_compare = sub.add_parser("compare", help="diff two saved JSON artifacts")
     p_compare.add_argument("baseline", help="baseline artifact file")
@@ -278,6 +291,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.sweep:
+        from repro.experiments.aggregate import aggregate_sweep, render_aggregate, save_aggregate
+
+        if args.paths:
+            raise ValueError("report --sweep DIR takes no artifact paths")
+        table = aggregate_sweep(args.sweep)
+        print(render_aggregate(table))
+        if args.out:
+            path = save_aggregate(table, args.out)
+            print(f"wrote {path}")
+        return 0
+    if args.out:
+        raise ValueError("report --out requires --sweep DIR")
     files: list[Path] = []
     for raw in args.paths:
         path = Path(raw)

@@ -413,9 +413,16 @@ def sweep_definition_from_manifest(
     name = header["experiment"]
     spec = registry.get(name)
     grid_raw = header.get("grid") or {}
+    # Manifest records are written with sorted keys; restore the original
+    # axis order (it determines the cartesian-product cell order) from the
+    # header's explicit key list when present.
+    grid_keys = header.get("grid_keys") or list(grid_raw)
     grid = {
-        key: list(_coerce_json_overrides(spec.config_cls, {key: value})[key] for value in values)
-        for key, values in grid_raw.items()
+        key: list(
+            _coerce_json_overrides(spec.config_cls, {key: value})[key]
+            for value in grid_raw[key]
+        )
+        for key in grid_keys
     }
     fixed_raw = header.get("fixed")
     fixed = _coerce_json_overrides(spec.config_cls, fixed_raw) if fixed_raw else None

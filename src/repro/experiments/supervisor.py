@@ -245,6 +245,10 @@ class RunManifest:
                 "experiment": experiment,
                 "preset": preset,
                 "grid": {k: list(v) for k, v in grid.items()} if grid else None,
+                # append() sorts keys, which would alphabetize the grid axes
+                # and permute the cell order on resume; the explicit key list
+                # preserves the original axis order.
+                "grid_keys": list(grid) if grid else None,
                 "fixed": dict(fixed) if fixed else None,
                 "cells": cells,
             }

@@ -582,6 +582,7 @@ def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
             rounds=state.rounds,
             forwarders=tuple(state.priority),
             joint_transmissions=state.joint_count,
+            elapsed_us=state.elapsed_us,
         )
         for successor in successors[index]:
             _start(successor)
@@ -703,6 +704,7 @@ def simulate_single_path_ensemble(
                 total_packets=n_packets,
                 transmissions=transmissions,
                 route=tuple(route),
+                elapsed_us=elapsed,
             )
         )
     return results

@@ -68,6 +68,10 @@ class ExorResult:
     rounds: int
     forwarders: tuple[int, ...]
     joint_transmissions: int = 0
+    #: Total medium time consumed by the transfer; the traffic layer reads
+    #: this as the flow's service time (throughput alone cannot recover it
+    #: when nothing was delivered).
+    elapsed_us: float = 0.0
 
     @property
     def delivery_ratio(self) -> float:
@@ -279,4 +283,5 @@ def simulate_exor(
         rounds=rounds,
         forwarders=tuple(priority),
         joint_transmissions=joint_count,
+        elapsed_us=mac.elapsed_us,
     )

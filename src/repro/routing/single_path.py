@@ -29,6 +29,9 @@ class SinglePathResult:
     total_packets: int
     transmissions: int
     route: tuple[int, ...]
+    #: Total medium time consumed by the transfer (the traffic layer's
+    #: per-flow service time).
+    elapsed_us: float = 0.0
 
     @property
     def delivery_ratio(self) -> float:
@@ -102,4 +105,5 @@ def simulate_single_path(
         total_packets=n_packets,
         transmissions=mac.transmissions,
         route=tuple(route),
+        elapsed_us=mac.elapsed_us,
     )

@@ -1,0 +1,88 @@
+"""Flow arrival processes and the offered-load knob.
+
+Two arrival shapes cover the traffic experiments:
+
+* **Poisson open-loop** — flows arrive with i.i.d. exponential gaps at a
+  rate set by the offered-load knob.  :func:`flow_arrival_rate_per_us`
+  maps a dimensionless load (offered bits over the link's nominal bit
+  rate) to a flow arrival rate, given the mean flow size, so sweeping
+  ``load`` toward and past 1.0 probes the saturation point of each
+  routing scheme.
+* **Incast** — N senders fire one flow each at (almost) the same instant
+  toward a single victim, with a small uniform jitter standing in for
+  request fan-out skew.
+
+Both are batched generator draws, so a workload's arrival draws occupy a
+deterministic slice of the generation stream (see
+:mod:`repro.traffic.workload` for the seeding contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "flow_arrival_rate_per_us",
+    "poisson_arrival_times",
+    "incast_arrival_times",
+]
+
+
+def flow_arrival_rate_per_us(
+    load: float,
+    rate_mbps: float,
+    payload_bytes: int,
+    mean_flow_packets: float,
+) -> float:
+    """Flow arrival rate (flows/µs) for an offered load on a nominal link rate.
+
+    ``load`` is the ratio of offered payload bits per microsecond to the
+    link's nominal bit rate (``rate_mbps`` is bits/µs): load 1.0 offers
+    exactly the nominal capacity, ignoring MAC overheads and losses — the
+    *measured* saturation point therefore lands below 1.0, which is the
+    quantity the traffic experiments estimate per scheme.
+    """
+    if load <= 0:
+        raise ValueError("load must be positive")
+    if rate_mbps <= 0:
+        raise ValueError("rate_mbps must be positive")
+    if payload_bytes < 1:
+        raise ValueError("payload_bytes must be >= 1")
+    if mean_flow_packets <= 0:
+        raise ValueError("mean_flow_packets must be positive")
+    bits_per_flow = mean_flow_packets * payload_bytes * 8
+    return load * rate_mbps / bits_per_flow
+
+
+def poisson_arrival_times(
+    n_flows: int,
+    rate_per_us: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Arrival instants (µs) of a Poisson process: one batched exponential draw."""
+    if n_flows < 0:
+        raise ValueError("n_flows must be non-negative")
+    if rate_per_us <= 0:
+        raise ValueError("rate_per_us must be positive")
+    gaps = rng.exponential(1.0 / rate_per_us, size=n_flows)
+    return np.cumsum(gaps)
+
+
+def incast_arrival_times(
+    n_senders: int,
+    jitter_us: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-sender arrival instants (µs) of an incast burst.
+
+    Each sender fires once within ``jitter_us`` of t = 0 (uniform jitter,
+    one batched draw, in sender order).  ``jitter_us == 0`` consumes no
+    generator draws and puts every arrival exactly at zero.
+    """
+    if n_senders < 0:
+        raise ValueError("n_senders must be non-negative")
+    if jitter_us < 0:
+        raise ValueError("jitter_us must be non-negative")
+    if jitter_us == 0:
+        return np.zeros(n_senders)
+    return rng.uniform(0.0, jitter_us, size=n_senders)

@@ -1,0 +1,117 @@
+"""Flow-size mixes: how many packets each flow carries.
+
+A :class:`FlowSizeMix` is a discrete distribution over flow sizes in
+packets.  Three shapes cover the workloads the traffic experiments sweep:
+
+* :func:`fixed_size` — every flow carries the same number of packets
+  (the deterministic mix; useful for isolating queueing effects);
+* :func:`mice_elephants` — the classic bimodal datacenter mix: mostly
+  short "mice" flows plus a heavy-tailed fraction of "elephants";
+* :func:`empirical` — an arbitrary (sizes, weights) table, e.g. digitised
+  from a measured flow-size CDF.
+
+``make_size_mix`` resolves a mix by name from plain config scalars so the
+experiment layer can select and sweep mixes from the command line
+(``--set size_mix=fixed``).  Sampling is one batched generator draw, so a
+workload's size draws occupy a deterministic slice of the generation
+stream (see :mod:`repro.traffic.workload` for the seeding contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FlowSizeMix",
+    "fixed_size",
+    "mice_elephants",
+    "empirical",
+    "make_size_mix",
+    "SIZE_MIX_NAMES",
+]
+
+#: Mix names understood by :func:`make_size_mix`.
+SIZE_MIX_NAMES = ("fixed", "mice_elephant")
+
+
+@dataclass(frozen=True)
+class FlowSizeMix:
+    """A discrete flow-size distribution (sizes in packets)."""
+
+    name: str
+    packets: tuple[int, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.packets:
+            raise ValueError("a size mix needs at least one size")
+        if len(self.packets) != len(self.weights):
+            raise ValueError("packets and weights must have equal length")
+        if any(int(p) < 1 for p in self.packets):
+            raise ValueError("flow sizes must be >= 1 packet")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative with a positive sum")
+
+    def _probabilities(self) -> np.ndarray:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        return weights / weights.sum()
+
+    def mean_packets(self) -> float:
+        """Expected flow size in packets (drives the offered-load knob)."""
+        return float(np.dot(np.asarray(self.packets, dtype=np.float64), self._probabilities()))
+
+    def sample(self, n_flows: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n_flows`` flow sizes as one batched generator draw."""
+        if n_flows < 0:
+            raise ValueError("n_flows must be non-negative")
+        return rng.choice(
+            np.asarray(self.packets, dtype=np.int64), size=n_flows, p=self._probabilities()
+        )
+
+
+def fixed_size(packets: int) -> FlowSizeMix:
+    """Deterministic mix: every flow carries exactly ``packets`` packets."""
+    return FlowSizeMix("fixed", (int(packets),), (1.0,))
+
+
+def mice_elephants(
+    mice_packets: int = 2,
+    elephant_packets: int = 24,
+    elephant_fraction: float = 0.15,
+) -> FlowSizeMix:
+    """Bimodal mice/elephant mix: short flows plus a heavy minority of long ones."""
+    if not 0.0 <= elephant_fraction <= 1.0:
+        raise ValueError("elephant_fraction must be in [0, 1]")
+    return FlowSizeMix(
+        "mice_elephant",
+        (int(mice_packets), int(elephant_packets)),
+        (1.0 - elephant_fraction, elephant_fraction),
+    )
+
+
+def empirical(packets: tuple[int, ...], weights: tuple[float, ...]) -> FlowSizeMix:
+    """Arbitrary empirical mix from a (sizes, weights) table."""
+    return FlowSizeMix("empirical", tuple(int(p) for p in packets), tuple(float(w) for w in weights))
+
+
+def make_size_mix(
+    name: str,
+    *,
+    fixed_packets: int = 8,
+    mice_packets: int = 2,
+    elephant_packets: int = 24,
+    elephant_fraction: float = 0.15,
+) -> FlowSizeMix:
+    """Resolve a size mix by name from plain config scalars.
+
+    ``"fixed"`` uses ``fixed_packets``; ``"mice_elephant"`` uses the three
+    mice/elephant knobs.  Unknown names raise so a config typo fails before
+    any simulation starts.
+    """
+    if name == "fixed":
+        return fixed_size(fixed_packets)
+    if name == "mice_elephant":
+        return mice_elephants(mice_packets, elephant_packets, elephant_fraction)
+    raise ValueError(f"unknown size mix {name!r}; known: {SIZE_MIX_NAMES}")

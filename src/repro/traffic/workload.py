@@ -1,0 +1,199 @@
+"""Workloads: deterministically seeded flow sets over the mesh.
+
+A :class:`TrafficWorkload` is a tuple of :class:`Flow` records — who
+sends, when, and how many packets — plus the seed that generated it.
+
+Seeding contract (the traffic layer's determinism rule)
+-------------------------------------------------------
+For a workload seed ``S`` every stream is an explicit, index-keyed child
+of ``np.random.SeedSequence(S)``:
+
+* the **generation stream** ``SeedSequence(S, spawn_key=(0,))`` draws, in
+  a fixed order, the arrival times, then the flow sizes, then (for
+  multi-sender pools) the sender assignment;
+* **flow i's service stream** is ``SeedSequence(S, spawn_key=(1, i))`` —
+  keyed by the flow's *index*, never by execution order.
+
+Because every stream's identity is a pure function of ``(S, index)``,
+chunking, process-pool sharding, scheme order, lane scheduling and sweep
+``--resume`` cannot change a single draw: results are bit-identical for
+any execution plan.  (``spawn_key=(0,)`` and ``(1, i)`` are exactly the
+children ``SeedSequence(S).spawn(...)`` would hand out, constructed
+statelessly so any process can rebuild any flow's stream from ``(S, i)``
+alone.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.arrivals import (
+    flow_arrival_rate_per_us,
+    incast_arrival_times,
+    poisson_arrival_times,
+)
+from repro.traffic.sizes import FlowSizeMix
+
+__all__ = [
+    "Flow",
+    "TrafficWorkload",
+    "derive_seed",
+    "generation_rng",
+    "flow_service_seed",
+    "poisson_workload",
+    "incast_workload",
+]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One application-level flow: who sends, when, and how much."""
+
+    #: Position in the workload; keys the flow's service stream.
+    index: int
+    #: Source node id on the testbed.
+    sender: int
+    #: Arrival instant in microseconds.
+    arrival_us: float
+    #: Flow size in payload packets.
+    size_packets: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("flow index must be non-negative")
+        if self.arrival_us < 0:
+            raise ValueError("arrival_us must be non-negative")
+        if self.size_packets < 1:
+            raise ValueError("size_packets must be >= 1")
+
+
+@dataclass(frozen=True)
+class TrafficWorkload:
+    """A generated flow set plus the seed needed to replay it exactly."""
+
+    #: Arrival-process shape: ``"poisson"`` or ``"incast"``.
+    kind: str
+    flows: tuple[Flow, ...]
+    #: Workload seed; every stream is an index-keyed child (module docstring).
+    seed: int
+    #: Offered load for open-loop workloads; 0.0 for closed incast bursts.
+    load: float
+    #: Nominal link bit rate the load knob is referenced to.
+    rate_mbps: float
+    #: Payload bytes per packet (flow size × this = flow bytes).
+    payload_bytes: int
+
+    def arrivals_us(self) -> np.ndarray:
+        """Per-flow arrival instants in flow-index order."""
+        return np.array([flow.arrival_us for flow in self.flows], dtype=np.float64)
+
+    def sizes_packets(self) -> np.ndarray:
+        """Per-flow sizes in flow-index order."""
+        return np.array([flow.size_packets for flow in self.flows], dtype=np.int64)
+
+    def service_rng(self, index: int) -> np.random.Generator:
+        """Flow ``index``'s private service generator (stateless rebuild)."""
+        return np.random.default_rng(flow_service_seed(self.seed, index))
+
+
+def derive_seed(*components: int) -> int:
+    """Mix integer components into one decorrelated workload seed.
+
+    Routes the components through ``SeedSequence`` entropy mixing so
+    adjacent experiment seeds / load indices produce unrelated workloads
+    (plain addition would alias ``(seed=1, load_index=1)`` with
+    ``(seed=2, load_index=0)``).
+    """
+    if not components:
+        raise ValueError("derive_seed needs at least one component")
+    mixed = np.random.SeedSequence([int(c) for c in components])
+    return int(mixed.generate_state(1, np.uint32)[0])
+
+
+def generation_rng(seed: int) -> np.random.Generator:
+    """The workload-generation stream of workload seed ``seed``."""
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(0,)))
+
+
+def flow_service_seed(seed: int, index: int) -> np.random.SeedSequence:
+    """Flow ``index``'s service-stream seed under workload seed ``seed``."""
+    if index < 0:
+        raise ValueError("flow index must be non-negative")
+    return np.random.SeedSequence(seed, spawn_key=(1, index))
+
+
+def poisson_workload(
+    n_flows: int,
+    load: float,
+    size_mix: FlowSizeMix,
+    rate_mbps: float,
+    payload_bytes: int,
+    seed: int,
+    senders: tuple[int, ...] = (0,),
+) -> TrafficWorkload:
+    """Open-loop Poisson workload: ``n_flows`` flows at offered ``load``.
+
+    Generation-stream draw order: arrival gaps, then flow sizes, then —
+    only when the sender pool has more than one node — a uniform sender
+    assignment per flow.  A zero-flow workload constructs no generator and
+    consumes no entropy (the empty-ensemble guard of the traffic layer).
+    """
+    if n_flows < 0:
+        raise ValueError("n_flows must be non-negative")
+    if not senders:
+        raise ValueError("senders must be non-empty")
+    if n_flows == 0:
+        return TrafficWorkload("poisson", (), int(seed), load, rate_mbps, payload_bytes)
+    rng = generation_rng(seed)
+    rate_per_us = flow_arrival_rate_per_us(load, rate_mbps, payload_bytes, size_mix.mean_packets())
+    arrivals = poisson_arrival_times(n_flows, rate_per_us, rng)
+    sizes = size_mix.sample(n_flows, rng)
+    if len(senders) > 1:
+        assignment = rng.integers(0, len(senders), size=n_flows)
+    else:
+        assignment = np.zeros(n_flows, dtype=np.int64)
+    flows = tuple(
+        Flow(
+            index=i,
+            sender=int(senders[assignment[i]]),
+            arrival_us=float(arrivals[i]),
+            size_packets=int(sizes[i]),
+        )
+        for i in range(n_flows)
+    )
+    return TrafficWorkload("poisson", flows, int(seed), load, rate_mbps, payload_bytes)
+
+
+def incast_workload(
+    senders: tuple[int, ...],
+    size_mix: FlowSizeMix,
+    rate_mbps: float,
+    payload_bytes: int,
+    seed: int,
+    jitter_us: float = 100.0,
+) -> TrafficWorkload:
+    """Incast burst: every sender fires one flow at t ≈ 0 toward the victim.
+
+    Generation-stream draw order matches :func:`poisson_workload`:
+    arrivals (uniform jitter, sender order), then flow sizes.  Flow *i*
+    belongs to ``senders[i]``.  An empty sender pool constructs no
+    generator and consumes no entropy.
+    """
+    n_senders = len(senders)
+    if n_senders == 0:
+        return TrafficWorkload("incast", (), int(seed), 0.0, rate_mbps, payload_bytes)
+    rng = generation_rng(seed)
+    arrivals = incast_arrival_times(n_senders, jitter_us, rng)
+    sizes = size_mix.sample(n_senders, rng)
+    flows = tuple(
+        Flow(
+            index=i,
+            sender=int(senders[i]),
+            arrival_us=float(arrivals[i]),
+            size_packets=int(sizes[i]),
+        )
+        for i in range(n_senders)
+    )
+    return TrafficWorkload("incast", flows, int(seed), 0.0, rate_mbps, payload_bytes)

@@ -1,0 +1,81 @@
+"""FCT extraction against hand-computed FIFO completions and fits."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fct import extract_fct, fifo_completion_times, saturation_load
+
+
+class TestFifoCompletionTimes:
+    def test_hand_computed_chain(self):
+        """Flow 1 queues behind flow 0; flow 2 arrives after the queue drains."""
+        completions = fifo_completion_times([0.0, 10.0, 100.0], [20.0, 5.0, 7.0])
+        assert completions.tolist() == [20.0, 25.0, 107.0]
+
+    def test_returns_flow_order_not_arrival_order(self):
+        """Out-of-order input: service follows arrivals, output follows input."""
+        completions = fifo_completion_times([10.0, 0.0], [5.0, 20.0])
+        # Flow 1 (t=0) serves first and completes at 20; flow 0 then starts
+        # at max(10, 20) = 20 and completes at 25.
+        assert completions.tolist() == [25.0, 20.0]
+
+    def test_stable_tie_break_by_index(self):
+        completions = fifo_completion_times([5.0, 5.0], [1.0, 2.0])
+        assert completions.tolist() == [6.0, 8.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fifo_completion_times([0.0, 1.0], [1.0])
+        with pytest.raises(ValueError):
+            fifo_completion_times([0.0], [-1.0])
+
+
+class TestExtractFct:
+    def test_hand_computed_fcts_and_makespan(self):
+        summary = extract_fct([0.0, 10.0, 100.0], [20.0, 5.0, 7.0])
+        assert summary.fct_us == (20.0, 15.0, 7.0)
+        assert summary.makespan_us == 107.0
+        assert summary.p50_us == pytest.approx(15.0)
+        assert summary.mean_us == pytest.approx(14.0)
+        # Utilization: 32 µs of service offered over a 100 µs arrival span.
+        assert summary.utilization == pytest.approx(0.32)
+        # No delivery info: goodput is zero and the fraction undefined.
+        assert summary.goodput_mbps == 0.0
+        assert np.isnan(summary.delivered_fraction)
+
+    def test_goodput_and_delivered_fraction(self):
+        summary = extract_fct(
+            [0.0, 10.0, 100.0],
+            [20.0, 5.0, 7.0],
+            delivered_packets=[2, 1, 1],
+            size_packets=[2, 2, 1],
+            payload_bytes=125,  # 1000 bits per packet
+        )
+        # 4 delivered packets × 1000 bits over the 107 µs makespan.
+        assert summary.goodput_mbps == pytest.approx(4000.0 / 107.0)
+        assert summary.delivered_fraction == pytest.approx(4.0 / 5.0)
+
+    def test_coincident_arrivals_have_infinite_utilization(self):
+        summary = extract_fct([50.0, 50.0], [3.0, 4.0])
+        assert summary.utilization == float("inf")
+
+    def test_empty_flow_set_rejected(self):
+        with pytest.raises(ValueError):
+            extract_fct([], [])
+
+
+class TestSaturationLoad:
+    def test_exact_linear_fit(self):
+        """utilization = 0.5 · load ⇒ saturation (utilization = 1) at load 2."""
+        assert saturation_load([0.2, 0.5], [0.1, 0.25]) == pytest.approx(2.0)
+
+    def test_idle_medium_never_saturates(self):
+        assert saturation_load([0.1, 0.2], [0.0, 0.0]) == float("inf")
+
+    def test_non_finite_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_load([0.1], [float("inf")])
+
+    def test_non_positive_load_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_load([0.0, 0.1], [0.1, 0.2])
