@@ -14,6 +14,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.experiments.common import atomic_write_text
+
 #: Repository root (the directory that holds ``benchmarks/``).
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -39,7 +41,7 @@ def write_baseline(name: str, summary: dict) -> Path:
     """
     path = baseline_path(name)
     payload = {"name": name, **summary}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=False) + "\n")
     return path
 
 

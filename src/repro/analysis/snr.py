@@ -12,6 +12,7 @@ import numpy as np
 from repro.channel.awgn import db_to_linear, linear_to_db
 from repro.channel.multipath import DEFAULT_PROFILE, MultipathChannel, MultipathProfile
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.rng import require_rng
 
 __all__ = [
     "subcarrier_snr_profile",
@@ -42,9 +43,10 @@ def subcarrier_snr_profile(
     unit average power, and evaluated on the occupied subcarriers; the
     requested average SNR scales the whole profile.
     """
-    rng = rng if rng is not None else np.random.default_rng()
     if channel is None:
-        channel = MultipathChannel.random(profile, rng).normalized()
+        channel = MultipathChannel.random(
+            profile, require_rng(rng, "subcarrier_snr_profile")
+        ).normalized()
     response = channel.frequency_response(params.n_fft)
     occupied = params.occupied_bins()
     gains = np.abs(response[occupied]) ** 2

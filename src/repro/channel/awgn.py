@@ -15,6 +15,7 @@ to each row's signal power and draws per-row noise in per-packet order.
 from __future__ import annotations
 
 import numpy as np
+from repro.rng import require_rng
 
 __all__ = [
     "awgn",
@@ -51,7 +52,7 @@ def awgn(
     """
     if noise_power < 0:
         raise ValueError("noise_power must be non-negative")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = require_rng(rng, "awgn")
     scale = np.sqrt(noise_power / 2.0)
     return scale * (rng.normal(size=n_samples) + 1j * rng.normal(size=n_samples))
 
@@ -75,7 +76,7 @@ def awgn_ensemble(
     noise_power = np.asarray(noise_power, dtype=np.float64)
     if np.any(noise_power < 0):
         raise ValueError("noise_power must be non-negative")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = require_rng(rng, "awgn_ensemble")
     scale = np.sqrt(noise_power / 2.0)
     draws = rng.normal(size=(n_packets, 2, n_samples))
     noise = draws[:, 0, :] + 1j * draws[:, 1, :]

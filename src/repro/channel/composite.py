@@ -30,6 +30,7 @@ from repro.channel.multipath import (
 from repro.channel.oscillator import apply_cfo
 from repro.channel.propagation import fractional_delay
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
+from repro.rng import require_rng
 
 __all__ = [
     "Link",
@@ -153,7 +154,6 @@ def combine_at_receiver(
     leading_silence:
         Extra noise-only samples prepended before time zero of the timeline.
     """
-    rng = rng if rng is not None else np.random.default_rng()
     contributions: list[tuple[int, np.ndarray]] = []
     end = 0
     for tx in transmissions:
@@ -167,7 +167,7 @@ def combine_at_receiver(
     for start_idx, waveform in contributions:
         received[start_idx : start_idx + waveform.size] += waveform
     if noise_power > 0:
-        received += awgn(length, noise_power, rng)
+        received += awgn(length, noise_power, require_rng(rng, "combine_at_receiver"))
     return received
 
 
@@ -321,7 +321,7 @@ def link_for_snr(
     is set so that a unit-power transmitted waveform arrives with the
     requested average SNR over the given noise power.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = require_rng(rng, "link_for_snr")
     channel = MultipathChannel.random(profile, rng).normalized()
     gain = float(np.sqrt(db_to_linear(snr_db) * noise_power))
     initial_phase = float(rng.uniform(0.0, 2.0 * np.pi))
@@ -353,7 +353,7 @@ def link_ensemble_for_snr(
     differs from N sequential :func:`link_for_snr` calls — taps first, then
     phases — which matters only if the caller interleaves other draws.)
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = require_rng(rng, "link_ensemble_for_snr")
     ensemble = MultipathEnsemble(rayleigh_taps_batch(profile, n_links, rng)).normalized()
     phases = rng.uniform(0.0, 2.0 * np.pi, size=n_links)
     gain = float(np.sqrt(db_to_linear(snr_db) * noise_power))
@@ -396,7 +396,6 @@ def propagate_ensemble(
     samples = np.asarray(samples, dtype=np.complex128)
     if samples.ndim != 2 or samples.shape[0] != len(links):
         raise ValueError("samples must have shape (n_links, n_samples)")
-    rng = rng if rng is not None else np.random.default_rng()
     waveforms: list[tuple[int, np.ndarray]] = []
     end = 0
     for link, row in zip(links, samples):
@@ -409,5 +408,7 @@ def propagate_ensemble(
     for i, (start_idx, waveform) in enumerate(waveforms):
         received[i, start_idx : start_idx + waveform.size] = waveform
     if noise_power > 0:
-        received += awgn_ensemble(samples.shape[0], length, noise_power, rng)
+        received += awgn_ensemble(
+            samples.shape[0], length, noise_power, require_rng(rng, "propagate_ensemble")
+        )
     return received

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro.rng import require_rng
 
 __all__ = [
     "MultipathProfile",
@@ -153,7 +154,7 @@ class MultipathChannel:
         gain: float = 1.0,
     ) -> "MultipathChannel":
         """Draw a random channel realisation from a profile."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = require_rng(rng, "MultipathChannel.random")
         return cls(rayleigh_taps(profile, rng), gain=gain)
 
     @classmethod
@@ -237,7 +238,7 @@ class MultipathEnsemble:
         gain: float | np.ndarray = 1.0,
     ) -> "MultipathEnsemble":
         """Draw an ensemble of random channel realisations from a profile."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = require_rng(rng, "MultipathEnsemble.random")
         return cls(rayleigh_taps_batch(profile, n_channels, rng), gain=gain)
 
     # ------------------------------------------------------------------

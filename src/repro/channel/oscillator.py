@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro.rng import require_rng
 
 __all__ = ["Oscillator", "apply_cfo", "cfo_from_ppm", "relative_cfo_hz"]
 
@@ -49,7 +50,7 @@ class Oscillator:
         carrier_hz: float = 5.24e9,
     ) -> "Oscillator":
         """Draw a random oscillator within +-``max_ppm``."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = require_rng(rng, "Oscillator.random")
         return cls(ppm=float(rng.uniform(-max_ppm, max_ppm)), carrier_hz=carrier_hz)
 
     @property

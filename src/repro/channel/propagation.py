@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.phy.params import SPEED_OF_LIGHT
+from repro.rng import require_rng
 
 __all__ = ["PathLossModel", "propagation_delay_s", "propagation_delay_samples", "fractional_delay"]
 
@@ -52,11 +53,15 @@ class PathLossModel:
         rng: np.random.Generator | None = None,
         shadowing: bool = True,
     ) -> float:
-        """Path loss in dB at the given distance, optionally with shadowing."""
+        """Path loss in dB at the given distance, optionally with shadowing.
+
+        ``rng`` is required whenever a shadowing draw is made (i.e. unless
+        ``shadowing=False`` or ``shadowing_sigma_db == 0``).
+        """
         distance_m = max(float(distance_m), 0.1)
         loss = self.reference_loss_db + 10.0 * self.exponent * np.log10(distance_m)
         if shadowing and self.shadowing_sigma_db > 0:
-            rng = rng if rng is not None else np.random.default_rng()
+            rng = require_rng(rng, "PathLossModel.path_loss_db")
             loss += float(rng.normal(0.0, self.shadowing_sigma_db))
         return float(loss)
 

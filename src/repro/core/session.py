@@ -46,6 +46,7 @@ from repro.core.sync.tracking import WaitTimeTracker
 from repro.hardware.frontend import RadioFrontend
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 from repro.phy.transmitter import FrameConfig
+from repro.rng import require_rng
 
 __all__ = [
     "NodeProfile",
@@ -272,7 +273,7 @@ class SourceSyncSession:
     ):
         self.topology = topology
         self.config = config
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = require_rng(rng, "SourceSyncSession")
         self.lead = LeadSender(config=config, node_id=topology.lead.node_id)
         self.receiver = JointReceiver(config=config)
         self.combiner = SmartCombiner(config.combiner_scheme)

@@ -23,6 +23,9 @@
     relative tolerance); exits non-zero when they disagree.
 ``docs``
     Regenerate ``EXPERIMENTS.md`` from the registry.
+``lint``
+    Forward to the determinism linter (``python -m repro.lint``); see
+    ``docs/LINT.md`` for the rule codes.
 """
 
 from __future__ import annotations
@@ -34,7 +37,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.experiments import registry
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, atomic_write_text
 from repro.experiments.runner import (
     _resolve_names,
     run_all,
@@ -149,6 +152,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1e-9,
         help="relative tolerance for summary scalars (default: 1e-9)",
+    )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the determinism linter (alias for python -m repro.lint)",
+    )
+    p_lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.lint (see python -m repro.lint --help)",
     )
 
     p_docs = sub.add_parser(
@@ -406,13 +419,19 @@ def _cmd_docs(args: argparse.Namespace) -> int:
         print(f"{target} and {len(pages)} pages under {pages_dir} are up to date")
         return 0
     for path, content in expected.items():
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(content)
+        atomic_write_text(path, content)
         print(f"wrote {path}")
     for path in stale:
         path.unlink()
         print(f"removed stale {path}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Forward to the :mod:`repro.lint` command line."""
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
 
 
 _COMMANDS = {
@@ -422,11 +441,20 @@ _COMMANDS = {
     "report": _cmd_report,
     "compare": _cmd_compare,
     "docs": _cmd_docs,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code instead of raising."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # Forwarded wholesale: argparse's REMAINDER cannot capture leading
+        # options (e.g. `lint --list-rules`), so hand the tail straight to
+        # the repro.lint parser.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)

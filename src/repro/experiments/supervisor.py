@@ -338,7 +338,8 @@ def _worker_main(conn) -> None:
                 if fault == "corrupt":
                     # Simulate on-disk corruption *after* the atomic write:
                     # the entry exists but is truncated mid-payload.
-                    path.write_text(path.read_text()[:24])
+                    # Deliberately non-atomic: this *is* the fault.
+                    path.write_text(path.read_text()[:24])  # repro-lint: disable=R005
             message = ("done", cell, attempt, time.perf_counter() - start, result)
         except KeyboardInterrupt:
             return

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from repro.rng import require_rng
 
 __all__ = ["RadioFrontend", "DetectionLatencyModel"]
 
@@ -78,7 +79,7 @@ class RadioFrontend:
         sample_rate_hz: float = 20e6,
     ) -> "RadioFrontend":
         """Draw a front end with a random (but then fixed) turnaround delay."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = require_rng(rng, "RadioFrontend.random")
         turnaround_us = float(rng.uniform(min_turnaround_us, max_turnaround_us))
         return cls(
             turnaround_samples=turnaround_us * 1e-6 * sample_rate_hz,

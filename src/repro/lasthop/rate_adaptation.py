@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.net.mac import MacTiming
 from repro.phy.rates import Rate, rates_sorted
+from repro.rng import require_rng
 
 __all__ = ["SampleRate"]
 
@@ -55,17 +56,21 @@ class SampleRate:
     max_successive_failures:
         Rates with this many successive failures are excluded until they are
         sampled again.
+    rng:
+        Random source for the probe-rate sampling decisions.  Required:
+        the adapter never mints its own entropy.
     """
 
     payload_bytes: int = 1460
     timing: MacTiming = field(default_factory=MacTiming)
     sample_every: int = 10
     max_successive_failures: int = 4
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator | None = None
     _stats: dict[float, _RateStats] = field(default_factory=dict, repr=False)
     _packets_sent: int = 0
 
     def __post_init__(self) -> None:
+        self.rng = require_rng(self.rng, "SampleRate")
         self._rates = rates_sorted()
         self._lossless_us = {
             rate.mbps: self.timing.single_transaction_us(self.payload_bytes, rate)

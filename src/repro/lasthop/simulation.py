@@ -23,6 +23,7 @@ from repro.lasthop.controller import SourceSyncController
 from repro.lasthop.rate_adaptation import SampleRate
 from repro.net.mac import CsmaState, MacTiming
 from repro.net.topology import Testbed
+from repro.rng import require_rng
 
 __all__ = ["LastHopResult", "simulate_downlink"]
 
@@ -67,7 +68,7 @@ def simulate_downlink(
         ``"single_ap:<id>"`` to force a specific AP (used to report each
         AP's stand-alone throughput).
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = require_rng(rng, "simulate_downlink")
     timing = timing if timing is not None else MacTiming(params=testbed.params)
 
     if scheme == "sourcesync":

@@ -1,0 +1,32 @@
+"""Determinism static analysis and RNG draw auditing.
+
+The bit-identical-replay contract (lockstep == sequential == chunked ==
+resumed, under one seed) is enforced twice:
+
+* **Statically** — an AST rule engine (:mod:`repro.lint.engine`,
+  :mod:`repro.lint.rules`) with stable ``R0xx`` codes, inline
+  ``# repro-lint: disable=R0xx`` suppressions and a checked-in baseline
+  (:mod:`repro.lint.baseline`), run as ``python -m repro.lint`` and
+  gated by ``tests/lint/test_repro_lint_clean.py``.  Rule codes and the
+  suppression syntax are documented in ``docs/LINT.md``.
+* **At runtime** — the draw-ledger auditor (:mod:`repro.lint.ledger`)
+  wraps ``numpy.random.Generator`` to record every draw with its stack
+  site, so when two runs that should be bit-identical diverge, the
+  differ names the exact first divergent draw instead of "arrays
+  differ".
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.engine import Finding, Rule, lint_paths, lint_source
+from repro.lint.rules import DEFAULT_RULES, rules_by_code
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "DEFAULT_RULES",
+    "rules_by_code",
+]

@@ -1,0 +1,139 @@
+"""Baseline file support: grandfather existing findings, fail on new ones.
+
+A baseline entry identifies a finding by ``(code, path, context)`` —
+rule code, file path and the *stripped source line* — plus a count, so
+entries survive unrelated edits that only shift line numbers.  The
+workflow is the usual ratchet:
+
+* ``python -m repro.lint --write-baseline`` records the current findings
+  into ``LINT_BASELINE.json`` (checked in at the repo root);
+* subsequent runs subtract baselined findings and fail only on *new*
+  ones;
+* deleting entries (or the fixes that make them stale) shrinks the
+  baseline monotonically — stale entries are reported so they do not
+  linger after the offending code is gone.
+
+The acceptance bar for rule ``R001`` (unseeded ``default_rng``) is an
+*empty* baseline: those findings are fixed at the source, never
+grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.engine import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: File name of the checked-in baseline at the repository root.
+DEFAULT_BASELINE_NAME = "LINT_BASELINE.json"
+
+#: Schema version of the baseline file.
+_BASELINE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding: rule code, path, source line, count."""
+
+    code: str
+    path: str
+    context: str
+    count: int = 1
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline: entries plus apply/save logic."""
+
+    entries: list[BaselineEntry]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        """A baseline with no grandfathered findings."""
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        """Read a baseline file written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        schema = payload.get("version")
+        if schema != _BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported baseline schema {schema!r} (expected {_BASELINE_SCHEMA})"
+            )
+        entries = [
+            BaselineEntry(
+                code=entry["code"],
+                path=entry["path"],
+                context=entry["context"],
+                count=int(entry.get("count", 1)),
+            )
+            for entry in payload.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Build a baseline that grandfathers exactly the given findings."""
+        counts: Counter[tuple[str, str, str]] = Counter(
+            (f.code, f.path, f.context) for f in findings
+        )
+        entries = [
+            BaselineEntry(code=code, path=path, context=context, count=count)
+            for (code, path, context), count in sorted(counts.items())
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the baseline file (atomically, like every other artifact)."""
+        from repro.experiments.common import atomic_write_text
+
+        payload = {
+            "version": _BASELINE_SCHEMA,
+            "entries": [
+                {
+                    "code": entry.code,
+                    "path": entry.path,
+                    "context": entry.context,
+                    "count": entry.count,
+                }
+                for entry in self.entries
+            ],
+        }
+        return atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], int, list[BaselineEntry]]:
+        """Split findings into (new, n_baselined, stale_entries).
+
+        Each baseline entry absorbs up to ``count`` findings with the same
+        ``(code, path, context)``; anything left over on the findings side
+        is *new* (and should fail the gate), anything left over on the
+        baseline side is *stale* (the grandfathered code is gone — prune
+        the entry).
+        """
+        budget: Counter[tuple[str, str, str]] = Counter()
+        for entry in self.entries:
+            budget[(entry.code, entry.path, entry.context)] += entry.count
+        new: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = (finding.code, finding.path, finding.context)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        stale = [
+            BaselineEntry(code=code, path=path, context=context, count=count)
+            for (code, path, context), count in sorted(budget.items())
+            if count > 0
+        ]
+        return new, baselined, stale

@@ -1,0 +1,147 @@
+"""Command line for the determinism linter.
+
+``python -m repro.lint [paths...]``:
+
+* default paths: ``src/repro`` when run from the repo root (falling back
+  to the current directory);
+* ``--baseline FILE`` uses a specific baseline (default: the checked-in
+  ``LINT_BASELINE.json`` next to the current directory, when present);
+  ``--no-baseline`` ignores it, ``--write-baseline`` regenerates it from
+  the current findings;
+* ``--format json`` emits a machine-readable report;
+* ``--select R001,R005`` restricts the rule set;
+* ``--list-rules`` prints every rule code with its description.
+
+Exit status: ``0`` when no non-baselined findings remain, ``1``
+otherwise (and ``2`` for usage errors, via argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import Baseline, DEFAULT_BASELINE_NAME
+from repro.lint.engine import lint_paths
+from repro.lint.rules import DEFAULT_RULES, rules_by_code
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism static analysis for the reproduction tree.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule codes and descriptions, then exit",
+    )
+    return parser
+
+
+def _default_paths() -> list[str]:
+    """``src/repro`` when it exists (repo root), else the current directory."""
+    if Path("src/repro").is_dir():
+        return ["src/repro"]
+    return ["."]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code instead of raising."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.code} [{rule.name}]: {rule.description}")
+        return 0
+
+    try:
+        rules = rules_by_code(args.select.split(",") if args.select else None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or _default_paths()
+    findings, n_files = lint_paths(paths, rules, root=Path.cwd())
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"wrote {baseline_path} ({len(findings)} grandfathered findings)")
+        return 0
+
+    if args.no_baseline or not baseline_path.exists():
+        baseline = Baseline.empty()
+    else:
+        baseline = Baseline.load(baseline_path)
+    new, baselined, stale = baseline.apply(findings)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files": n_files,
+                    "findings": [f.to_dict() for f in new],
+                    "baselined": baselined,
+                    "stale_baseline": [
+                        {"code": e.code, "path": e.path, "context": e.context, "count": e.count}
+                        for e in stale
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 1 if new else 0
+
+    for finding in new:
+        print(finding.format())
+    for entry in stale:
+        print(
+            f"stale baseline entry: {entry.code} {entry.path} ({entry.context!r} x{entry.count}) "
+            "- the finding is gone; prune it",
+            file=sys.stderr,
+        )
+    summary = f"{n_files} files, {len(new)} findings"
+    if baselined:
+        summary += f", {baselined} baselined"
+    print(summary)
+    return 1 if new else 0

@@ -1,0 +1,262 @@
+"""AST rule engine for the determinism linter.
+
+The engine is deliberately small: a :class:`Rule` is an object with a
+stable ``R0xx`` code that inspects one parsed module
+(:class:`FileContext`) and yields ``(node, message)`` pairs; the engine
+turns those into :class:`Finding` records with file/line/column
+positions, honours inline ``# repro-lint: disable=R0xx`` suppressions on
+the offending line, and sorts everything for stable output.  Rules never
+do I/O and never import the code under analysis — everything is a pure
+:mod:`ast` walk, so linting the tree is safe and fast.
+
+Entry points
+------------
+:func:`lint_paths`
+    Lint files and/or directory trees, returning sorted findings.
+:func:`lint_source`
+    Lint one in-memory source string (used by the fixture tests).
+
+Baseline filtering of grandfathered findings lives in
+:mod:`repro.lint.baseline`; the command line in :mod:`repro.lint.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = ["Finding", "FileContext", "Rule", "lint_source", "lint_paths", "dotted_name"]
+
+#: Inline suppression syntax: ``# repro-lint: disable=R001`` (or a
+#: comma-separated list, or ``all``) on the line of the finding.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source position.
+
+    Attributes
+    ----------
+    path:
+        File path (as normalised by the caller of the engine — the CLI
+        uses paths relative to the working directory, the test gate uses
+        repo-root-relative paths), posix separators.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    code:
+        Stable rule code (``R001`` ...), the unit of suppression and
+        baselining.
+    name:
+        Human-readable rule slug (``unseeded-default-rng``).
+    message:
+        What is wrong and what to do instead.
+    context:
+        The stripped source line, used for line-number-independent
+        baseline matching.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    name: str
+    message: str
+    context: str = ""
+
+    def format(self) -> str:
+        """Render as a classic ``path:line:col: CODE [slug] message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.name}] {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "name": self.name,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one module.
+
+    Attributes
+    ----------
+    path:
+        Normalised (posix) path string used in findings.
+    tree:
+        The parsed module.
+    lines:
+        Raw source lines (1-based access via ``lines[line - 1]``).
+    """
+
+    path: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def module_matches(self, suffixes: Iterable[str]) -> bool:
+        """Whether this module's path ends with any of the given suffixes.
+
+        Rules use this for explicit allowlists (e.g. the sweep supervisor
+        is allowed wall-clock time for its retry/backoff machinery).
+        """
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+    def source_line(self, lineno: int) -> str:
+        """The stripped source text of a 1-based line (empty if out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`code` (stable ``R0xx`` identifier),
+    :attr:`name` (kebab-case slug) and :attr:`description`, and implement
+    :meth:`check` as a generator of ``(node, message)`` pairs over the
+    module's AST.
+    """
+
+    code: str = "R000"
+    name: str = "base-rule"
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        """Yield ``(node, message)`` for every violation in the module."""
+        return iter(())
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Resolve an attribute chain to ``"a.b.c"`` (None for anything else).
+
+    ``np.random.default_rng`` resolves to ``"np.random.default_rng"``;
+    subscripts, calls and other expressions resolve to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _suppressions(lines: Sequence[str]) -> dict[int, set[str]]:
+    """Per-line suppressed rule codes from inline ``repro-lint`` comments."""
+    table: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            table[i] = {c.lower() if c.lower() == "all" else c.upper() for c in codes}
+    return table
+
+
+def _run_rules(ctx: FileContext, rules: Sequence[Rule]) -> list[Finding]:
+    """Run every rule over one parsed module, applying inline suppressions."""
+    suppressed = _suppressions(ctx.lines)
+    findings: list[Finding] = []
+    for rule in rules:
+        for node, message in rule.check(ctx):
+            line = getattr(node, "lineno", 1)
+            codes = suppressed.get(line, ())
+            if "all" in codes or rule.code in codes:
+                continue
+            findings.append(
+                Finding(
+                    path=ctx.path,
+                    line=line,
+                    col=getattr(node, "col_offset", 0),
+                    code=rule.code,
+                    name=rule.name,
+                    message=message,
+                    context=ctx.source_line(line),
+                )
+            )
+    return findings
+
+
+def lint_source(
+    source: str, rules: Sequence[Rule], path: str = "<string>"
+) -> list[Finding]:
+    """Lint one source string; returns findings sorted by position."""
+    tree = ast.parse(source, filename=path)
+    ctx = FileContext(path=path, tree=tree, lines=source.splitlines())
+    return sorted(_run_rules(ctx, rules), key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def _iter_python_files(target: Path) -> Iterator[Path]:
+    """All ``*.py`` files under a file-or-directory target, sorted."""
+    if target.is_dir():
+        yield from sorted(target.rglob("*.py"))
+    elif target.suffix == ".py":
+        yield target
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule],
+    root: str | Path | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint files and directory trees.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories; directories are walked for ``*.py``.
+    rules:
+        The rule set to run.
+    root:
+        When given, finding paths are reported relative to this directory
+        (falling back to the absolute path for files outside it).  This is
+        what keeps baseline entries stable no matter where the linter is
+        invoked from.
+
+    Returns
+    -------
+    ``(findings, n_files)`` — findings sorted by position, and the number
+    of files scanned.
+    """
+    root_path = Path(root).resolve() if root is not None else None
+    findings: list[Finding] = []
+    n_files = 0
+    for target in paths:
+        for file_path in _iter_python_files(Path(target)):
+            n_files += 1
+            resolved = file_path.resolve()
+            if root_path is not None:
+                try:
+                    rel = resolved.relative_to(root_path).as_posix()
+                except ValueError:
+                    rel = resolved.as_posix()
+            else:
+                rel = file_path.as_posix()
+            source = file_path.read_text()
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError as exc:
+                findings.append(
+                    Finding(
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        code="E999",
+                        name="syntax-error",
+                        message=f"could not parse: {exc.msg}",
+                    )
+                )
+                continue
+            ctx = FileContext(path=rel, tree=tree, lines=source.splitlines())
+            findings.extend(_run_rules(ctx, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings, n_files

@@ -28,6 +28,7 @@ from repro.channel.propagation import PathLossModel, propagation_delay_samples
 from repro.net.node import MeshNode
 from repro.phy.params import OFDMParams, DEFAULT_PARAMS
 from repro.phy.rates import Rate, rate_for_mbps
+from repro.rng import require_rng
 
 __all__ = ["Testbed"]
 
@@ -49,7 +50,8 @@ class Testbed:
     rng:
         Random source for shadowing and fading realisations (the draws are
         cached per link so the testbed is static once created, like a real
-        deployment during one experiment).
+        deployment during one experiment).  Required: a testbed never mints
+        its own entropy, so seeded runs stay bit-identical.
     """
 
     #: Tell pytest this (public, "Test"-prefixed) class is not a test case.
@@ -59,7 +61,7 @@ class Testbed:
     path_loss: PathLossModel = field(default_factory=PathLossModel)
     multipath_profile: MultipathProfile = DEFAULT_PROFILE
     params: OFDMParams = DEFAULT_PARAMS
-    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    rng: np.random.Generator | None = None
     _snr_cache: dict[tuple[int, int], float] = field(default_factory=dict, repr=False)
     _profile_cache: dict[tuple[int, int], np.ndarray] = field(default_factory=dict, repr=False)
     # Delivery probabilities are pure functions of the cached link profiles,
@@ -74,6 +76,7 @@ class Testbed:
     def __post_init__(self) -> None:
         if len({node.node_id for node in self.nodes}) != len(self.nodes):
             raise ValueError("node ids must be unique")
+        self.rng = require_rng(self.rng, "Testbed")
         self._by_id = {node.node_id: node for node in self.nodes}
         #: node id -> row/column index of the dense delivery matrices.
         self._node_index = {node.node_id: i for i, node in enumerate(self.nodes)}
@@ -92,7 +95,7 @@ class Testbed:
         params: OFDMParams = DEFAULT_PARAMS,
     ) -> "Testbed":
         """Place ``n_nodes`` uniformly at random in a square area."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = require_rng(rng, "Testbed.random")
         nodes = [MeshNode.random(i, rng, area_m) for i in range(n_nodes)]
         return cls(
             nodes=nodes,
@@ -110,7 +113,7 @@ class Testbed:
         **kwargs,
     ) -> "Testbed":
         """Build a testbed from explicit node positions."""
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = require_rng(rng, "Testbed.from_positions")
         nodes = [MeshNode(i, x, y) for i, (x, y) in enumerate(positions)]
         return cls(nodes=nodes, rng=rng, **kwargs)
 

@@ -11,6 +11,7 @@ SourceSync prototype inherits from its standard transmit/receive chains:
 from __future__ import annotations
 
 import numpy as np
+from repro.rng import require_rng
 
 __all__ = [
     "bytes_to_bits",
@@ -145,5 +146,5 @@ def check_crc(frame: bytes) -> tuple[bytes, bool]:
 
 def random_payload(n_bytes: int, rng: np.random.Generator | None = None) -> bytes:
     """Generate a random payload of the requested size."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = require_rng(rng, "random_payload")
     return rng.integers(0, 256, size=n_bytes, dtype=np.uint8).tobytes()

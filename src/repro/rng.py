@@ -1,0 +1,54 @@
+"""Deterministic RNG policy for the reproduction library.
+
+Every result in this repository rests on one contract: lockstep,
+sequential, chunked, multi-process and resumed runs are bit-identical
+under one seed.  That contract dies the moment library code silently
+mints its own entropy — an unseeded ``np.random.default_rng()`` fallback
+deep inside a channel model turns "arrays differ" into an unreproducible
+heisenbug.  The policy is therefore:
+
+* **Library code never creates generators.**  Functions and classes that
+  draw randomness take an explicit ``rng`` (a ``numpy.random.Generator``)
+  and fail loudly via :func:`require_rng` when the caller forgot one.
+* **Experiments own the seeds.**  Only the experiment/runner layer turns
+  a user-visible ``seed`` into generators (``np.random.default_rng(seed)``
+  and ``SeedSequence.spawn`` children), so the draw order is auditable
+  from a single root.
+
+The static side of the contract is enforced by :mod:`repro.lint`
+(rule ``R001`` flags unseeded ``default_rng()`` calls); the runtime side
+is auditable with :mod:`repro.lint.ledger`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["require_rng"]
+
+
+def require_rng(rng: "np.random.Generator | None", owner: str) -> np.random.Generator:
+    """Return ``rng``, raising if the caller failed to provide one.
+
+    Parameters
+    ----------
+    rng:
+        The generator the caller passed (possibly ``None``).
+    owner:
+        Name of the API that needs the generator, used in the error
+        message (e.g. ``"awgn"`` or ``"Testbed.random"``).
+
+    Raises
+    ------
+    ValueError
+        If ``rng`` is ``None``.  Library code must not fall back to an
+        unseeded ``np.random.default_rng()`` — that silently breaks the
+        bit-identical-replay contract every equivalence test depends on.
+    """
+    if rng is None:
+        raise ValueError(
+            f"{owner} requires an explicit numpy.random.Generator; pass "
+            "rng=np.random.default_rng(seed) from the experiment layer — "
+            "library code must not mint its own entropy (see repro.lint rule R001)"
+        )
+    return rng

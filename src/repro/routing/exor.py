@@ -31,6 +31,7 @@ from repro.net.etx import etx_graph, etx_to_destination, forwarder_order
 from repro.net.mac import CsmaState, MacTiming
 from repro.net.topology import Testbed
 from repro.phy.rates import Rate, rate_for_mbps
+from repro.rng import require_rng
 
 __all__ = ["ExorConfig", "ExorResult", "exor_priority", "simulate_exor"]
 
@@ -141,7 +142,7 @@ def simulate_exor(
     synchronization airtime of §4.4 is charged on every joint transmission.
     """
     config = config if config is not None else ExorConfig()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = require_rng(rng, "simulate_exor")
     timing = timing if timing is not None else MacTiming(params=testbed.params)
     rate: Rate = rate_for_mbps(rate_mbps)
 

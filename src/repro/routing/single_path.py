@@ -16,6 +16,7 @@ from repro.net.etx import best_route, etx_graph
 from repro.net.mac import CsmaState, MacTiming
 from repro.net.topology import Testbed
 from repro.phy.rates import Rate, rate_for_mbps
+from repro.rng import require_rng
 
 __all__ = ["SinglePathResult", "simulate_single_path"]
 
@@ -69,7 +70,7 @@ def simulate_single_path(
     retry_limit:
         Per-hop retransmission limit; packets exceeding it are dropped.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = require_rng(rng, "simulate_single_path")
     timing = timing if timing is not None else MacTiming(params=testbed.params)
     rate: Rate = rate_for_mbps(rate_mbps)
 

@@ -95,7 +95,7 @@ class TestAwgn:
         assert measure_snr_db(signal, noisy) == pytest.approx(10.0, abs=0.3)
 
     def test_zero_noise(self):
-        assert np.all(awgn(10, 0.0) == 0)
+        assert np.all(awgn(10, 0.0, np.random.default_rng(6)) == 0)
 
     def test_negative_noise_rejected(self):
         with pytest.raises(ValueError):

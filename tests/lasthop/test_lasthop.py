@@ -54,7 +54,7 @@ class TestSampleRate:
         assert len(seen) > 1
 
     def test_report_validates_attempts(self):
-        adapter = SampleRate()
+        adapter = SampleRate(rng=np.random.default_rng(7))
         with pytest.raises(ValueError):
             adapter.report(rate_for_mbps(6.0), True, n_attempts=0)
 

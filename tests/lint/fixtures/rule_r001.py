@@ -1,0 +1,24 @@
+"""Fixture for R001 (unseeded-default-rng): parsed by the linter, never imported."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def bad_fallback(rng=None):
+    rng = rng if rng is not None else np.random.default_rng()  # expect: R001
+    return rng
+
+
+def seeded_is_fine(seed):
+    return np.random.default_rng(seed)
+
+
+def suppressed_fallback(rng=None):
+    rng = rng if rng is not None else np.random.default_rng()  # repro-lint: disable=R001
+    return rng
+
+
+@dataclass
+class BadHolder:
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)  # expect: R001

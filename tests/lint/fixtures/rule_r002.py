@@ -1,0 +1,19 @@
+"""Fixture for R002 (numpy-global-rng): parsed by the linter, never imported."""
+
+import numpy as np
+
+
+def bad_global_state():
+    np.random.seed(0)  # expect: R002
+    return np.random.normal(size=3)  # expect: R002
+
+
+def seeded_machinery_is_fine(seed):
+    rng = np.random.default_rng(seed)
+    seq = np.random.SeedSequence(seed)
+    bit = np.random.PCG64(seq)
+    return rng.normal(), bit
+
+
+def suppressed_global():
+    return np.random.rand(3)  # repro-lint: disable=R002

@@ -1,0 +1,21 @@
+"""Fixture for R003 (wallclock-entropy): parsed by the linter, never imported."""
+
+import random  # expect: R003
+import time
+from datetime import datetime
+
+
+def bad_wallclock_seed():
+    return time.time()  # expect: R003
+
+
+def bad_timestamp():
+    return datetime.now()  # expect: R003
+
+
+def perf_counter_is_fine():
+    return time.perf_counter()
+
+
+def suppressed_wallclock():
+    return time.time()  # repro-lint: disable=R003

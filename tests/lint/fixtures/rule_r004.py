@@ -1,0 +1,27 @@
+"""Fixture for R004 (mutable-config-dataclass): parsed by the linter, never imported."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BadConfig:  # expect: R004
+    trials: int = 10
+
+
+@dataclass(frozen=False)
+class AlsoBadConfig:  # expect: R004
+    trials: int = 10
+
+
+@dataclass(frozen=True)
+class GoodConfig:
+    trials: int = 10
+
+
+@dataclass
+class SuppressedConfig:  # repro-lint: disable=R004
+    trials: int = 10
+
+
+class PlainConfig:
+    """Not a dataclass; out of scope for R004."""

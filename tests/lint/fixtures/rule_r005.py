@@ -1,0 +1,32 @@
+"""Fixture for R005 (raw-artifact-write): parsed by the linter, never imported."""
+
+from pathlib import Path
+
+
+def bad_open_write(path, text):
+    with open(path, "w") as handle:  # expect: R005
+        handle.write(text)
+
+
+def bad_write_text(path, text):
+    Path(path).write_text(text)  # expect: R005
+
+
+def bad_keyword_mode(path, text):
+    with open(path, mode="wt") as handle:  # expect: R005
+        handle.write(text)
+
+
+def reading_is_fine(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def appending_is_fine(path, line):
+    with open(path, "a") as handle:
+        handle.write(line)
+
+
+def suppressed_write(path, text):
+    with open(path, "w") as handle:  # repro-lint: disable=R005
+        handle.write(text)

@@ -1,0 +1,31 @@
+"""Fixture for R006 (unordered-iteration-rng): parsed by the linter, never imported."""
+
+
+def bad_set_iteration(nodes, rng):
+    out = []
+    for node in set(nodes):  # expect: R006
+        out.append(node + rng.random())
+    return out
+
+
+def bad_values_iteration(lanes, root):
+    children = []
+    for lane in lanes.values():  # expect: R006
+        children.extend(lane.seed_seq.spawn(2))
+    return children
+
+
+def sorted_iteration_is_fine(nodes, rng):
+    out = []
+    for node in sorted(set(nodes)):
+        out.append(node + rng.random())
+    return out
+
+
+def no_rng_in_body_is_fine(nodes):
+    return [node + 1 for node in set(nodes)]
+
+
+def suppressed_set_iteration(nodes, rng):
+    for node in set(nodes):  # repro-lint: disable=R006
+        rng.integers(0, 10)

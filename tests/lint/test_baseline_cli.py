@@ -1,0 +1,115 @@
+"""Baseline semantics and the ``python -m repro.lint`` command line."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import Baseline, DEFAULT_RULES, lint_paths
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _findings(*names: str):
+    findings, _ = lint_paths([FIXTURES / name for name in names], DEFAULT_RULES)
+    return findings
+
+
+class TestBaseline:
+    def test_roundtrip_grandfathers_everything(self, tmp_path):
+        findings = _findings("rule_r001.py", "rule_r005.py")
+        baseline = Baseline.from_findings(findings)
+        path = baseline.save(tmp_path / "baseline.json")
+        reloaded = Baseline.load(path)
+        new, baselined, stale = reloaded.apply(findings)
+        assert new == []
+        assert baselined == len(findings)
+        assert stale == []
+
+    def test_new_findings_pass_through(self):
+        baseline = Baseline.from_findings(_findings("rule_r001.py"))
+        new, baselined, stale = baseline.apply(_findings("rule_r001.py", "rule_r002.py"))
+        assert {f.code for f in new} == {"R002"}
+        assert baselined == len(_findings("rule_r001.py"))
+        assert stale == []
+
+    def test_stale_entries_reported(self):
+        baseline = Baseline.from_findings(_findings("rule_r001.py", "rule_r002.py"))
+        new, baselined, stale = baseline.apply(_findings("rule_r001.py"))
+        assert new == []
+        assert {entry.code for entry in stale} == {"R002"}
+
+    def test_matching_survives_line_drift(self):
+        findings = _findings("rule_r001.py")
+        baseline = Baseline.from_findings(findings)
+        shifted = [
+            type(f)(
+                path=f.path,
+                line=f.line + 40,
+                col=f.col,
+                code=f.code,
+                name=f.name,
+                message=f.message,
+                context=f.context,
+            )
+            for f in findings
+        ]
+        new, baselined, _ = baseline.apply(shifted)
+        assert new == [] and baselined == len(findings)
+
+    def test_empty_baseline(self):
+        new, baselined, stale = Baseline.empty().apply(_findings("rule_r003.py"))
+        assert len(new) == len(_findings("rule_r003.py"))
+        assert baselined == 0 and stale == []
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Clean module."""\nVALUE = 1\n')
+        assert main([str(clean)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "bad.py:2" in out
+
+    def test_json_format(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        assert main([str(bad), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        assert payload["findings"][0]["code"] == "R001"
+        assert payload["findings"][0]["line"] == 2
+
+    def test_write_then_pass_with_baseline(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nrng = np.random.default_rng()\n")
+        assert main([str(bad), "--write-baseline"]) == 0
+        assert (tmp_path / "LINT_BASELINE.json").exists()
+        assert main([str(bad)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        assert main([str(bad), "--no-baseline"]) == 1
+
+    def test_select_restricts_rules(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert main([str(bad), "--select", "R001", "--no-baseline"]) == 0
+        assert main([str(bad), "--select", "R002", "--no-baseline"]) == 1
+        assert main([str(bad), "--select", "R0xx"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in DEFAULT_RULES:
+            assert rule.code in out

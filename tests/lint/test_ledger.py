@@ -1,0 +1,200 @@
+"""Draw-ledger auditor tests.
+
+The acceptance case: two runs that should be bit-identical, one with a
+deliberately injected extra draw — the differ must name the exact draw
+index and the stack site of the injecting function.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.lint.ledger import (
+    DrawAudit,
+    RecordingGenerator,
+    audit_run,
+    compare_runs,
+    first_divergence,
+    first_value_divergence,
+)
+
+SEED = 1234
+
+
+def _lane_lockstep(rng: np.random.Generator) -> np.ndarray:
+    """Batched path: one size-6 draw per distribution."""
+    gains = rng.normal(size=6)
+    jitter = rng.random(6)
+    return gains + jitter
+
+
+def _lane_sequential(rng: np.random.Generator) -> np.ndarray:
+    """Per-sample path: 6 scalar draws per distribution, same stream."""
+    gains = np.array([rng.normal() for _ in range(6)])
+    jitter = np.array([rng.random() for _ in range(6)])
+    return gains + jitter
+
+
+def _inject_extra_draw(rng: np.random.Generator) -> float:
+    """The deliberate fault: one stray draw the clean run never makes."""
+    return float(rng.random())
+
+
+def _faulty_sequential(rng: np.random.Generator) -> np.ndarray:
+    gains = []
+    for i in range(6):
+        if i == 3:
+            # Injected mid-stream: consumes state the fourth normal() draw
+            # should have used, so every later draw is shifted.
+            _inject_extra_draw(rng)
+        gains.append(rng.normal())
+    jitter = np.array([rng.random() for _ in range(6)])
+    return np.array(gains) + jitter
+
+
+class TestRecordingGenerator:
+    def test_bit_identical_to_plain_generator(self):
+        _, ledger = audit_run(lambda: None)
+        recorded = RecordingGenerator(np.random.PCG64(SEED), ledger)
+        plain = np.random.default_rng(SEED)
+        np.testing.assert_array_equal(recorded.normal(size=8), plain.normal(size=8))
+        np.testing.assert_array_equal(
+            recorded.integers(0, 100, size=5), plain.integers(0, 100, size=5)
+        )
+        assert len(ledger) == 2
+
+    def test_records_method_shape_and_consumer(self):
+        def run():
+            rng = np.random.default_rng(SEED)
+            rng.normal(loc=1.0, size=(3, 2))
+
+        _, ledger = audit_run(run)
+        (record,) = ledger.records
+        assert record.method == "normal"
+        assert record.shape == (3, 2)
+        assert record.n_values == 6
+        assert "loc=1.0" in record.args
+        assert "run" in record.consumer and Path(__file__).name in record.consumer
+        assert record.method in record.describe()
+
+    def test_spawn_children_share_ledger_and_stream(self):
+        def run():
+            root = np.random.default_rng(SEED)
+            children = root.spawn(2)
+            return [child.random(3) for child in children]
+
+        outputs, ledger = audit_run(run)
+        plain_children = np.random.default_rng(SEED).spawn(2)
+        for out, plain in zip(outputs, plain_children):
+            np.testing.assert_array_equal(out, plain.random(3))
+        assert [r.method for r in ledger.records] == ["spawn", "random", "random"]
+
+    def test_isinstance_and_passthrough(self):
+        with DrawAudit() as audit:
+            rng = np.random.default_rng(SEED)
+            assert isinstance(rng, np.random.Generator)
+            assert np.random.default_rng(rng) is rng
+        assert audit.ledger.summary().startswith("0 draws")
+
+
+class TestDrawAudit:
+    def test_patch_is_scoped(self):
+        original = np.random.default_rng
+        with DrawAudit():
+            assert np.random.default_rng is not original
+        assert np.random.default_rng is original
+
+    def test_internally_minted_generators_are_audited(self):
+        def experiment():
+            rng = np.random.default_rng(SEED)
+            return rng.random(4)
+
+        out, ledger = audit_run(experiment)
+        np.testing.assert_array_equal(out, np.random.default_rng(SEED).random(4))
+        assert ledger.total_values() == 4
+
+
+class TestDiffer:
+    def test_identical_runs_have_no_divergence(self):
+        _, a = audit_run(lambda: _lane_sequential(np.random.default_rng(SEED)))
+        _, b = audit_run(lambda: _lane_sequential(np.random.default_rng(SEED)))
+        assert first_divergence(a, b) is None
+        assert first_value_divergence(a, b) is None
+
+    def test_injected_draw_localised_to_index_and_site(self):
+        _, clean = audit_run(lambda: _lane_sequential(np.random.default_rng(SEED)))
+        _, faulty = audit_run(lambda: _faulty_sequential(np.random.default_rng(SEED)))
+        div = first_divergence(clean, faulty)
+        assert div is not None
+        # Draws 0-2 are the first three normal() calls and agree; draw #3
+        # on the faulty side is the injected rng.random().
+        assert div.kind == "method"
+        assert div.right is not None and div.right.index == 3
+        assert div.right.method == "random"
+        assert "_inject_extra_draw" in div.right.consumer
+        assert Path(__file__).name in div.right.consumer
+        assert "_inject_extra_draw" in div.describe()
+        assert "draw #3" in div.describe()
+
+    def test_injected_draw_shifts_value_stream(self):
+        _, clean = audit_run(lambda: _lane_sequential(np.random.default_rng(SEED)))
+        _, faulty = audit_run(lambda: _faulty_sequential(np.random.default_rng(SEED)))
+        div = first_value_divergence(clean, faulty)
+        assert div is not None and div.kind == "value-stream"
+        # Streams agree through the first three normal values; value #3 is
+        # the injected draw on the faulty side vs the fourth normal on the
+        # clean side.
+        assert div.offset == 3
+        assert div.right is not None and "_inject_extra_draw" in div.right.consumer
+
+    def test_prefix_ledger_reports_missing(self):
+        def short(rng):
+            return rng.random(3)
+
+        def long(rng):
+            out = rng.random(3)
+            rng.normal()
+            return out
+
+        _, a = audit_run(lambda: short(np.random.default_rng(SEED)))
+        _, b = audit_run(lambda: long(np.random.default_rng(SEED)))
+        div = first_divergence(a, b)
+        assert div is not None and div.kind == "missing"
+        assert div.left is None and div.right is not None
+        assert div.right.method == "normal"
+        assert "only the right run has" in div.describe()
+
+    def test_chunking_invariance_lockstep_vs_sequential(self):
+        diff = compare_runs(
+            lambda: _lane_lockstep(np.random.default_rng(SEED)),
+            lambda: _lane_sequential(np.random.default_rng(SEED)),
+        )
+        # Call shapes differ (2 draws vs 12) but the value stream must not.
+        assert diff.record_divergence is not None
+        assert diff.identical
+        assert "bit-identical" in diff.report()
+        np.testing.assert_array_equal(diff.result_a, diff.result_b)
+
+    def test_seed_mismatch_diverges_at_offset_zero(self):
+        diff = compare_runs(
+            lambda: _lane_lockstep(np.random.default_rng(SEED)),
+            lambda: _lane_lockstep(np.random.default_rng(SEED + 1)),
+        )
+        assert not diff.identical
+        assert diff.value_divergence is not None
+        assert diff.value_divergence.offset == 0
+        assert "stream offset 0" in diff.report()
+
+    def test_digest_diff_without_stored_values(self):
+        _, a = audit_run(
+            lambda: _lane_lockstep(np.random.default_rng(SEED)), store_values=False
+        )
+        _, b = audit_run(
+            lambda: _lane_lockstep(np.random.default_rng(SEED + 1)), store_values=False
+        )
+        assert a.records[0].values is None
+        div = first_divergence(a, b)
+        assert div is not None and div.kind == "values"
+        assert div.left is not None and div.left.index == 0

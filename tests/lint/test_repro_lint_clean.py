@@ -1,0 +1,65 @@
+"""CI gate: the tree must be repro-lint clean against the checked-in baseline.
+
+Companion to ``tests/test_docstring_coverage.py``: runs the full
+determinism rule set over ``src/repro``, ``benchmarks`` and ``examples``
+and fails on any finding that is not grandfathered in
+``LINT_BASELINE.json`` — and on stale baseline entries, so the baseline
+can only shrink.  A separate test pins the unseeded-RNG rule (R001) to
+an *empty* baseline: every library entry point must require an explicit
+generator, not silently mint one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import Baseline, DEFAULT_RULES, lint_paths
+from repro.lint.baseline import DEFAULT_BASELINE_NAME
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / DEFAULT_BASELINE_NAME
+LINTED_TREES = ("src/repro", "benchmarks", "examples")
+
+
+def _lint_tree():
+    paths = [REPO_ROOT / tree for tree in LINTED_TREES if (REPO_ROOT / tree).exists()]
+    return lint_paths(paths, DEFAULT_RULES, root=REPO_ROOT)
+
+
+def test_tree_is_lint_clean_modulo_baseline():
+    findings, n_files = _lint_tree()
+    assert n_files > 50, "lint walked suspiciously few files — check LINTED_TREES"
+    baseline = Baseline.load(BASELINE_PATH) if BASELINE_PATH.exists() else Baseline.empty()
+    new, _, stale = baseline.apply(findings)
+    assert not new, (
+        f"{len(new)} repro-lint finding(s) not covered by {DEFAULT_BASELINE_NAME}.\n"
+        "Fix them (preferred), suppress with `# repro-lint: disable=R0xx` and a\n"
+        "justification, or re-run `python -m repro.lint --write-baseline` and\n"
+        "justify the baseline growth in review:\n"
+        + "\n".join(f.format() for f in new)
+    )
+    assert not stale, (
+        "stale baseline entries (the findings no longer exist) — re-run\n"
+        "`python -m repro.lint --write-baseline` to shrink the baseline:\n"
+        + "\n".join(f"{e.code} {e.path}: {e.context}" for e in stale)
+    )
+
+
+def test_unseeded_rng_rule_has_no_baseline_entries():
+    """R001 is a hard floor: no grandfathered unseeded ``default_rng()``."""
+    if not BASELINE_PATH.exists():
+        return
+    payload = json.loads(BASELINE_PATH.read_text())
+    grandfathered = [e for e in payload.get("entries", []) if e.get("code") == "R001"]
+    assert not grandfathered, (
+        "unseeded default_rng() fallbacks must be fixed, not baselined:\n"
+        + "\n".join(f"{e['path']}: {e['context']}" for e in grandfathered)
+    )
+
+
+def test_baseline_file_is_schema_version_1():
+    assert BASELINE_PATH.exists(), f"{DEFAULT_BASELINE_NAME} missing at repo root"
+    payload = json.loads(BASELINE_PATH.read_text())
+    assert payload["version"] == 1
+    assert isinstance(payload["entries"], list)

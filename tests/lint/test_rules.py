@@ -1,0 +1,108 @@
+"""Fixture-driven tests for the determinism rule set.
+
+Each ``fixtures/rule_r00x.py`` file carries its own expectations: every
+line that must produce a finding ends with ``# expect: R0xx`` (several
+codes comma-separated if needed), and every deliberately suppressed case
+carries the real ``# repro-lint: disable=R0xx`` comment.  The test
+asserts the engine reports *exactly* the expected (line, code) set — so
+a fixture simultaneously exercises the positive, the negative and the
+suppressed paths of its rule.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import DEFAULT_RULES, lint_paths, lint_source, rules_by_code
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([A-Z0-9, ]+)")
+
+
+def _expected(path: Path) -> set[tuple[int, str]]:
+    """Parse ``# expect: R0xx`` markers into a {(line, code)} set."""
+    expected: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT_RE.search(line)
+        if match:
+            for code in match.group(1).split(","):
+                expected.add((lineno, code.strip()))
+    return expected
+
+
+@pytest.mark.parametrize(
+    "fixture", sorted(FIXTURES.glob("rule_*.py")), ids=lambda p: p.stem
+)
+def test_fixture_findings_match_expectations(fixture: Path):
+    expected = _expected(fixture)
+    assert expected, f"{fixture} has no `# expect:` markers"
+    findings, n_files = lint_paths([fixture], DEFAULT_RULES)
+    assert n_files == 1
+    got = {(f.line, f.code) for f in findings}
+    assert got == expected, (
+        f"{fixture.name}: expected {sorted(expected)}, got {sorted(got)}\n"
+        + "\n".join(f.format() for f in findings)
+    )
+
+
+def test_every_rule_has_a_fixture():
+    covered = {path.stem.split("_")[1].upper() for path in FIXTURES.glob("rule_*.py")}
+    assert covered == {rule.code for rule in DEFAULT_RULES}
+
+
+def test_findings_carry_position_and_context():
+    findings, _ = lint_paths([FIXTURES / "rule_r001.py"], DEFAULT_RULES)
+    fallback = [f for f in findings if "default_rng()" in f.context][0]
+    assert fallback.code == "R001"
+    assert fallback.name == "unseeded-default-rng"
+    assert fallback.col > 0
+    assert "default_rng()" in fallback.context
+    assert str(fallback.line) in fallback.format()
+
+
+def test_suppress_all_keyword():
+    source = (
+        "import numpy as np\n"
+        "def f():\n"
+        "    return np.random.normal()  # repro-lint: disable=all\n"
+    )
+    assert lint_source(source, DEFAULT_RULES) == []
+
+
+def test_suppression_is_per_code():
+    source = (
+        "import numpy as np\n"
+        "def f():\n"
+        "    return np.random.normal()  # repro-lint: disable=R005\n"
+    )
+    findings = lint_source(source, DEFAULT_RULES)
+    assert [f.code for f in findings] == ["R002"]
+
+
+def test_rules_by_code_selects_and_rejects():
+    selected = rules_by_code(["R001", "r005"])
+    assert [rule.code for rule in selected] == ["R001", "R005"]
+    with pytest.raises(ValueError, match="unknown rule codes"):
+        rules_by_code(["R099"])
+
+
+def test_syntax_error_becomes_finding(tmp_path: Path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    findings, n_files = lint_paths([bad], DEFAULT_RULES)
+    assert n_files == 1
+    assert [f.code for f in findings] == ["E999"]
+
+
+def test_wallclock_allowlist_respected():
+    source = "import random\nimport time\nx = time.time()\n"
+    flagged = lint_source(source, rules_by_code(["R003"]), path="repro/core/session.py")
+    assert {f.code for f in flagged} == {"R003"}
+    allowed = lint_source(
+        source, rules_by_code(["R003"]), path="repro/experiments/supervisor.py"
+    )
+    assert allowed == []

@@ -81,7 +81,7 @@ class TestCrc:
 
 class TestRandomPayload:
     def test_length(self):
-        assert len(b.random_payload(57)) == 57
+        assert len(b.random_payload(57, np.random.default_rng(0))) == 57
 
     def test_deterministic_with_rng(self):
         a = b.random_payload(32, np.random.default_rng(1))
