@@ -11,7 +11,11 @@ quantities the traffic experiments report:
 * :func:`extract_fct` — per-flow FCTs plus the summary scalars (p50 / p95
   / p99 / mean, goodput, offered utilization, makespan);
 * :func:`saturation_load` — the offered load at which a scheme's service
-  queue saturates, from a least-squares fit of utilization versus load.
+  queue saturates, from a least-squares fit of utilization versus load;
+* :func:`sender_goodput_shares` and :func:`jains_index` — per-sender
+  goodput shares of a multi-sender workload and their Jain fairness
+  index, the per-sender fairness view the incast and link-dynamics
+  experiments report.
 
 Everything here is pure arithmetic on arrays: no randomness, so results
 inherit the traffic layer's bit-identity guarantees unchanged.
@@ -26,7 +30,14 @@ import numpy as np
 
 from repro.analysis.cdf import EmpiricalCDF
 
-__all__ = ["FctSummary", "fifo_completion_times", "extract_fct", "saturation_load"]
+__all__ = [
+    "FctSummary",
+    "fifo_completion_times",
+    "extract_fct",
+    "saturation_load",
+    "sender_goodput_shares",
+    "jains_index",
+]
 
 
 @dataclass(frozen=True)
@@ -153,3 +164,50 @@ def saturation_load(loads: Sequence[float], utilizations: Sequence[float]) -> fl
     if slope <= 0:
         return float("inf")
     return 1.0 / slope
+
+
+def sender_goodput_shares(
+    senders: Sequence[int],
+    delivered_packets: Sequence[int],
+    payload_bytes: int,
+    makespan_us: float,
+) -> dict[int, float]:
+    """Per-sender delivered goodput (Mb/s) over one serving's makespan.
+
+    ``senders[i]`` is flow *i*'s sender node; each sender's share is the
+    payload bits its flows delivered over the common makespan, so the
+    shares sum to the serving's aggregate goodput.  Senders that delivered
+    nothing still appear (share 0.0) — starvation is exactly what the
+    fairness view must expose.  Returns senders in first-appearance order.
+    """
+    sender_list = [int(s) for s in senders]
+    delivered = np.asarray(delivered_packets, dtype=np.float64)
+    if len(sender_list) != delivered.size:
+        raise ValueError("senders and delivered_packets must be equal length")
+    if makespan_us < 0:
+        raise ValueError("makespan_us must be non-negative")
+    shares: dict[int, float] = {}
+    for sender, packets in zip(sender_list, delivered.tolist()):
+        shares.setdefault(sender, 0.0)
+        if makespan_us > 0:
+            shares[sender] += packets * payload_bytes * 8 / makespan_us
+    return shares
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index, ``(Σx)² / (n · Σx²)``.
+
+    1.0 means perfectly equal shares; ``1/n`` means one participant takes
+    everything.  All-zero allocations return 1.0 (an idle system treats
+    everyone identically); negative shares are rejected.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("jains_index needs a non-empty 1-D sequence")
+    if np.any(x < 0):
+        raise ValueError("shares must be non-negative")
+    total_sq = float(x.sum()) ** 2
+    denom = x.size * float(np.dot(x, x))
+    if denom == 0.0:
+        return 1.0
+    return total_sq / denom

@@ -9,6 +9,16 @@ from repro.channel.awgn import (
     noise_power_for_snr,
 )
 from repro.channel.composite import Link, Transmission, combine_at_receiver, link_for_snr
+from repro.channel.dynamics import (
+    GilbertElliott,
+    LinkDynamics,
+    LinkStateTrajectory,
+    LossRateGrid,
+    link_order,
+    materialise_trajectory,
+    trajectory_from_states,
+    trajectory_from_uniforms,
+)
 from repro.channel.multipath import (
     DEFAULT_PROFILE,
     WIGLAN_PROFILE,
@@ -34,6 +44,14 @@ __all__ = [
     "Transmission",
     "combine_at_receiver",
     "link_for_snr",
+    "GilbertElliott",
+    "LinkDynamics",
+    "LinkStateTrajectory",
+    "LossRateGrid",
+    "link_order",
+    "materialise_trajectory",
+    "trajectory_from_states",
+    "trajectory_from_uniforms",
     "MultipathChannel",
     "MultipathProfile",
     "DEFAULT_PROFILE",

@@ -1,0 +1,344 @@
+"""Bursty link dynamics: Gilbert–Elliott fault injection over the mesh.
+
+Every testbed link is a *static* draw from one measured distribution; this
+module adds the time axis.  A :class:`LinkDynamics` spec attaches two
+fault models to a transfer:
+
+* a per-link two-state **Gilbert–Elliott** process
+  (:class:`GilbertElliott`): each directed link flips between a *good*
+  and a *bad* state with fixed transition probabilities per transmission
+  slot, and each state scales the link's delivery probability by its own
+  multiplier — time-correlated loss bursts, the failure mode static link
+  draws can never produce;
+* a static **link-speed × loss-rate grid** (:class:`LossRateGrid`), the
+  LinkGuardian-style ``effective_lossRate_linkSpeed`` model: an extra
+  loss rate interpolated from the lane's transmission rate, applied on
+  top of the state multipliers.
+
+Determinism contract
+--------------------
+State trajectories are *materialised up front* from the owning lane's
+generator: one ``rng.random((horizon_slots, n_links))`` draw in the
+canonical all-pairs link order (:func:`link_order`), evolved by a pure
+scan into per-slot multipliers (:func:`trajectory_from_uniforms`).  The
+draw sits in the lane's sequential stream position — after priming,
+before the first transfer draw — so the lockstep mesh engine
+(:mod:`repro.routing.ensemble`) stays bit-identical to the sequential
+path: dynamics only *modulates* delivery probabilities, it never changes
+how many uniforms a phase consumes or in which order.  Stacked cross-lane
+evolution (:func:`evolve_states` over a leading lane axis) is
+comparison-only, so it is bit-identical to evolving each lane alone.
+
+A transfer's *slot clock* is its transmission counter: the ``k``-th
+transmission of a lane reads the trajectory at slot ``k`` (modulo the
+horizon, which wraps periodically), which both the sequential simulators
+and the lockstep engine track identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.rng import require_rng
+
+__all__ = [
+    "GilbertElliott",
+    "LossRateGrid",
+    "LinkDynamics",
+    "LinkStateTrajectory",
+    "link_order",
+    "trajectory_from_uniforms",
+    "trajectory_from_states",
+    "materialise_trajectory",
+]
+
+
+@dataclass(frozen=True)
+class GilbertElliott:
+    """Two-state Markov loss-burst process of one directed link.
+
+    Per transmission slot a link in the *good* state turns bad with
+    probability ``p_good_to_bad`` and a link in the *bad* state recovers
+    with probability ``p_bad_to_good``; each state scales the link's
+    delivery probability by its multiplier.  The mean bad-burst length is
+    ``1 / p_bad_to_good`` slots and the stationary bad fraction is
+    ``p / (p + r)`` — the classic Gilbert–Elliott parametrisation.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    good_multiplier: float = 1.0
+    bad_multiplier: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_good_to_bad <= 1.0 or not 0.0 < self.p_bad_to_good <= 1.0:
+            raise ValueError(
+                "transition probabilities must satisfy 0 <= p_good_to_bad <= 1 "
+                "and 0 < p_bad_to_good <= 1 (bad bursts must be able to end)"
+            )
+        if self.good_multiplier < 0.0 or self.bad_multiplier < 0.0:
+            raise ValueError("state multipliers must be non-negative")
+
+    @classmethod
+    def from_burst(
+        cls,
+        burst_slots: float,
+        bad_fraction: float,
+        good_multiplier: float = 1.0,
+        bad_multiplier: float = 0.25,
+    ) -> "GilbertElliott":
+        """Build a process from its mean burst length and stationary bad fraction.
+
+        ``burst_slots`` is the mean bad-state dwell time (``1 / r``) and
+        ``bad_fraction`` the stationary probability of the bad state
+        (``p / (p + r)``) — the two knobs the loss/burst grid of the
+        ``fig20_link_dynamics`` experiment sweeps directly.
+        """
+        if burst_slots < 1.0:
+            raise ValueError("burst_slots must be >= 1 (a burst lasts at least one slot)")
+        if not 0.0 < bad_fraction < 1.0:
+            raise ValueError("bad_fraction must be in (0, 1)")
+        r = 1.0 / burst_slots
+        p = r * bad_fraction / (1.0 - bad_fraction)
+        if p > 1.0:
+            raise ValueError(
+                f"bad_fraction={bad_fraction} with burst_slots={burst_slots} needs "
+                "p_good_to_bad > 1; lengthen the burst or lower the fraction"
+            )
+        return cls(p, r, good_multiplier, bad_multiplier)
+
+    def stationary_bad_fraction(self) -> float:
+        """Stationary probability of the bad state, ``p / (p + r)``."""
+        total = self.p_good_to_bad + self.p_bad_to_good
+        if total == 0.0:
+            return 0.0
+        return self.p_good_to_bad / total
+
+    def mean_burst_slots(self) -> float:
+        """Mean bad-state dwell time in slots, ``1 / p_bad_to_good``."""
+        return 1.0 / self.p_bad_to_good
+
+    def evolve_states(self, uniforms: np.ndarray) -> np.ndarray:
+        """Evolve bad/good states from pre-drawn uniforms (``True`` = bad).
+
+        ``uniforms`` has shape ``(..., n_slots, n_links)``; leading axes
+        (e.g. a lane axis) evolve independently, so stacking lanes and
+        evolving once is bit-identical to evolving each lane alone — the
+        operations are pure comparisons.  Slot 0 samples the stationary
+        distribution (the chain starts in equilibrium); slot ``t`` applies
+        the transition probabilities to slot ``t - 1``.
+        """
+        u = np.asarray(uniforms, dtype=np.float64)
+        if u.ndim < 2:
+            raise ValueError("uniforms must have shape (..., n_slots, n_links)")
+        states = np.empty(u.shape, dtype=bool)
+        states[..., 0, :] = u[..., 0, :] < self.stationary_bad_fraction()
+        for t in range(1, u.shape[-2]):
+            previous = states[..., t - 1, :]
+            draw = u[..., t, :]
+            states[..., t, :] = np.where(
+                previous, draw >= self.p_bad_to_good, draw < self.p_good_to_bad
+            )
+        return states
+
+
+@dataclass(frozen=True)
+class LossRateGrid:
+    """Static link-speed × loss-rate table (LinkGuardian's grid model).
+
+    ``loss_rate_for`` interpolates the extra loss rate at a lane's
+    transmission rate (clamped at the table's ends) — the
+    ``effective_lossRate_linkSpeed`` sweep shape: faster links see higher
+    effective loss.  The grid is RNG-free; it contributes a constant
+    ``1 - loss`` factor to every multiplier of a lane's trajectory.
+    """
+
+    speeds_mbps: tuple[float, ...]
+    loss_rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.speeds_mbps or len(self.speeds_mbps) != len(self.loss_rates):
+            raise ValueError("speeds_mbps and loss_rates must be equal-length and non-empty")
+        if any(b <= a for a, b in zip(self.speeds_mbps, self.speeds_mbps[1:])):
+            raise ValueError("speeds_mbps must be strictly increasing")
+        if any(not 0.0 <= loss < 1.0 for loss in self.loss_rates):
+            raise ValueError("loss rates must be in [0, 1)")
+
+    def loss_rate_for(self, speed_mbps: float) -> float:
+        """Extra loss rate at ``speed_mbps`` (linear interpolation, clamped)."""
+        return float(
+            np.interp(
+                speed_mbps,
+                np.asarray(self.speeds_mbps, dtype=np.float64),
+                np.asarray(self.loss_rates, dtype=np.float64),
+            )
+        )
+
+
+@dataclass(frozen=True)
+class LinkDynamics:
+    """Fault-injection spec attached to a transfer (or lane).
+
+    ``horizon_slots`` bounds the materialised trajectory; transfers longer
+    than the horizon wrap periodically (slot ``k`` reads
+    ``k % horizon_slots``).  With ``gilbert_elliott=None`` the trajectory
+    consumes **no** generator draws (the grid alone is deterministic), so
+    a grid-only spec leaves every existing stream untouched.
+    """
+
+    gilbert_elliott: GilbertElliott | None = None
+    grid: LossRateGrid | None = None
+    horizon_slots: int = 512
+
+    def __post_init__(self) -> None:
+        if self.horizon_slots < 1:
+            raise ValueError("horizon_slots must be >= 1")
+        if self.gilbert_elliott is None and self.grid is None:
+            raise ValueError("LinkDynamics needs a Gilbert-Elliott process or a grid (or both)")
+
+    def draw_state_uniforms(self, rng: np.random.Generator, n_links: int) -> np.ndarray | None:
+        """The trajectory's single uniform block — ``None`` when grid-only.
+
+        One ``rng.random((horizon_slots, n_links))`` call, links in the
+        canonical :func:`link_order`: the whole RNG consumption of a
+        lane's dynamics, in one draw, exactly like the engine's merged
+        forwarding draws.
+        """
+        if self.gilbert_elliott is None:
+            return None
+        return rng.random((self.horizon_slots, n_links))
+
+
+def link_order(node_ids: Sequence[int]) -> list[tuple[int, int]]:
+    """Canonical directed-link order: nested ``(a, b)`` loops, ``a != b``.
+
+    Matches the testbed's canonical all-pairs priming order, so the
+    trajectory's uniform columns have a stable, documented meaning
+    independent of which links a transfer actually exercises.
+    """
+    return [(a, b) for a in node_ids for b in node_ids if a != b]
+
+
+@dataclass(frozen=True, eq=False)
+class LinkStateTrajectory:
+    """Materialised per-slot delivery-probability multipliers of one lane.
+
+    ``multipliers[slot, i, j]`` scales the delivery probability of
+    directed link ``i → j`` (dense node-index axes; self links stay 1) at
+    transmission slot ``slot``; slots wrap at ``horizon_slots``.  All
+    accessors are pure gathers plus an elementwise ``max`` for joint
+    senders — both execution paths (sequential and lockstep) call the
+    same methods, so modulated probabilities are bit-identical by
+    construction.
+    """
+
+    horizon_slots: int
+    node_index: Mapping[int, int]
+    multipliers: np.ndarray
+
+    def pair_multiplier(self, slot: int, src: int, dst: int) -> float:
+        """Multiplier of link ``src → dst`` at transmission slot ``slot``."""
+        block = self.multipliers[slot % self.horizon_slots]
+        return float(block[self.node_index[src], self.node_index[dst]])
+
+    def rows(self, start_slot: int, n_slots: int, src: int, receivers: Sequence[int]) -> np.ndarray:
+        """Multiplier block for consecutive slots of one sender.
+
+        Returns ``(n_slots, len(receivers))``: row ``k`` holds the
+        ``src → receiver`` multipliers at slot ``start_slot + k`` — the
+        broadcast-phase shape (packet ``k`` of a wave transmits at slot
+        ``start_slot + k``).
+        """
+        slots = (start_slot + np.arange(n_slots)) % self.horizon_slots
+        cols = [self.node_index[node] for node in receivers]
+        return self.multipliers[slots][:, self.node_index[src], cols]
+
+    def receiver_multipliers(
+        self, slot: int, senders: Sequence[int], receivers: Sequence[int]
+    ) -> np.ndarray:
+        """Per-receiver multipliers of one (possibly joint) transmission.
+
+        A joint transmission rides the *best* participating sender's link
+        state towards each receiver (element-wise ``max``): sender
+        diversity hedges bursts, which is exactly the robustness question
+        the link-dynamics experiment quantifies.
+        """
+        block = self.multipliers[slot % self.horizon_slots]
+        rows = [self.node_index[node] for node in senders]
+        cols = [self.node_index[node] for node in receivers]
+        if len(rows) == 1:
+            return block[rows[0], cols]
+        return block[np.ix_(rows, cols)].max(axis=0)
+
+
+def trajectory_from_uniforms(
+    dynamics: LinkDynamics,
+    node_ids: Sequence[int],
+    rate_mbps: float,
+    uniforms: np.ndarray | None,
+) -> LinkStateTrajectory:
+    """Build a lane's trajectory from its pre-drawn (or evolved) uniforms.
+
+    ``uniforms`` is the block :meth:`LinkDynamics.draw_state_uniforms`
+    returned for this lane — or, on the stacked lockstep path, the lane's
+    slice of a cross-lane :meth:`GilbertElliott.evolve_states` batch
+    passed through unchanged (pass the evolved boolean states via
+    :func:`trajectory_from_states` instead in that case).
+    """
+    states = None
+    if dynamics.gilbert_elliott is not None:
+        if uniforms is None:
+            raise ValueError("a Gilbert-Elliott spec needs its uniform block")
+        states = dynamics.gilbert_elliott.evolve_states(uniforms)
+    return trajectory_from_states(dynamics, node_ids, rate_mbps, states)
+
+
+def trajectory_from_states(
+    dynamics: LinkDynamics,
+    node_ids: Sequence[int],
+    rate_mbps: float,
+    states: np.ndarray | None,
+) -> LinkStateTrajectory:
+    """Assemble the dense multiplier cube from evolved boolean states.
+
+    ``states`` has shape ``(horizon_slots, n_links)`` in canonical
+    :func:`link_order` (``None`` for grid-only specs).  The grid factor is
+    a scalar per lane (every link transmits at the lane's rate), applied
+    after the state multipliers — multiplication order is fixed so the
+    sequential and stacked paths produce identical floats.
+    """
+    n_nodes = len(node_ids)
+    index = {node: k for k, node in enumerate(node_ids)}
+    cube = np.ones((dynamics.horizon_slots, n_nodes, n_nodes), dtype=np.float64)
+    if states is not None:
+        process = dynamics.gilbert_elliott
+        flat = np.where(states, process.bad_multiplier, process.good_multiplier)
+        for column, (a, b) in enumerate(link_order(node_ids)):
+            cube[:, index[a], index[b]] = flat[:, column]
+    if dynamics.grid is not None:
+        cube = cube * (1.0 - dynamics.grid.loss_rate_for(rate_mbps))
+    return LinkStateTrajectory(
+        horizon_slots=dynamics.horizon_slots, node_index=index, multipliers=cube
+    )
+
+
+def materialise_trajectory(
+    dynamics: LinkDynamics,
+    node_ids: Sequence[int],
+    rate_mbps: float,
+    rng: np.random.Generator | None,
+) -> LinkStateTrajectory:
+    """Draw and evolve one lane's trajectory in its sequential stream position.
+
+    The single uniform draw comes from ``rng`` (the *lane's* generator —
+    state trajectories are keyed off the lane exactly like forwarding
+    draws); grid-only specs draw nothing.
+    """
+    uniforms = None
+    if dynamics.gilbert_elliott is not None:
+        rng = require_rng(rng, "materialise_trajectory")
+        uniforms = dynamics.draw_state_uniforms(rng, len(link_order(node_ids)))
+    return trajectory_from_uniforms(dynamics, node_ids, rate_mbps, uniforms)

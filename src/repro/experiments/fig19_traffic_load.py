@@ -22,15 +22,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import partial
 
-from repro.analysis.fct import FctSummary, extract_fct, saturation_load
+from repro.analysis.fct import (
+    FctSummary,
+    extract_fct,
+    jains_index,
+    saturation_load,
+    sender_goodput_shares,
+)
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import experiment
 from repro.phy.params import DEFAULT_PARAMS, OFDMParams
-from repro.traffic.service import SCHEMES, FlowService, incast_mesh, relay_mesh, simulate_flow_services
+from repro.traffic.service import FlowService, incast_mesh, relay_mesh, simulate_flow_services
 from repro.traffic.sizes import SIZE_MIX_NAMES, make_size_mix
 from repro.traffic.workload import TrafficWorkload, derive_seed, incast_workload, poisson_workload
 
 __all__ = ["Config", "SPEC", "run"]
+
+#: The schemes this experiment sweeps — the original three, pinned locally
+#: so the canonical scheme list growing (link_local lives in
+#: fig20_link_dynamics) cannot move this experiment's draws or results.
+_SCHEMES = ("single_path", "exor", "sourcesync")
 
 #: Scheme → key label (summary-key placeholders cannot carry underscores).
 _LABELS = {"single_path": "single", "exor": "exor", "sourcesync": "sourcesync"}
@@ -60,6 +71,10 @@ class Config:
     mice_packets: int = 2
     elephant_packets: int = 24
     elephant_fraction: float = 0.15
+    #: (sizes, weights) table of the ``empirical`` size mix — e.g. a
+    #: digitised flow-size CDF; unused by the other mixes.
+    empirical_packets: tuple[int, ...] = (1, 4, 16, 64)
+    empirical_weights: tuple[float, ...] = (0.5, 0.3, 0.15, 0.05)
     incast: bool = True
     incast_jitter_us: float = 100.0
     n_relays: int = 3
@@ -106,7 +121,7 @@ def _serve(
         workload,
         factory,
         dst,
-        schemes=SCHEMES,
+        schemes=_SCHEMES,
         lockstep=config.batched,
         jobs=config.jobs,
         chunk_flows=config.chunk_flows,
@@ -157,6 +172,10 @@ def _summarise(workload: TrafficWorkload, services: list[FlowService]) -> FctSum
         "p95_fct_ms_{scheme}": "95th-percentile flow-completion time at the highest swept load, in ms",
         "goodput_mbps_{scheme}": "delivered goodput at the highest swept load, in Mb/s",
         "incast_p99_fct_ms_{scheme}": "99th-percentile FCT of the N-senders-to-1-victim incast burst, in ms",
+        "incast_fairness_jain_{scheme}": (
+            "Jain fairness index over the incast senders' delivered goodput "
+            "shares (1 = perfectly even, 1/N = one sender takes everything)"
+        ),
         "fct_p95_gain_sourcesync_vs_single": (
             "single-path p95 FCT over ExOR+SourceSync p95 FCT at the highest load "
             "(> 1 means SourceSync completes flows faster)"
@@ -175,6 +194,8 @@ def _run(config: Config) -> ExperimentResult:
         mice_packets=config.mice_packets,
         elephant_packets=config.elephant_packets,
         elephant_fraction=config.elephant_fraction,
+        empirical_packets=config.empirical_packets,
+        empirical_weights=config.empirical_weights,
     )
     series: dict[str, list[float]] = {"load": list(config.loads)}
     summary: dict[str, float] = {}
@@ -198,9 +219,9 @@ def _run(config: Config) -> ExperimentResult:
     top = len(config.loads) - 1
     summaries: dict[str, list[FctSummary]] = {
         scheme: [_summarise(workload, services[scheme]) for workload in workloads]
-        for scheme in SCHEMES
+        for scheme in _SCHEMES
     }
-    for scheme in SCHEMES:
+    for scheme in _SCHEMES:
         label = _LABELS[scheme]
         per_load = summaries[scheme]
         series[f"fct_p50_ms_{label}"] = [s.p50_us / 1e3 for s in per_load]
@@ -242,13 +263,21 @@ def _run(config: Config) -> ExperimentResult:
             jitter_us=config.incast_jitter_us,
         )
         incast_services = _serve(config, burst, incast_factory, dst=0)
-        for scheme in SCHEMES:
+        burst_senders = [flow.sender for flow in burst.flows]
+        for scheme in _SCHEMES:
             label = _LABELS[scheme]
             incast_summary = _summarise(burst, incast_services[scheme])
             series[f"incast_fct_ms_{label}"] = sorted(
                 value / 1e3 for value in incast_summary.fct_us
             )
             summary[f"incast_p99_fct_ms_{label}"] = incast_summary.p99_us / 1e3
+            shares = sender_goodput_shares(
+                burst_senders,
+                [service.delivered_packets for service in incast_services[scheme]],
+                config.payload_bytes,
+                incast_summary.makespan_us,
+            )
+            summary[f"incast_fairness_jain_{label}"] = jains_index(list(shares.values()))
         series["incast_cdf_fraction"] = [
             i / max(config.n_senders - 1, 1) for i in range(config.n_senders)
         ]

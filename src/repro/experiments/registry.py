@@ -76,6 +76,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.fig17_lasthop",
     "repro.experiments.fig18_opportunistic",
     "repro.experiments.fig19_traffic_load",
+    "repro.experiments.fig20_link_dynamics",
     "repro.experiments.overhead",
     "repro.experiments.ablation_combining",
     "repro.experiments.ablation_slope",

@@ -70,23 +70,32 @@ import numpy as np
 
 from repro.analysis.error_models import delivery_probabilities, delivery_probabilities_rates
 from repro.channel.awgn import db_to_linear, linear_to_db
+from repro.channel.dynamics import (
+    LinkStateTrajectory,
+    link_order,
+    materialise_trajectory,
+    trajectory_from_states,
+)
 from repro.channel.multipath import rayleigh_taps_batch
 from repro.lasthop.controller import SourceSyncController
 from repro.lasthop.rate_adaptation import SampleRate
 from repro.lasthop.simulation import LastHopResult
 from repro.net.etx import etx_graph
-from repro.net.mac import MacTiming
+from repro.net.mac import CsmaState, MacTiming
 from repro.net.topology import Testbed
 from repro.phy.rates import Rate, rate_for_mbps, rates_sorted
 from repro.routing.exor import ExorConfig, ExorResult, exor_priority
+from repro.routing.link_local import LinkLocalConfig, LinkLocalResult, _transfer
 from repro.routing.single_path import SinglePathResult
 
 __all__ = [
     "ExorLane",
     "DownlinkLane",
+    "LinkLocalLane",
     "prime_testbeds_lockstep",
     "simulate_exor_ensemble",
     "simulate_single_path_ensemble",
+    "simulate_link_local_ensemble",
     "simulate_downlink_ensemble",
 ]
 
@@ -269,6 +278,10 @@ class _ExorLaneState:
     single_probs: list[list[float]]  #: per forwarder index, probabilities to rows 0..index
     single_airtime: float
     airtime_by_cosenders: list[float]
+    #: Materialised link-state trajectory (``None`` = static links); the
+    #: lane's transmission counter is the slot clock, exactly as in the
+    #: sequential path.
+    trajectory: LinkStateTrajectory | None = None
     elapsed_us: float = 0.0
     transmissions: int = 0
     failures: int = 0
@@ -294,7 +307,9 @@ class _ExorLaneState:
         )
 
 
-def _lane_state(lane: ExorLane) -> _ExorLaneState:
+def _lane_state(
+    lane: ExorLane, trajectory: LinkStateTrajectory | None = None
+) -> _ExorLaneState:
     testbed, config = lane.testbed, lane.config
     timing = lane.timing if lane.timing is not None else MacTiming(params=testbed.params)
     rate = rate_for_mbps(lane.rate_mbps)
@@ -322,6 +337,7 @@ def _lane_state(lane: ExorLane) -> _ExorLaneState:
         single_probs=single_probs,
         single_airtime=single,
         airtime_by_cosenders=airtimes,
+        trajectory=trajectory,
     )
 
 
@@ -363,7 +379,20 @@ def _broadcast_wave(state: _ExorLaneState) -> None:
     matrix = testbed.delivery_prob_matrix(state.rate, config.payload_bytes)
     src_col = testbed._node_index[lane.src]
     probs = matrix[src_col, [testbed._node_index[state.holders[k]] for k in listener_rows]]
-    outcomes = lane.rng.random((config.batch_size, len(listener_rows))) < probs[None, :]
+    if state.trajectory is None:
+        outcomes = lane.rng.random((config.batch_size, len(listener_rows))) < probs[None, :]
+    else:
+        # Identical (batch, listeners) draw; packet k transmits at slot k,
+        # matching the sequential path's trajectory.rows modulation.
+        mult = state.trajectory.rows(
+            state.transmissions,
+            config.batch_size,
+            lane.src,
+            [state.holders[k] for k in listener_rows],
+        )
+        outcomes = (
+            lane.rng.random((config.batch_size, len(listener_rows))) < probs[None, :] * mult
+        )
     holds = state.holds
     failures = 0
     for packet_id, row in enumerate(outcomes.tolist()):
@@ -425,6 +454,8 @@ def _forwarding_turn(state: _ExorLaneState, index: int, higher_or: int) -> int:
         prob_rows = None
         single_row = state.single_probs[index]
         airtimes = None
+    traj = state.trajectory
+    receiver_nodes = state.holders[:n_receivers] if traj is not None else None
     draws = state.lane.rng.random(n_pending * n_receivers).tolist()
     newly = [0] * n_receivers
     failures = 0
@@ -432,6 +463,24 @@ def _forwarding_turn(state: _ExorLaneState, index: int, higher_or: int) -> int:
     position = 0
     for k in range(n_pending):
         row = prob_rows[k] if prob_rows is not None else single_row
+        if traj is not None:
+            # Packet k of the turn transmits at slot transmissions + k; the
+            # sender list is rebuilt exactly as the sequential scheduler's
+            # (forwarder first, then joiners in priority order) so the
+            # modulated probabilities are the same floats.
+            if config.sender_diversity:
+                mask = masks[k]
+                senders = [state.priority[index]] + [
+                    state.priority[i]
+                    for i in range(len(state.priority))
+                    if i != index and mask >> i & 1
+                ]
+            else:
+                senders = [state.priority[index]]
+            mult = traj.receiver_multipliers(
+                state.transmissions + k, senders, receiver_nodes
+            )
+            row = (np.asarray(row) * mult).tolist()
         bit = 1 << pending[k]
         delivered_any = False
         for r in range(n_receivers):
@@ -460,6 +509,7 @@ def _cleanup(state: _ExorLaneState) -> None:
     lane, config = state.lane, state.lane.config
     holds = state.holds
     rng = lane.rng
+    traj = state.trajectory
     full = (1 << config.batch_size) - 1
     for packet_id in _bit_indices(~holds[0] & full):
         bit = 1 << packet_id
@@ -474,15 +524,28 @@ def _cleanup(state: _ExorLaneState) -> None:
             for i in holder_indices:
                 bitmask |= 1 << i
             prob = _joint_probs(state, bitmask, sender_index, 1)[0]
+            sender_nodes = [state.priority[i] for i in holder_indices]
         else:
             # Row 0 of a forwarder's single-sender probabilities is the
             # destination (receivers are ordered destination-first).
             prob = state.single_probs[sender_index][0]
+            sender_nodes = [state.priority[sender_index]]
         airtime = state.airtime_by_cosenders[n_senders - 1]
         for _ in range(config.retry_limit_last_hop):
             if n_senders > 1:
                 state.joint_count += 1
-            success = rng.random() < prob
+            if traj is None:
+                effective = prob
+            else:
+                # The slot clock advances every attempt, so the modulated
+                # probability must be re-read inside the retry loop.
+                effective = (
+                    prob
+                    * traj.receiver_multipliers(
+                        state.transmissions, sender_nodes, [lane.dst]
+                    )[0]
+                )
+            success = rng.random() < effective
             state.elapsed_us += airtime
             state.transmissions += 1
             if success:
@@ -514,6 +577,44 @@ def _prime_lane_caches(lane: ExorLane) -> None:
     data_mbps = rate_for_mbps(lane.rate_mbps).mbps
     if not cache.get(("delivery_primed", data_mbps, config.payload_bytes)):
         prime_testbeds_lockstep([lane.testbed], lane.rate_mbps, config.payload_bytes)
+
+
+def _materialise_root_trajectories(
+    lanes: list[ExorLane], roots: list[int]
+) -> dict[int, LinkStateTrajectory]:
+    """Draw the root lanes' link-state trajectories, evolved cross-lane.
+
+    Each lane's uniform block is still that lane's own single draw (its
+    sequential stream position: after priming, before the first transfer
+    draw), but the Gilbert–Elliott scan runs once per distinct process over
+    the *stacked* blocks of all lanes sharing it — the scan is pure
+    comparisons, so the stacked evolution is bit-identical to evolving each
+    lane alone.  Chained lanes are excluded: they draw at activation.
+    """
+    trajectories: dict[int, LinkStateTrajectory] = {}
+    groups: dict[tuple, list[tuple[int, np.ndarray]]] = {}
+    for i in roots:
+        lane = lanes[i]
+        dynamics = lane.config.dynamics
+        if dynamics is None:
+            continue
+        n_links = len(link_order(lane.testbed.node_ids))
+        uniforms = dynamics.draw_state_uniforms(lane.rng, n_links)
+        if uniforms is None:  # grid-only spec: deterministic, no draws
+            trajectories[i] = trajectory_from_states(
+                dynamics, lane.testbed.node_ids, lane.rate_mbps, None
+            )
+            continue
+        key = (dynamics.gilbert_elliott, dynamics.horizon_slots, n_links)
+        groups.setdefault(key, []).append((i, uniforms))
+    for (process, _, _), rows in groups.items():
+        states = process.evolve_states(np.stack([block for _, block in rows]))
+        for (i, _), lane_states in zip(rows, states):
+            lane = lanes[i]
+            trajectories[i] = trajectory_from_states(
+                lane.config.dynamics, lane.testbed.node_ids, lane.rate_mbps, lane_states
+            )
+    return trajectories
 
 
 def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
@@ -563,6 +664,10 @@ def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
         )
     for (rate_mbps, payload), testbeds in data_groups.items():
         prime_testbeds_lockstep(testbeds, rate_mbps, payload)
+    # Link-state trajectories: root lanes draw now (their post-priming
+    # stream position) with the evolution scan stacked across lanes;
+    # chained lanes draw inside _start, after their predecessor's last draw.
+    trajectories = _materialise_root_trajectories(lanes, roots)
 
     results: list[ExorResult | None] = [None] * len(lanes)
     live: list[tuple[int, _ExorLaneState]] = []
@@ -592,7 +697,14 @@ def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
         lane = lanes[index]
         if after[index] is not None:
             _prime_lane_caches(lane)
-        state = _lane_state(lane)
+            if lane.config.dynamics is not None:
+                # A chained lane's trajectory draw lands right after its
+                # predecessor's final draw — the shared generator's
+                # sequential order.
+                trajectories[index] = materialise_trajectory(
+                    lane.config.dynamics, lane.testbed.node_ids, lane.rate_mbps, lane.rng
+                )
+        state = _lane_state(lane, trajectories.get(index))
         _broadcast_wave(state)
         if state.active:
             live.append((index, state))
@@ -662,11 +774,17 @@ def simulate_single_path_ensemble(
         if len(route) < 2:
             results.append(SinglePathResult(0.0, 0, n_packets, 0, tuple(route)))
             continue
+        # The trajectory draw sits after the route check and before the
+        # attempt block, exactly where the sequential simulator makes it.
+        trajectory = None
+        if config.dynamics is not None:
+            trajectory = materialise_trajectory(
+                config.dynamics, testbed.node_ids, lane.rate_mbps, rng
+            )
         matrix = testbed.delivery_prob_matrix(rate, config.payload_bytes)
         idx = testbed._node_index
-        hop_probs = [
-            float(matrix[idx[a], idx[b]]) for a, b in zip(route[:-1], route[1:])
-        ]
+        hops = list(zip(route[:-1], route[1:]))
+        hop_probs = [float(matrix[idx[a], idx[b]]) for a, b in hops]
         per_attempt = timing.single_transaction_us(config.payload_bytes, rate)
         snapshot = {**rng.bit_generator.state}
         draws = rng.random(n_packets * len(hop_probs) * retry_limit).tolist()
@@ -675,10 +793,16 @@ def simulate_single_path_ensemble(
         elapsed = 0.0
         for _ in range(n_packets):
             alive = True
-            for prob in hop_probs:
+            for hop, prob in zip(hops, hop_probs):
                 success = False
                 for _ in range(retry_limit):
-                    got_through = draws[position] < prob
+                    if trajectory is None:
+                        threshold = prob
+                    else:
+                        threshold = prob * trajectory.pair_multiplier(
+                            transmissions, hop[0], hop[1]
+                        )
+                    got_through = draws[position] < threshold
                     position += 1
                     elapsed += per_attempt
                     transmissions += 1
@@ -705,6 +829,111 @@ def simulate_single_path_ensemble(
                 transmissions=transmissions,
                 route=tuple(route),
                 elapsed_us=elapsed,
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Link-local recovery in lockstep
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinkLocalLane:
+    """One link-local-recovery bulk transfer for the lockstep ensemble.
+
+    Lanes run to completion in input order (the retry structure is
+    feedback-bound, like the single-path baseline), so lanes sharing a
+    generator are naturally sequential here; ``after`` is accepted — and
+    validated by the chaining rules — but carries no scheduling meaning.
+    """
+
+    testbed: Testbed
+    src: int
+    dst: int
+    rate_mbps: float
+    n_packets: int
+    config: LinkLocalConfig
+    rng: np.random.Generator
+    timing: MacTiming | None = None
+    after: "LinkLocalLane | None" = None
+
+
+def simulate_link_local_ensemble(lanes: list[LinkLocalLane]) -> list[LinkLocalResult]:
+    """Link-local-recovery transfers for an ensemble of lanes.
+
+    Bit-identical to per-lane
+    :func:`repro.routing.link_local.simulate_link_local` calls: both paths
+    run the same :func:`repro.routing.link_local._transfer` loop, this one
+    against a pre-drawn upper-bound block
+    (``n_packets × e2e passes × hops × attempts per hop``) that is rewound
+    to advance the generator by exactly the consumed count.  The trajectory
+    draw (when ``config.dynamics`` is set) lands after the route check and
+    before the block, in the sequential stream position.
+    """
+    from repro.net.etx import best_route
+
+    if not lanes:
+        return []
+    _resolve_chains(lanes)
+    results = []
+    for lane in lanes:
+        config = lane.config
+        testbed, rng = lane.testbed, lane.rng
+        timing = lane.timing if lane.timing is not None else MacTiming(params=testbed.params)
+        rate = rate_for_mbps(lane.rate_mbps)
+        graph = etx_graph(
+            testbed, probe_rate_mbps=config.probe_rate_mbps, probe_bytes=config.payload_bytes
+        )
+        route_key = ("best_route", config.probe_rate_mbps, config.payload_bytes, lane.src, lane.dst)
+        route = testbed._routing_cache.get(route_key)
+        if route is None:
+            route = best_route(graph, lane.src, lane.dst) or ()
+            testbed._routing_cache[route_key] = route
+        if len(route) < 2:
+            results.append(LinkLocalResult(0.0, 0, lane.n_packets, 0, 0, 0, tuple(route)))
+            continue
+        trajectory = None
+        if config.dynamics is not None:
+            trajectory = materialise_trajectory(
+                config.dynamics, testbed.node_ids, lane.rate_mbps, rng
+            )
+        matrix = testbed.delivery_prob_matrix(rate, config.payload_bytes)
+        idx = testbed._node_index
+        hop_pairs = list(zip(route[:-1], route[1:]))
+        hop_probs = [float(matrix[idx[a], idx[b]]) for a, b in hop_pairs]
+        per_attempt = timing.single_transaction_us(config.payload_bytes, rate)
+        bound = lane.n_packets * config.e2e_passes * len(hop_pairs) * config.attempts_per_hop
+        snapshot = {**rng.bit_generator.state}
+        block = rng.random(bound).tolist()
+        consumed = 0
+
+        def next_uniform(block: list[float] = block) -> float:
+            nonlocal consumed
+            value = block[consumed]
+            consumed += 1
+            return value
+
+        mac = CsmaState()
+        delivered, local_retransmissions, e2e_retries = _transfer(
+            hop_pairs, hop_probs, lane.n_packets, config, trajectory, per_attempt,
+            next_uniform, mac,
+        )
+        # Rewind and re-consume exactly the used draws, as in the
+        # single-path baseline: downstream phases see an unchanged stream.
+        rng.bit_generator.state = snapshot
+        if consumed:
+            rng.random(consumed)
+        throughput = mac.throughput_mbps(delivered * config.payload_bytes * 8)
+        results.append(
+            LinkLocalResult(
+                throughput_mbps=throughput,
+                delivered_packets=delivered,
+                total_packets=lane.n_packets,
+                transmissions=mac.transmissions,
+                local_retransmissions=local_retransmissions,
+                e2e_retries=e2e_retries,
+                route=tuple(route),
+                elapsed_us=mac.elapsed_us,
             )
         )
     return results

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.channel.dynamics import LinkDynamics, LinkStateTrajectory, materialise_trajectory
 from repro.net.etx import etx_graph, etx_to_destination, forwarder_order
 from repro.net.mac import CsmaState, MacTiming
 from repro.net.topology import Testbed
@@ -56,6 +57,14 @@ class ExorConfig:
     #: identical uniform stream either way, so results are bit-identical;
     #: the flag exists so benchmarks can compare the two control flows.
     batched: bool = True
+    #: Bursty link dynamics (Gilbert–Elliott bursts and/or a speed × loss
+    #: grid).  ``None`` leaves every link static — and every existing RNG
+    #: stream untouched.  With a spec, the lane's state trajectory is one
+    #: upfront draw from the transfer's generator and every delivery
+    #: probability is modulated by the per-slot link multipliers; the draw
+    #: *counts* of all phases are unchanged, which is what keeps the
+    #: lockstep engine bit-identical to this sequential path.
+    dynamics: LinkDynamics | None = None
 
 
 @dataclass
@@ -152,6 +161,15 @@ def simulate_exor(
     # per-attempt probability lookups below become array gathers.
     testbed.delivery_prob_matrix(rate, config.payload_bytes)
 
+    # Bursty link dynamics: the whole trajectory is one upfront draw from
+    # the transfer's generator, made *after* priming and before the first
+    # delivery draw — the stream position the lockstep engine reproduces.
+    trajectory: LinkStateTrajectory | None = None
+    if config.dynamics is not None:
+        trajectory = materialise_trajectory(
+            config.dynamics, testbed.node_ids, rate_mbps, rng
+        )
+
     # Who holds which packet.  The destination is the highest-priority
     # "holder"; once it has a packet nobody forwards that packet again.
     batch = list(range(config.batch_size))
@@ -182,9 +200,16 @@ def simulate_exor(
     # ------------------------------------------------------------------
     listeners = [node for node in [dst, *priority] if node != src]
     if config.batched:
-        outcomes = testbed.attempt_broadcasts(
-            src, listeners, config.batch_size, rate, config.payload_bytes, rng
-        )
+        if trajectory is None:
+            outcomes = testbed.attempt_broadcasts(
+                src, listeners, config.batch_size, rate, config.payload_bytes, rng
+            )
+        else:
+            # Same (batch, listeners) uniform draw, probabilities scaled by
+            # the per-slot link multipliers (packet k transmits at slot k).
+            base = testbed._delivery_prob_vector(src, listeners, rate, config.payload_bytes)
+            mult = trajectory.rows(mac.transmissions, config.batch_size, src, listeners)
+            outcomes = rng.random((config.batch_size, len(listeners))) < base[None, :] * mult
         for packet_id in batch:
             # A broadcast succeeds when any targeted listener received it;
             # throughput only reads elapsed_us, so the success flag affects
@@ -197,7 +222,15 @@ def simulate_exor(
         for packet_id in batch:
             heard = False
             for node in listeners:
-                if _attempt(testbed, [src], node, rate, config.payload_bytes, rng):
+                if trajectory is None:
+                    got = _attempt(testbed, [src], node, rate, config.payload_bytes, rng)
+                else:
+                    prob = testbed._delivery_prob(src, node, rate, config.payload_bytes)
+                    got = bool(
+                        rng.random()
+                        < prob * trajectory.pair_multiplier(mac.transmissions, src, node)
+                    )
+                if got:
                     holds[node].add(packet_id)
                     heard = True
             mac.account(single_airtime, heard)
@@ -232,7 +265,23 @@ def simulate_exor(
                 if len(senders) > 1:
                     joint_count += 1
                 receivers = receivers_for(packet_id, index)
-                if config.batched:
+                if trajectory is not None:
+                    # The modulated probabilities consume the identical
+                    # uniform stream the unmodulated helpers would.
+                    base = testbed._delivery_prob_vector(
+                        senders if len(senders) > 1 else senders[0],
+                        receivers, rate, config.payload_bytes,
+                    )
+                    effective = base * trajectory.receiver_multipliers(
+                        mac.transmissions, senders, receivers
+                    )
+                    if not config.batched:
+                        delivered = [bool(rng.random() < value) for value in effective.tolist()]
+                    elif len(receivers) == 1:
+                        delivered = [bool(rng.random() < effective[0])]
+                    else:
+                        delivered = (rng.random(len(receivers)) < effective).tolist()
+                elif config.batched:
                     delivered = testbed.attempt_deliveries(
                         senders, receivers, rate, config.payload_bytes, rng
                     )
@@ -268,7 +317,16 @@ def simulate_exor(
             airtime = charge(len(senders) - 1)
             if len(senders) > 1:
                 joint_count += 1
-            success = _attempt(testbed, senders, dst, rate, config.payload_bytes, rng)
+            if trajectory is None:
+                success = _attempt(testbed, senders, dst, rate, config.payload_bytes, rng)
+            else:
+                base = testbed._delivery_prob(
+                    senders if len(senders) > 1 else senders[0], dst, rate, config.payload_bytes
+                )
+                success = bool(
+                    rng.random()
+                    < base * trajectory.receiver_multipliers(mac.transmissions, senders, [dst])[0]
+                )
             mac.account(airtime, success)
             if success:
                 holds[dst].add(packet_id)

@@ -1,0 +1,228 @@
+"""Link-local retransmission with graceful end-to-end fallback.
+
+A LinkGuardian-style protection scheme, the fourth routing scheme beside
+single path, ExOR and ExOR+SourceSync: packets follow the minimum-ETX
+route, but every hop keeps the packet in a *sender-side buffer* and
+retransmits it **locally and immediately** on loss — up to a bounded
+local retry budget, with a deterministic timeout/backoff charged in
+airtime units before each local retransmission.  When a hop exhausts its
+local budget the scheme *degrades gracefully to end-to-end recovery*: the
+source restarts the whole packet (up to ``e2e_retry_limit`` times) before
+declaring it lost.
+
+Local recovery pays a small per-retry timeout instead of re-traversing
+the route, so under short loss bursts it beats plain per-hop retry; under
+long bursts the local budget exhausts into the (expensive) end-to-end
+path — exactly the ARQ-vs-diversity tradeoff the ``fig20_link_dynamics``
+experiment quantifies against ExOR+SourceSync.
+
+Determinism: one scalar uniform per transmission attempt, in packet →
+end-to-end attempt → hop → local-retry order; the backoff is a pure
+function of the attempt index (no RNG).  The lockstep engine counterpart
+(:func:`repro.routing.ensemble.simulate_link_local_ensemble`) pre-draws
+an upper-bound block and rewinds, consuming the identical stream — both
+paths share :func:`_transfer` so the arithmetic is common by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.channel.dynamics import LinkDynamics, LinkStateTrajectory, materialise_trajectory
+from repro.net.etx import best_route, etx_graph
+from repro.net.mac import CsmaState, MacTiming
+from repro.net.topology import Testbed
+from repro.phy.rates import Rate, rate_for_mbps
+from repro.rng import require_rng
+
+__all__ = ["LinkLocalConfig", "LinkLocalResult", "simulate_link_local"]
+
+
+@dataclass(frozen=True)
+class LinkLocalConfig:
+    """Parameters of a link-local-recovery bulk transfer.
+
+    ``local_retry_limit`` counts the *extra* local retransmissions after a
+    hop's first attempt (0 = no local protection); before local
+    retransmission ``k`` (1-based) the sender waits a deterministic
+    timeout of ``timeout_fraction × airtime × backoff_factor^(k-1)`` —
+    charged as elapsed medium time, never drawn from the RNG.
+    ``e2e_retry_limit`` bounds how often the source restarts a packet
+    whose protection budget was exhausted mid-route.
+    """
+
+    payload_bytes: int = 1460
+    local_retry_limit: int = 4
+    e2e_retry_limit: int = 2
+    timeout_fraction: float = 0.25
+    backoff_factor: float = 2.0
+    probe_rate_mbps: float = 6.0
+    dynamics: LinkDynamics | None = None
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 1:
+            raise ValueError("payload_bytes must be >= 1")
+        if self.local_retry_limit < 0 or self.e2e_retry_limit < 0:
+            raise ValueError("retry limits must be non-negative")
+        if self.timeout_fraction < 0:
+            raise ValueError("timeout_fraction must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1 (backoff never shrinks)")
+
+    @property
+    def attempts_per_hop(self) -> int:
+        """Transmission attempts one hop makes per end-to-end pass."""
+        return 1 + self.local_retry_limit
+
+    @property
+    def e2e_passes(self) -> int:
+        """End-to-end passes one packet may take (first pass + retries)."""
+        return 1 + self.e2e_retry_limit
+
+
+@dataclass(frozen=True)
+class LinkLocalResult:
+    """Outcome of one link-local-recovery bulk transfer."""
+
+    throughput_mbps: float
+    delivered_packets: int
+    total_packets: int
+    transmissions: int
+    #: Local (hop-level) retransmissions — attempts beyond each hop's first.
+    local_retransmissions: int
+    #: End-to-end restarts taken after a hop exhausted its local budget.
+    e2e_retries: int
+    route: tuple[int, ...]
+    #: Total medium time consumed, including the deterministic backoff
+    #: waits (the traffic layer's per-flow service time).
+    elapsed_us: float = 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of packets that reached the destination."""
+        if self.total_packets == 0:
+            return 0.0
+        return self.delivered_packets / self.total_packets
+
+
+def _transfer(
+    hop_pairs: Sequence[tuple[int, int]],
+    hop_probs: Sequence[float],
+    n_packets: int,
+    config: LinkLocalConfig,
+    trajectory: LinkStateTrajectory | None,
+    per_attempt_us: float,
+    next_uniform: Callable[[], float],
+    mac: CsmaState,
+) -> tuple[int, int, int]:
+    """Run the transfer loop against a uniform supplier; fills ``mac``.
+
+    Shared by the sequential simulator (``next_uniform`` draws from the
+    generator) and the lockstep ensemble (``next_uniform`` replays a
+    pre-drawn block): one scalar uniform per attempt either way, so both
+    paths consume the identical stream and compute identical floats.
+    Returns ``(delivered, local_retransmissions, e2e_retries)``.
+    """
+    timeout_us = config.timeout_fraction * per_attempt_us
+    delivered = local_retransmissions = e2e_retries = 0
+    for _ in range(n_packets):
+        arrived = False
+        for e2e_pass in range(config.e2e_passes):
+            route_ok = True
+            for (hop_src, hop_dst), prob in zip(hop_pairs, hop_probs):
+                hop_ok = False
+                for local_try in range(config.attempts_per_hop):
+                    if local_try > 0:
+                        # Deterministic timeout/backoff before each local
+                        # retransmission, charged in airtime units.
+                        mac.elapsed_us += timeout_us * config.backoff_factor ** (local_try - 1)
+                        local_retransmissions += 1
+                    if trajectory is None:
+                        effective = prob
+                    else:
+                        effective = prob * trajectory.pair_multiplier(
+                            mac.transmissions, hop_src, hop_dst
+                        )
+                    got_through = next_uniform() < effective
+                    mac.account(per_attempt_us, got_through)
+                    if got_through:
+                        hop_ok = True
+                        break
+                if not hop_ok:
+                    route_ok = False
+                    break
+            if route_ok:
+                arrived = True
+                break
+            if e2e_pass < config.e2e_retry_limit:
+                # Graceful degradation: the local budget is spent, so the
+                # source recovers end to end by restarting the packet.
+                e2e_retries += 1
+        if arrived:
+            delivered += 1
+    return delivered, local_retransmissions, e2e_retries
+
+
+def simulate_link_local(
+    testbed: Testbed,
+    src: int,
+    dst: int,
+    rate_mbps: float,
+    n_packets: int = 100,
+    config: LinkLocalConfig | None = None,
+    rng: np.random.Generator | None = None,
+    timing: MacTiming | None = None,
+) -> LinkLocalResult:
+    """Simulate a bulk transfer with link-local recovery over the best route.
+
+    Every hop protects the packet with up to ``config.local_retry_limit``
+    immediate local retransmissions (deterministic timeout/backoff per
+    retry); a hop that exhausts its budget hands recovery back to the
+    source, which restarts the packet end to end up to
+    ``config.e2e_retry_limit`` times.  With ``config.dynamics`` set, the
+    link-state trajectory is one upfront draw from ``rng`` (after routing,
+    before the first attempt) and every hop probability is modulated by
+    the current slot's multiplier.
+    """
+    config = config if config is not None else LinkLocalConfig()
+    rng = require_rng(rng, "simulate_link_local")
+    timing = timing if timing is not None else MacTiming(params=testbed.params)
+    rate: Rate = rate_for_mbps(rate_mbps)
+
+    graph = etx_graph(
+        testbed, probe_rate_mbps=config.probe_rate_mbps, probe_bytes=config.payload_bytes
+    )
+    route = best_route(graph, src, dst)
+    if route is None or len(route) < 2:
+        return LinkLocalResult(0.0, 0, n_packets, 0, 0, 0, tuple(route or ()))
+    trajectory = None
+    if config.dynamics is not None:
+        trajectory = materialise_trajectory(
+            config.dynamics, testbed.node_ids, rate_mbps, rng
+        )
+
+    hop_pairs = list(zip(route[:-1], route[1:]))
+    hop_probs = [
+        testbed._delivery_prob(a, b, rate, config.payload_bytes) for a, b in hop_pairs
+    ]
+    per_attempt_us = timing.single_transaction_us(config.payload_bytes, rate)
+    mac = CsmaState()
+    delivered, local_retransmissions, e2e_retries = _transfer(
+        hop_pairs, hop_probs, n_packets, config, trajectory, per_attempt_us,
+        rng.random, mac,
+    )
+    throughput = mac.throughput_mbps(delivered * config.payload_bytes * 8)
+    return LinkLocalResult(
+        throughput_mbps=throughput,
+        delivered_packets=delivered,
+        total_packets=n_packets,
+        transmissions=mac.transmissions,
+        local_retransmissions=local_retransmissions,
+        e2e_retries=e2e_retries,
+        route=tuple(route),
+        elapsed_us=mac.elapsed_us,
+    )

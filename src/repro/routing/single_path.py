@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.channel.dynamics import LinkDynamics, materialise_trajectory
 from repro.net.etx import best_route, etx_graph
 from repro.net.mac import CsmaState, MacTiming
 from repro.net.topology import Testbed
@@ -53,6 +54,7 @@ def simulate_single_path(
     rng: np.random.Generator | None = None,
     timing: MacTiming | None = None,
     probe_rate_mbps: float = 6.0,
+    dynamics: LinkDynamics | None = None,
 ) -> SinglePathResult:
     """Simulate a bulk transfer over the best ETX route.
 
@@ -69,6 +71,11 @@ def simulate_single_path(
         Number of packets in the transfer.
     retry_limit:
         Per-hop retransmission limit; packets exceeding it are dropped.
+    dynamics:
+        Optional bursty link dynamics: the state trajectory is one upfront
+        draw from the transfer's generator (after routing, before the
+        first attempt) and every hop probability is scaled by the current
+        slot's link multiplier — attempt draw counts are unchanged.
     """
     rng = require_rng(rng, "simulate_single_path")
     timing = timing if timing is not None else MacTiming(params=testbed.params)
@@ -79,6 +86,9 @@ def simulate_single_path(
     mac = CsmaState()
     if route is None or len(route) < 2:
         return SinglePathResult(0.0, 0, n_packets, 0, tuple(route or ()))
+    trajectory = None
+    if dynamics is not None:
+        trajectory = materialise_trajectory(dynamics, testbed.node_ids, rate_mbps, rng)
 
     delivered = 0
     per_attempt_us = timing.single_transaction_us(payload_bytes, rate)
@@ -89,7 +99,16 @@ def simulate_single_path(
                 break
             success = False
             for _attempt in range(retry_limit):
-                got_through = testbed.attempt_delivery(hop_src, hop_dst, rate, payload_bytes, rng)
+                if trajectory is None:
+                    got_through = testbed.attempt_delivery(
+                        hop_src, hop_dst, rate, payload_bytes, rng
+                    )
+                else:
+                    prob = testbed._delivery_prob(hop_src, hop_dst, rate, payload_bytes)
+                    got_through = bool(
+                        rng.random()
+                        < prob * trajectory.pair_multiplier(mac.transmissions, hop_src, hop_dst)
+                    )
                 mac.account(per_attempt_us, got_through)
                 if got_through:
                     success = True

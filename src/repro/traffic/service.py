@@ -7,7 +7,8 @@ into a lane set on the lockstep mesh engine
 (:mod:`repro.routing.ensemble`): one :class:`~repro.routing.ensemble.ExorLane`
 per (flow, scheme), with a flow's dependent schemes chained via ``after=``
 so they share the flow's service stream in canonical order — single path,
-then ExOR, then ExOR+SourceSync.  Lanes are handed to the engine in
+then ExOR, then ExOR+SourceSync, then link-local recovery
+(:mod:`repro.routing.link_local`).  Lanes are handed to the engine in
 **arrival order** (the workload's start times order the lane set) and the
 engine advances only the lanes still active each lockstep round; a flow's
 measured ``elapsed_us`` is its *service time* — the medium time its
@@ -33,17 +34,21 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.channel.dynamics import LinkDynamics
 from repro.channel.propagation import PathLossModel
 from repro.net.topology import Testbed
 from repro.phy.params import DEFAULT_PARAMS, OFDMParams
 from repro.routing.ensemble import (
     ExorLane,
+    LinkLocalLane,
     prime_testbeds_lockstep,
     simulate_exor_ensemble,
+    simulate_link_local_ensemble,
     simulate_single_path_ensemble,
 )
 from repro.routing.exor import ExorConfig, simulate_exor
 from repro.routing.exor_sourcesync import simulate_exor_sourcesync
+from repro.routing.link_local import LinkLocalConfig, simulate_link_local
 from repro.routing.single_path import simulate_single_path
 from repro.traffic.workload import TrafficWorkload, flow_service_seed
 
@@ -57,7 +62,9 @@ __all__ = [
 
 #: Canonical scheme order; a flow's schemes always consume its service
 #: stream in this order (chained lanes on the lockstep path).
-SCHEMES = ("single_path", "exor", "sourcesync")
+#: ``link_local`` is last so enabling it leaves the other schemes' draws
+#: — and every pinned pre-existing result — untouched.
+SCHEMES = ("single_path", "exor", "sourcesync", "link_local")
 
 #: Source→destination span of :func:`relay_mesh`, matching the lossy-mesh
 #: geometry of the Fig. 18 experiment.
@@ -151,20 +158,30 @@ def _service_chunk(
     payload_bytes: int,
     schemes: tuple[str, ...],
     lockstep: bool,
+    dynamics: LinkDynamics | None = None,
+    link_local: LinkLocalConfig | None = None,
 ) -> list[tuple[FlowService, ...]]:
     """Serve one chunk of flows; returns per-flow services in row order.
 
     ``rows`` is ``(flow_index, sender, arrival_us, size_packets)`` per
     flow.  Each flow's generator is rebuilt statelessly from
     ``(seed, flow_index)``, so a chunk of any size — or the per-flow
-    sequential path — reproduces the identical draws.
+    sequential path — reproduces the identical draws.  ``dynamics``
+    attaches the same fault-injection spec to every scheme of every flow;
+    ``link_local`` supplies the retry/timeout knobs of the link-local
+    scheme (its payload and dynamics fields are overridden to the chunk's).
     """
     testbed = testbed_factory()
     relays_for = {
         sender: [n for n in testbed.node_ids if n not in (sender, dst)]
         for sender in {row[1] for row in rows}
     }
-    base = ExorConfig(payload_bytes=payload_bytes)
+    base = ExorConfig(payload_bytes=payload_bytes, dynamics=dynamics)
+    ll_config = replace(
+        link_local if link_local is not None else LinkLocalConfig(),
+        payload_bytes=payload_bytes,
+        dynamics=dynamics,
+    )
     rngs = [np.random.default_rng(flow_service_seed(seed, index)) for index, _, _, _ in rows]
 
     if not lockstep:
@@ -176,6 +193,7 @@ def _service_chunk(
                 single = simulate_single_path(
                     testbed, sender, dst, rate_mbps,
                     n_packets=size, payload_bytes=payload_bytes, rng=rng,
+                    dynamics=dynamics,
                 )
                 per_flow.append(
                     FlowService(index, "single_path", single.elapsed_us,
@@ -198,6 +216,15 @@ def _service_chunk(
                 per_flow.append(
                     FlowService(index, "sourcesync", joint.elapsed_us,
                                 joint.delivered_packets, size, joint.transmissions)
+                )
+            if "link_local" in schemes:
+                local = simulate_link_local(
+                    testbed, sender, dst, rate_mbps,
+                    n_packets=size, config=ll_config, rng=rng,
+                )
+                per_flow.append(
+                    FlowService(index, "link_local", local.elapsed_us,
+                                local.delivered_packets, size, local.transmissions)
                 )
             services.append(tuple(per_flow))
         return services
@@ -256,6 +283,19 @@ def _service_chunk(
                 index, scheme, result.elapsed_us,
                 result.delivered_packets, size, result.transmissions,
             )
+    if "link_local" in schemes:
+        local_lanes = [
+            LinkLocalLane(
+                testbed, rows[k][1], dst, rate_mbps, rows[k][3], ll_config, rngs[k]
+            )
+            for k in order
+        ]
+        for k, result in zip(order, simulate_link_local_ensemble(local_lanes)):
+            index, _, _, size = rows[k]
+            per_flow_services[k]["link_local"] = FlowService(
+                index, "link_local", result.elapsed_us,
+                result.delivered_packets, size, result.transmissions,
+            )
     return [
         tuple(flow_services[scheme] for scheme in schemes)
         for flow_services in per_flow_services
@@ -276,6 +316,8 @@ def simulate_flow_services(
     lockstep: bool = True,
     jobs: int = 1,
     chunk_flows: int = 0,
+    dynamics: LinkDynamics | None = None,
+    link_local: LinkLocalConfig | None = None,
 ) -> dict[str, list[FlowService]]:
     """Serve a workload per scheme; returns services in flow-index order.
 
@@ -285,7 +327,11 @@ def simulate_flow_services(
     canonical link priming keeps the testbed's own stream path-independent.
     ``chunk_flows`` caps how many flows one lockstep call carries (0 = one
     shard per job); neither it nor ``jobs`` nor ``lockstep`` changes any
-    output.  An empty workload returns empty lists without building the
+    output.  ``dynamics`` injects the same bursty-link spec into every
+    scheme of every flow (each flow's trajectory comes from its own
+    service stream, so all execution paths stay bit-identical), and
+    ``link_local`` tunes the link-local scheme's retry/timeout/backoff
+    budget.  An empty workload returns empty lists without building the
     testbed or touching any generator — the traffic layer's analogue of
     the zero-packet ensemble guard.
     """
@@ -312,6 +358,7 @@ def simulate_flow_services(
         (
             chunk, testbed_factory, dst, workload.seed,
             workload.rate_mbps, workload.payload_bytes, ordered_schemes, lockstep,
+            dynamics, link_local,
         )
         for chunk in chunks
     ]

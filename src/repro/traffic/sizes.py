@@ -33,7 +33,7 @@ __all__ = [
 ]
 
 #: Mix names understood by :func:`make_size_mix`.
-SIZE_MIX_NAMES = ("fixed", "mice_elephant")
+SIZE_MIX_NAMES = ("fixed", "mice_elephant", "empirical")
 
 
 @dataclass(frozen=True)
@@ -103,15 +103,21 @@ def make_size_mix(
     mice_packets: int = 2,
     elephant_packets: int = 24,
     elephant_fraction: float = 0.15,
+    empirical_packets: tuple[int, ...] = (1, 4, 16, 64),
+    empirical_weights: tuple[float, ...] = (0.5, 0.3, 0.15, 0.05),
 ) -> FlowSizeMix:
     """Resolve a size mix by name from plain config scalars.
 
     ``"fixed"`` uses ``fixed_packets``; ``"mice_elephant"`` uses the three
-    mice/elephant knobs.  Unknown names raise so a config typo fails before
-    any simulation starts.
+    mice/elephant knobs; ``"empirical"`` uses the
+    ``empirical_packets``/``empirical_weights`` table (the default shape is
+    a coarse heavy-tailed CDF digitisation).  Unknown names raise so a
+    config typo fails before any simulation starts.
     """
     if name == "fixed":
         return fixed_size(fixed_packets)
     if name == "mice_elephant":
         return mice_elephants(mice_packets, elephant_packets, elephant_fraction)
+    if name == "empirical":
+        return empirical(tuple(empirical_packets), tuple(empirical_weights))
     raise ValueError(f"unknown size mix {name!r}; known: {SIZE_MIX_NAMES}")

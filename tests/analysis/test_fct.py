@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.analysis.fct import extract_fct, fifo_completion_times, saturation_load
+from repro.analysis.fct import (
+    extract_fct,
+    fifo_completion_times,
+    jains_index,
+    saturation_load,
+    sender_goodput_shares,
+)
 
 
 class TestFifoCompletionTimes:
@@ -79,3 +85,46 @@ class TestSaturationLoad:
     def test_non_positive_load_rejected(self):
         with pytest.raises(ValueError):
             saturation_load([0.0, 0.1], [0.1, 0.2])
+
+
+class TestSenderGoodputShares:
+    def test_shares_sum_to_aggregate_goodput(self):
+        """Two senders, 1000-bit packets over a 100 µs makespan."""
+        shares = sender_goodput_shares([1, 2, 1], [4, 2, 0], payload_bytes=125, makespan_us=100.0)
+        assert shares == {1: pytest.approx(40.0), 2: pytest.approx(20.0)}
+
+    def test_starved_sender_keeps_zero_share(self):
+        shares = sender_goodput_shares([7, 8], [5, 0], payload_bytes=125, makespan_us=50.0)
+        assert shares[8] == 0.0
+        assert list(shares) == [7, 8]  # first-appearance order
+
+    def test_zero_makespan_yields_all_zero_shares(self):
+        shares = sender_goodput_shares([1, 2], [3, 4], payload_bytes=125, makespan_us=0.0)
+        assert shares == {1: 0.0, 2: 0.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sender_goodput_shares([1, 2], [3], payload_bytes=125, makespan_us=1.0)
+        with pytest.raises(ValueError):
+            sender_goodput_shares([1], [3], payload_bytes=125, makespan_us=-1.0)
+
+
+class TestJainsIndex:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jains_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner_scores_one_over_n(self):
+        assert jains_index([5.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_hand_computed_midpoint(self):
+        # (1 + 3)^2 / (2 * (1 + 9)) = 16 / 20
+        assert jains_index([1.0, 3.0]) == pytest.approx(0.8)
+
+    def test_all_zero_allocation_is_fair(self):
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jains_index([])
+        with pytest.raises(ValueError):
+            jains_index([1.0, -0.5])

@@ -120,7 +120,7 @@ class TestRunner:
     def test_registry_contains_every_figure(self):
         for name in (
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-            "fig19_traffic_load",
+            "fig19_traffic_load", "fig20_link_dynamics",
             "overhead", "ablation_combining", "ablation_slope",
         ):
             assert name in EXPERIMENTS

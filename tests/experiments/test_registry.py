@@ -88,7 +88,7 @@ class TestRegistration:
     def test_all_real_experiments_registered(self):
         expected = {
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-            "fig19_traffic_load",
+            "fig19_traffic_load", "fig20_link_dynamics",
             "overhead", "ablation_combining", "ablation_slope",
         }
         assert expected <= set(registry.names())
@@ -173,7 +173,7 @@ class TestShimEquivalence:
 
     @pytest.mark.parametrize("name", [
         "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-        "fig19_traffic_load",
+        "fig19_traffic_load", "fig20_link_dynamics",
         "overhead", "ablation_combining", "ablation_slope",
     ])
     def test_legacy_run_matches_spec_run(self, name):

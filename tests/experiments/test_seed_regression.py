@@ -34,6 +34,7 @@ PINNED = {
     "fig17": ("sourcesync_median_mbps", 3.040009211982553),
     "fig18": ("sourcesync_over_single_12mbps", 1.4059712716379633),
     "fig19_traffic_load": ("saturation_load_sourcesync", 0.025796375674766985),
+    "fig20_link_dynamics": ("goodput_mbps_linklocal_worst", 0.4195091673563198),
     "overhead": ("two_senders_percent", 1.8108651911468814),
     "ablation_combining": ("naive_deep_fade_fraction", 0.075),
     "ablation_slope": ("windowed_median_error_ns", 3.350235425786269),

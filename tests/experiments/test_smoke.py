@@ -21,7 +21,7 @@ def _equal_or_both_nan(a, b) -> bool:
 
 @pytest.mark.parametrize("name", [
     "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-    "fig19_traffic_load",
+    "fig19_traffic_load", "fig20_link_dynamics",
     "overhead", "ablation_combining", "ablation_slope",
 ])
 def test_smoke_preset_end_to_end(name, tmp_path):

@@ -1,0 +1,334 @@
+"""Link-dynamics determinism: burst processes, link-local recovery, engines.
+
+The contract under test (see :mod:`repro.channel.dynamics`): fault
+injection only *modulates* delivery probabilities — it never changes how
+many uniforms a phase consumes or in which order — so every execution
+plan (lockstep engine, sequential oracle, any chunk width, process pools,
+``sweep --resume``) stays bit-identical under one seed, with or without
+dynamics attached.
+
+This module is part of the ROADMAP quick-check group
+(``-k "smoke or joint_batch or exor_ensemble or sweep_fault or traffic_load
+or link_dynamics"``).
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.channel.dynamics import (
+    GilbertElliott,
+    LinkDynamics,
+    LinkStateTrajectory,
+    LossRateGrid,
+    link_order,
+    materialise_trajectory,
+)
+from repro.experiments.fig18_opportunistic import random_relay_topology
+from repro.experiments.runner import run_sweep
+from repro.experiments.supervisor import RetryPolicy
+from repro.lint.ledger import compare_runs
+from repro.net.mac import MacTiming
+from repro.net.topology import Testbed
+from repro.phy.rates import rate_for_mbps
+from repro.routing.ensemble import LinkLocalLane, simulate_link_local_ensemble
+from repro.routing.link_local import LinkLocalConfig, simulate_link_local
+from repro.traffic import (
+    SCHEMES,
+    mice_elephants,
+    poisson_workload,
+    relay_mesh,
+    simulate_flow_services,
+)
+
+#: A bursty process deep enough that recovery schemes visibly diverge.
+_GE = GilbertElliott.from_burst(3.0, 0.25, bad_multiplier=0.1)
+
+#: Small horizon exercises the slot-wrap path in every multi-packet test.
+_DYNAMICS = LinkDynamics(
+    gilbert_elliott=_GE,
+    grid=LossRateGrid((6.0, 24.0), (0.02, 0.1)),
+    horizon_slots=32,
+)
+
+_MIX = mice_elephants(mice_packets=1, elephant_packets=4, elephant_fraction=0.3)
+
+
+class TestGilbertElliott:
+    def test_from_burst_roundtrip(self):
+        process = GilbertElliott.from_burst(8.0, 0.2)
+        assert process.mean_burst_slots() == pytest.approx(8.0)
+        assert process.stationary_bad_fraction() == pytest.approx(0.2)
+
+    def test_infeasible_burst_fraction_rejected(self):
+        """burst 1 slot at 90% bad needs p_good_to_bad = 9 — impossible."""
+        with pytest.raises(ValueError, match="p_good_to_bad > 1"):
+            GilbertElliott.from_burst(1.0, 0.9)
+
+    def test_absorbing_bad_state_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=0.5, p_bad_to_good=0.0)
+
+    def test_stationary_fraction_converges(self):
+        process = GilbertElliott.from_burst(4.0, 0.3)
+        uniforms = np.random.default_rng(0).random((20_000, 4))
+        states = process.evolve_states(uniforms)
+        assert states[:, 0].tolist().count(True) > 0  # bursts actually occur
+        assert float(states.mean()) == pytest.approx(0.3, abs=0.02)
+
+    def test_mean_burst_length_converges(self):
+        process = GilbertElliott.from_burst(4.0, 0.2)
+        states = process.evolve_states(np.random.default_rng(1).random((60_000, 1)))[:, 0]
+        # Lengths of maximal bad runs: diff of the padded state sequence
+        # marks burst starts (+1) and ends (-1).
+        padded = np.concatenate(([False], states, [False])).astype(np.int8)
+        edges = np.flatnonzero(np.diff(padded))
+        lengths = edges[1::2] - edges[0::2]
+        assert float(lengths.mean()) == pytest.approx(4.0, rel=0.1)
+
+    def test_stacked_lanes_bit_identical_to_each_alone(self):
+        """The lockstep engine's cross-lane evolution is comparison-only."""
+        uniforms = np.random.default_rng(2).random((3, 200, 5))
+        stacked = _GE.evolve_states(uniforms)
+        for lane in range(3):
+            np.testing.assert_array_equal(stacked[lane], _GE.evolve_states(uniforms[lane]))
+
+
+class TestLossRateGrid:
+    def test_interpolates_and_clamps(self):
+        grid = LossRateGrid((6.0, 12.0), (0.1, 0.3))
+        assert grid.loss_rate_for(9.0) == pytest.approx(0.2)
+        assert grid.loss_rate_for(1.0) == pytest.approx(0.1)  # clamped low
+        assert grid.loss_rate_for(54.0) == pytest.approx(0.3)  # clamped high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossRateGrid((6.0, 12.0), (0.1,))
+        with pytest.raises(ValueError):
+            LossRateGrid((12.0, 6.0), (0.1, 0.3))
+
+
+class TestTrajectory:
+    def test_grid_only_spec_consumes_no_entropy(self):
+        dynamics = LinkDynamics(grid=LossRateGrid((6.0, 12.0), (0.1, 0.3)))
+        assert dynamics.draw_state_uniforms(np.random.default_rng(0), 6) is None
+        trajectory = materialise_trajectory(dynamics, [0, 1, 2], 9.0, rng=None)
+        # Every multiplier is the constant grid factor 1 - 0.2.
+        assert trajectory.pair_multiplier(5, 0, 2) == pytest.approx(0.8)
+
+    def test_slots_wrap_at_the_horizon(self):
+        trajectory = materialise_trajectory(
+            _DYNAMICS, [0, 1, 2], 12.0, np.random.default_rng(3)
+        )
+        horizon = _DYNAMICS.horizon_slots
+        for slot in (0, 7, horizon - 1):
+            assert trajectory.pair_multiplier(slot, 0, 1) == (
+                trajectory.pair_multiplier(slot + horizon, 0, 1)
+            )
+
+    def test_accessors_agree_and_joint_senders_take_the_best_link(self):
+        cube = np.ones((2, 3, 3))
+        cube[0, 0, 2] = 0.25  # link 0→2 bad at slot 0
+        cube[0, 1, 2] = 0.75  # link 1→2 better at slot 0
+        trajectory = LinkStateTrajectory(
+            horizon_slots=2, node_index={0: 0, 1: 1, 2: 2}, multipliers=cube
+        )
+        assert trajectory.pair_multiplier(0, 0, 2) == 0.25
+        np.testing.assert_array_equal(trajectory.rows(0, 2, 0, [2])[:, 0], [0.25, 1.0])
+        # A joint (0, 1) transmission towards 2 rides the best sender's state.
+        np.testing.assert_array_equal(
+            trajectory.receiver_multipliers(0, [0, 1], [2]), [0.75]
+        )
+
+    def test_link_order_is_all_ordered_pairs(self):
+        assert link_order([3, 5]) == [(3, 5), (5, 3)]
+
+
+def _close_pair_testbed(seed):
+    """Two nodes near enough that the direct link is essentially lossless."""
+    return Testbed.from_positions([(0.0, 0.0), (12.0, 0.0)], rng=np.random.default_rng(seed))
+
+
+class TestLinkLocalRecovery:
+    def test_strong_link_delivers_everything(self):
+        result = simulate_link_local(
+            _close_pair_testbed(4), 0, 1, 12.0, n_packets=20, rng=np.random.default_rng(5)
+        )
+        assert result.delivered_packets == result.total_packets == 20
+        assert result.delivery_ratio == 1.0
+        assert result.e2e_retries == 0
+        assert result.route == (0, 1)
+
+    def test_dead_links_exhaust_every_budget_exactly(self):
+        """Multiplier-0 dynamics kill every attempt: the scheme must spend
+        its full local budget per pass, degrade to end-to-end recovery, and
+        charge each deterministic backoff wait — all with exact counts."""
+        config = LinkLocalConfig(
+            local_retry_limit=3,
+            e2e_retry_limit=2,
+            timeout_fraction=0.25,
+            backoff_factor=2.0,
+            dynamics=LinkDynamics(
+                gilbert_elliott=GilbertElliott(0.5, 0.5, good_multiplier=0.0, bad_multiplier=0.0),
+                horizon_slots=16,
+            ),
+        )
+        testbed = _close_pair_testbed(4)
+        n_packets = 5
+        result = simulate_link_local(
+            testbed, 0, 1, 12.0, n_packets=n_packets, config=config,
+            rng=np.random.default_rng(6),
+        )
+        passes = n_packets * config.e2e_passes
+        assert result.delivered_packets == 0
+        assert result.transmissions == passes * config.attempts_per_hop
+        assert result.local_retransmissions == passes * config.local_retry_limit
+        assert result.e2e_retries == n_packets * config.e2e_retry_limit
+        per_attempt_us = MacTiming(params=testbed.params).single_transaction_us(
+            config.payload_bytes, rate_for_mbps(12.0)
+        )
+        backoff_us = (
+            config.timeout_fraction
+            * per_attempt_us
+            * sum(config.backoff_factor**k for k in range(config.local_retry_limit))
+        )
+        assert result.elapsed_us == pytest.approx(
+            result.transmissions * per_attempt_us + passes * backoff_us
+        )
+
+    def test_degenerate_route_consumes_no_entropy(self):
+        """src == dst: no transfer, and the trajectory draw must not happen
+        (otherwise the flow's later schemes would shift their streams)."""
+        rng = np.random.default_rng(7)
+        config = LinkLocalConfig(dynamics=_DYNAMICS)
+        result = simulate_link_local(
+            _close_pair_testbed(4), 0, 0, 12.0, n_packets=3, config=config, rng=rng
+        )
+        assert result.delivered_packets == result.transmissions == 0
+        assert rng.random() == np.random.default_rng(7).random()
+
+    def test_ensemble_bit_identical_to_sequential(self):
+        """Lockstep pre-draw/rewind replays the exact sequential stream."""
+        config = LinkLocalConfig(local_retry_limit=2, e2e_retry_limit=1, dynamics=_DYNAMICS)
+
+        def testbeds(seed):
+            rngs = [
+                np.random.default_rng(child)
+                for child in np.random.SeedSequence(seed).spawn(5)
+            ]
+            return [(random_relay_topology(rng), rng) for rng in rngs]
+
+        sequential = [
+            simulate_link_local(tb, 0, 1, 12.0, n_packets=15, config=config, rng=rng)
+            for tb, rng in testbeds(42)
+        ]
+        batched = simulate_link_local_ensemble(
+            [
+                LinkLocalLane(tb, 0, 1, 12.0, 15, config, rng)
+                for tb, rng in testbeds(42)
+            ]
+        )
+        assert batched == sequential
+        # The scenario must exercise both recovery tiers somewhere.
+        assert any(r.local_retransmissions > 0 for r in sequential)
+        assert any(r.e2e_retries > 0 for r in sequential)
+
+
+def _serve(workload, factory, **kwargs):
+    return simulate_flow_services(workload, factory, dst=1, **kwargs)
+
+
+class TestTrafficUnderDynamics:
+    """All four schemes, served over a faulty mesh, across execution plans."""
+
+    def setup_method(self):
+        self.workload = poisson_workload(5, 0.2, _MIX, 12.0, 256, seed=21)
+        self.factory = partial(relay_mesh, 17, n_relays=2)
+
+    def test_lockstep_matches_sequential(self):
+        lockstep = _serve(self.workload, self.factory, lockstep=True, dynamics=_DYNAMICS)
+        sequential = _serve(self.workload, self.factory, lockstep=False, dynamics=_DYNAMICS)
+        assert lockstep == sequential
+        for scheme in SCHEMES:
+            assert [s.flow_index for s in lockstep[scheme]] == list(range(5))
+
+    def test_chunk_width_cannot_change_results(self):
+        reference = _serve(self.workload, self.factory, dynamics=_DYNAMICS)
+        for chunk_flows in (1, 2, 5, 50):
+            chunked = _serve(
+                self.workload, self.factory, dynamics=_DYNAMICS, chunk_flows=chunk_flows
+            )
+            assert chunked == reference, chunk_flows
+
+    def test_process_pool_identical_to_in_process(self):
+        assert _serve(self.workload, self.factory, dynamics=_DYNAMICS, jobs=2) == (
+            _serve(self.workload, self.factory, dynamics=_DYNAMICS, jobs=1)
+        )
+
+    def test_enabling_link_local_leaves_earlier_schemes_untouched(self):
+        """link_local is LAST in the canonical order, so serving the full
+        four-scheme set must reproduce the three-scheme serve bit for bit —
+        the invariant that keeps fig19's pinned results valid."""
+        full = _serve(self.workload, self.factory, dynamics=_DYNAMICS)
+        subset = _serve(
+            self.workload,
+            self.factory,
+            dynamics=_DYNAMICS,
+            schemes=("single_path", "exor", "sourcesync"),
+        )
+        assert {scheme: full[scheme] for scheme in subset} == subset
+
+
+class TestDrawLedgerAudit:
+    def test_trajectory_draw_sits_at_the_same_stream_position(self):
+        """Audited value streams of the lockstep and sequential serves must
+        be identical — the dynamics draw consumes the same uniforms at the
+        same offset in both engines (merged draws aside, which the ledger's
+        chunking-independent comparison ignores).  One flow keeps the audit
+        meaningful: the ledger concatenates draws across *all* generators in
+        call order, and multi-flow lockstep legitimately interleaves lanes.
+        """
+        workload = poisson_workload(1, 0.2, _MIX, 12.0, 256, seed=33)
+        factory = partial(relay_mesh, 17, n_relays=2)
+        diff = compare_runs(
+            lambda: simulate_flow_services(
+                workload, factory, dst=1, schemes=("exor", "sourcesync"),
+                lockstep=True, dynamics=_DYNAMICS,
+            ),
+            lambda: simulate_flow_services(
+                workload, factory, dst=1, schemes=("exor", "sourcesync"),
+                lockstep=False, dynamics=_DYNAMICS,
+            ),
+        )
+        assert diff.identical, diff.report()
+        assert diff.result_a == diff.result_b
+
+
+#: Near-zero backoff keeps any supervised retry cheap in tests.
+_FAST = RetryPolicy(backoff_base_s=0.01, backoff_jitter=0.1)
+
+
+class TestFig20Sweep:
+    def test_fault_grid_resumes_byte_identical(self, tmp_path):
+        """The link-dynamics experiment sweeps through the fault-tolerant
+        engine: a resume serves pure cache hits and a fresh run of the same
+        grid produces byte-identical artifacts."""
+        grid = {"seed": [1, 2]}
+        first_dir, clean_dir = tmp_path / "first", tmp_path / "clean"
+        first = run_sweep(
+            "fig20_link_dynamics", grid, preset="smoke", policy=_FAST, run_dir=first_dir
+        )
+        assert [o.status for o in first.outcomes] == ["completed", "completed"]
+        resumed = run_sweep(
+            "fig20_link_dynamics", grid, preset="smoke", policy=_FAST, run_dir=first_dir
+        )
+        assert [o.status for o in resumed.outcomes] == ["cached", "cached"]
+        clean = run_sweep(
+            "fig20_link_dynamics", grid, preset="smoke", policy=_FAST, run_dir=clean_dir
+        )
+        for res, cln in zip(resumed.outcomes, clean.outcomes):
+            assert res.job.key == cln.job.key
+            assert resumed.cache.path_for(res.job.key).read_bytes() == (
+                clean.cache.path_for(cln.job.key).read_bytes()
+            )
