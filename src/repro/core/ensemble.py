@@ -75,6 +75,7 @@ from repro.channel.composite import (
 )
 from repro.core.channel_est.cfo import CfoEstimate
 from repro.core.frame import JointFrameLayout, make_joint_frame_config
+from repro.engine import Lane, LockstepScheduler
 from repro.core.sender import CoSender
 from repro.core.session import (
     HeaderExchangeOutcome,
@@ -953,6 +954,132 @@ class JointFrameJob:
     active_cosenders: tuple[int, ...] | None = None
 
 
+class _JointFrameContext:
+    """Receive jobs accumulated across waves for one deferred decode pass.
+
+    Every wave appends its combined receiver rows here; the expensive
+    receive chain (data FFTs, demapping, Viterbi) then runs once over the
+    whole ensemble via ``receiver.receive_many`` — which performs no draws,
+    so deferring it cannot perturb any lane's stream.
+    """
+
+    def __init__(self) -> None:
+        self.receive_jobs: list[tuple] = []
+        self.lane_meta: list[tuple] = []
+
+
+class _JointFrameLane(Lane):
+    """One session's joint-frame stream inside :func:`run_joint_frames_batch`.
+
+    Frame ``r`` of every live session forms wave ``r``; the whole wave —
+    header draws, lockstep cosender scheduling, ensemble combining at the
+    receiver — runs as one stacked pass in session order.  The batch API
+    predates ``after=`` chaining and never validated generator sharing, so
+    chain enforcement stays off.
+    """
+
+    stacked = True
+    enforce_generator_chains = False
+
+    def __init__(
+        self,
+        session: SourceSyncSession,
+        s: int,
+        jobs: list[JointFrameJob],
+        ctx: _JointFrameContext,
+    ) -> None:
+        self.session = session
+        self.rng = session.rng
+        self.after = None
+        self.s = s
+        self.jobs = jobs
+        self.ctx = ctx
+        self.wave_index = 0
+
+    @property
+    def finished(self) -> bool:
+        """Whether every one of this session's frames has been transmitted."""
+        return self.wave_index >= len(self.jobs)
+
+    @classmethod
+    def advance_lanes(cls, lanes: list["_JointFrameLane"]) -> None:
+        """Transmit one joint frame per live session as a single stacked wave."""
+        ctx = lanes[0].ctx
+        built = []
+        for wrapper in lanes:
+            session = wrapper.session
+            job = wrapper.jobs[wrapper.wave_index]
+            frame_config = make_joint_frame_config(
+                len(job.payload), job.rate_mbps, session.topology.params, job.data_cp_samples
+            )
+            layout = JointFrameLayout(
+                params=session.topology.params,
+                n_cosenders=session.topology.n_cosenders,
+                n_data_symbols=session._padded_symbol_count(frame_config),
+                data_cp_samples=job.data_cp_samples,
+                sifs_us=session.config.sifs_us,
+            )
+            header, header_waveform = _draw_header(session, layout, job.rate_mbps)
+            lead_waveform = session.lead.build_waveform(
+                job.payload, header, layout, frame_config
+            )
+            built.append((wrapper, job, frame_config, layout, header_waveform, lead_waveform))
+        schedule_lanes = [
+            (entry[0].session, entry[3], entry[4]) for entry in built
+        ]
+        all_starts, all_feasible = _schedule_lockstep(
+            schedule_lanes, [entry[1].compensate for entry in built]
+        )
+        leading_silence = 60
+        wave_trials: list[tuple[list[Transmission], int | None]] = []
+        wave_info = []
+        for lane, (wrapper, job, frame_config, layout, header_waveform, lead_waveform) in enumerate(
+            built
+        ):
+            topo = wrapper.session.topology
+            starts = all_starts[lane]
+            active = (
+                list(range(topo.n_cosenders))
+                if job.active_cosenders is None
+                else sorted(job.active_cosenders)
+            )
+            transmissions = [
+                Transmission(link=topo.link_lead_rx, samples=lead_waveform, start_sample=0.0)
+            ]
+            transmissions.extend(
+                _cosender_transmissions(
+                    wrapper.session,
+                    layout,
+                    starts,
+                    training_only=False,
+                    payload=job.payload,
+                    frame_config=frame_config,
+                    active=active,
+                )
+            )
+            wave_trials.append((transmissions, None))
+            start_index = (
+                leading_silence + int(round(topo.link_lead_rx.delay_samples))
+                if job.genie_timing
+                else None
+            )
+            wave_info.append((wrapper, layout, frame_config, starts, all_feasible[lane], start_index))
+        wave_rows, wave_lengths = combine_ensemble_at_receiver(
+            wave_trials,
+            [entry[0].session.topology.noise_power for entry in built],
+            [entry[0].session.rng for entry in built],
+            leading_silence=leading_silence,
+        )
+        for (wrapper, layout, frame_config, starts, feasible, start_index), row, length in zip(
+            wave_info, wave_rows, wave_lengths
+        ):
+            ctx.receive_jobs.append((row[:length], int(length), layout, frame_config, start_index))
+            ctx.lane_meta.append(
+                (wrapper.s, wrapper.wave_index, layout, frame_config, starts, feasible)
+            )
+            wrapper.wave_index += 1
+
+
 def run_joint_frames_batch(
     sessions: list[SourceSyncSession],
     jobs_per_session: list[list[JointFrameJob]],
@@ -972,88 +1099,22 @@ def run_joint_frames_batch(
     _check_common_structure(sessions)
     _ensure_measured_batch(sessions)
 
-    n_waves = max((len(jobs) for jobs in jobs_per_session), default=0)
-    receive_jobs = []
-    lane_meta = []
-    for wave in range(n_waves):
-        lanes = []
-        for s, session in enumerate(sessions):
-            if wave >= len(jobs_per_session[s]):
-                continue
-            job = jobs_per_session[s][wave]
-            frame_config = make_joint_frame_config(
-                len(job.payload), job.rate_mbps, session.topology.params, job.data_cp_samples
-            )
-            layout = JointFrameLayout(
-                params=session.topology.params,
-                n_cosenders=session.topology.n_cosenders,
-                n_data_symbols=session._padded_symbol_count(frame_config),
-                data_cp_samples=job.data_cp_samples,
-                sifs_us=session.config.sifs_us,
-            )
-            header, header_waveform = _draw_header(session, layout, job.rate_mbps)
-            lead_waveform = session.lead.build_waveform(
-                job.payload, header, layout, frame_config
-            )
-            lanes.append((session, layout, header_waveform, s, job, frame_config, lead_waveform))
-        schedule_lanes = [(session, layout, hw) for session, layout, hw, *_ in lanes]
-        all_starts, all_feasible = _schedule_lockstep(
-            schedule_lanes, [lane[4].compensate for lane in lanes]
-        )
-        leading_silence = 60
-        wave_trials: list[tuple[list[Transmission], int | None]] = []
-        wave_info = []
-        for lane, (session, layout, header_waveform, s, job, frame_config, lead_waveform) in enumerate(
-            lanes
-        ):
-            topo = session.topology
-            starts = all_starts[lane]
-            active = (
-                list(range(topo.n_cosenders))
-                if job.active_cosenders is None
-                else sorted(job.active_cosenders)
-            )
-            transmissions = [
-                Transmission(link=topo.link_lead_rx, samples=lead_waveform, start_sample=0.0)
-            ]
-            transmissions.extend(
-                _cosender_transmissions(
-                    session,
-                    layout,
-                    starts,
-                    training_only=False,
-                    payload=job.payload,
-                    frame_config=frame_config,
-                    active=active,
-                )
-            )
-            wave_trials.append((transmissions, None))
-            start_index = (
-                leading_silence + int(round(topo.link_lead_rx.delay_samples))
-                if job.genie_timing
-                else None
-            )
-            wave_info.append((s, layout, frame_config, starts, all_feasible[lane], start_index))
-        wave_rows, wave_lengths = combine_ensemble_at_receiver(
-            wave_trials,
-            [lane[0].topology.noise_power for lane in lanes],
-            [lane[0].rng for lane in lanes],
-            leading_silence=leading_silence,
-        )
-        for (s, layout, frame_config, starts, feasible, start_index), row, length in zip(
-            wave_info, wave_rows, wave_lengths
-        ):
-            receive_jobs.append((row[:length], int(length), layout, frame_config, start_index))
-            lane_meta.append((s, wave, layout, frame_config, starts, feasible))
+    ctx = _JointFrameContext()
+    LockstepScheduler().run(
+        [
+            _JointFrameLane(session, s, jobs_per_session[s], ctx)
+            for s, session in enumerate(sessions)
+        ]
+    )
 
     receiver = sessions[0].receiver
-    received_results = receiver.receive_many(receive_jobs)
+    received_results = receiver.receive_many(ctx.receive_jobs)
 
     results: list[list[JointFrameOutcome | None]] = [
         [None] * len(jobs) for jobs in jobs_per_session
     ]
     for (s, wave, layout, frame_config, starts, feasible), result in zip(
-        lane_meta, received_results
+        ctx.lane_meta, received_results
     ):
         session = sessions[s]
         misalignment = session._true_misalignments(layout, starts)

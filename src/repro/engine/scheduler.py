@@ -1,0 +1,300 @@
+"""Lockstep scheduler and chunked sharding for lane ensembles.
+
+This module owns the scheduling logic the three lockstep engines
+(:mod:`repro.experiments.batch`, :mod:`repro.core.ensemble`,
+:mod:`repro.routing.ensemble`) used to carry as private copies:
+
+* :func:`resolve_chains` — validation of ``after=`` chaining and
+  generator sharing for one ensemble call;
+* :class:`LockstepScheduler` — the wave loop that activates root lanes
+  (with class-batched priming), advances live lanes (per lane or as
+  stacked groups), and starts chained successors the moment their
+  predecessor finishes;
+* :func:`run_seed_chunks` / :func:`run_chunks` / :func:`run_trials` —
+  the chunked sharding and process-pool helpers that split independent
+  trials or items across chunks and jobs without changing any output.
+
+Determinism contract: the scheduler performs no draws of its own and
+fixes only *order* — root lanes prime and set up in input order, a lane
+that stays live re-enters the next wave in schedule order, per-lane
+classes interleave finish processing (which may draw) with the wave
+exactly where the lane finishes, stacked classes advance and finish in
+ascending lane order, and a chained lane activates (prime, setup, first
+draws) immediately after its predecessor's final draw.  Under those
+rules a lockstep run is bit-identical to running each lane's sequential
+simulation to completion, which ``tests/engine`` asserts for every
+registered lane class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.lane import Lane
+
+__all__ = [
+    "resolve_chains",
+    "LockstepScheduler",
+    "chunk_bounds",
+    "run_chunks",
+    "run_seed_chunks",
+    "run_trials",
+]
+
+
+def resolve_chains(
+    lanes: list, enforce_generator_chains: bool = True
+) -> tuple[list[int | None], list[list[int]]]:
+    """Validate lane chaining and generator sharing for one ensemble call.
+
+    Returns ``(after, successors)`` where ``after[i]`` is the index of the
+    lane that lane ``i`` waits for (or ``None`` for a root lane) and
+    ``successors[j]`` lists the lanes to start when lane ``j`` finishes.
+    Lanes that share a generator must form one chain in input order —
+    anything else would let the lockstep schedule interleave draws from a
+    single stream and silently diverge from the sequential path.  Engines
+    whose lanes run to completion in input order may pass
+    ``enforce_generator_chains=False`` to skip the sharing check (their
+    execution order makes unchained sharing naturally sequential).
+    """
+    index_of = {id(lane): i for i, lane in enumerate(lanes)}
+    after: list[int | None] = []
+    successors: list[list[int]] = [[] for _ in lanes]
+    for i, lane in enumerate(lanes):
+        if lane.after is None:
+            after.append(None)
+            continue
+        predecessor = index_of.get(id(lane.after))
+        if predecessor is None:
+            raise ValueError("lane.after must reference another lane of the same ensemble call")
+        after.append(predecessor)
+        successors[predecessor].append(i)
+    if enforce_generator_chains:
+        by_rng: dict[int, list[int]] = {}
+        for i, lane in enumerate(lanes):
+            by_rng.setdefault(id(lane.rng), []).append(i)
+        for rows in by_rng.values():
+            for previous, current in zip(rows, rows[1:]):
+                if after[current] != previous:
+                    raise ValueError(
+                        "lockstep lanes that share a generator must be chained in "
+                        "input order (each lane's `after` pointing at the previous "
+                        "lane on that generator); unrelated lanes need distinct "
+                        "generators"
+                    )
+    return after, successors
+
+
+class LockstepScheduler:
+    """Advance a heterogeneous set of lanes in lockstep waves.
+
+    One :meth:`run` call resolves the ensemble's chains, batch-primes the
+    root lanes per class, then loops waves until every lane has finished,
+    returning one result per lane in input order.  See the module
+    docstring for the ordering rules that make a lockstep run
+    bit-identical to the per-lane sequential simulations.
+    """
+
+    def run(self, lanes: list[Lane]) -> list:
+        """Run every lane to completion; results come back in input order."""
+        if not lanes:
+            return []
+        enforce = all(lane.enforce_generator_chains for lane in lanes)
+        after, successors = resolve_chains(lanes, enforce_generator_chains=enforce)
+        results: list = [None] * len(lanes)
+        live: list[int] = []
+
+        def finish(index: int) -> None:
+            """Record the lane's result (may draw) and start its successors."""
+            results[index] = lanes[index].result()
+            for successor in successors[index]:
+                start(successor)
+
+        def start(index: int) -> None:
+            """Activate one lane: chained priming, setup, immediate-finish check."""
+            lane = lanes[index]
+            if after[index] is not None:
+                lane.prime()
+            lane.setup()
+            if lane.finished:
+                finish(index)
+            else:
+                live.append(index)
+
+        # Root lanes prime first — batched per class, groups in
+        # first-appearance order — then set up in input order; a root that
+        # completes during setup finishes (and starts its successors)
+        # before the next root sets up, as the sequential code would.
+        roots = [i for i in range(len(lanes)) if after[i] is None]
+        prime_groups: dict[type, list[Lane]] = {}
+        for i in roots:
+            prime_groups.setdefault(type(lanes[i]), []).append(lanes[i])
+        for cls, group in prime_groups.items():
+            cls.prime_lanes(group)
+        for i in roots:
+            start(i)
+
+        while live:
+            wave = list(live)
+            live.clear()
+            order: list[type] = []
+            members: dict[type, list[int]] = {}
+            for index in wave:
+                cls = type(lanes[index])
+                if cls not in members:
+                    members[cls] = []
+                    order.append(cls)
+                members[cls].append(index)
+            for cls in order:
+                if cls.stacked:
+                    # Stacked classes advance the whole group at once and
+                    # finish in ascending lane order — the order their
+                    # internal stacked arrays impose on the wave.
+                    group = sorted(members[cls])
+                    cls.advance_lanes([lanes[i] for i in group])
+                    for index in group:
+                        if lanes[index].finished:
+                            finish(index)
+                        else:
+                            live.append(index)
+                else:
+                    # Per-lane classes interleave finish processing with
+                    # the wave: a lane that completes runs its (possibly
+                    # drawing) cleanup and starts its successors before
+                    # the next lane of the wave advances.
+                    for index in members[cls]:
+                        lanes[index].advance()
+                        if lanes[index].finished:
+                            finish(index)
+                        else:
+                            live.append(index)
+        return results
+
+
+# ----------------------------------------------------------------------
+# Chunked sharding and process-pool jobs
+# ----------------------------------------------------------------------
+def chunk_bounds(n_items: int, jobs: int, chunk_size: int | None) -> np.ndarray:
+    """Shard boundaries over ``n_items`` work items.
+
+    With ``chunk_size=None`` the items split into ``min(jobs, n_items)``
+    near-equal shards (the widest — fastest — lockstep ensembles); an
+    explicit ``chunk_size`` caps every shard's width instead, with the
+    final shard absorbing the remainder.  Either way the concatenation of
+    the shards is exactly the item list, so sharding can never change a
+    chunked computation's output.
+    """
+    if chunk_size is None:
+        return np.linspace(0, n_items, min(jobs, n_items) + 1).astype(int)
+    bounds = np.arange(0, n_items + chunk_size, chunk_size)
+    bounds[-1] = n_items
+    return bounds
+
+
+def run_chunks(chunk_fn, items: list, jobs: int = 1, *args, chunk_size: int | None = None) -> list:
+    """Run ``chunk_fn(chunk, *args)`` over shards of ``items``, in order.
+
+    The generic sharding core under :func:`run_seed_chunks` and the
+    traffic layer's flow sharding: ``chunk_fn`` must return one result per
+    item, in order, and must be picklable for ``jobs > 1`` (items are
+    independent, so sharding cannot change any output); chunked results
+    are concatenated back into item order.  ``chunk_size`` caps how many
+    items one call sees (None = one shard per job); an empty item list
+    returns ``[]`` without invoking ``chunk_fn`` — a lockstep chunk built
+    over zero lanes could still prime caches or draw from shared streams,
+    which would make results depend on whether an empty shard happened to
+    run.
+    """
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if not items:
+        return []
+    n_items = len(items)
+    if chunk_size is None and (jobs <= 1 or n_items <= 1):
+        return list(chunk_fn(items, *args))
+    bounds = chunk_bounds(n_items, jobs, chunk_size)
+    chunks = [items[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+    if jobs <= 1 or len(chunks) == 1:
+        return [result for chunk in chunks for result in chunk_fn(chunk, *args)]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        parts = pool.map(chunk_fn, chunks, *([value] * len(chunks) for value in args))
+        return [result for part in parts for result in part]
+
+
+def run_seed_chunks(
+    chunk_fn, n_trials: int, seed: int, jobs: int = 1, *args, chunk_size: int | None = None
+) -> list:
+    """Run ``chunk_fn(children, *args)`` over sharded per-trial seeds.
+
+    The lockstep-ensemble counterpart of :func:`run_trials`: trials are
+    seeded from ``np.random.SeedSequence(seed).spawn(n_trials)`` exactly as
+    there, but the callee receives whole *chunks* of children so it can
+    advance them as one lockstep ensemble.  ``chunk_fn`` must return one
+    result per child, in order, and must be picklable for ``jobs > 1``
+    (trials are independent, so sharding cannot change any output);
+    chunked results are concatenated back into trial order.
+
+    ``chunk_size`` caps how many trials one lockstep call sees.  By default
+    the shard width is ``n_trials / jobs`` — the widest (fastest) ensembles
+    — but callers driving very large sweeps (hundreds to thousands of
+    lanes) can bound per-chunk memory by passing an explicit cap; the
+    chunks then run back-to-back in process (``jobs == 1``) or across the
+    pool, with identical results for every setting.
+    """
+    if n_trials < 0:
+        raise ValueError("n_trials must be non-negative")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    # Empty-ensemble guard: never hand ``chunk_fn`` an empty child set, and
+    # never spawn from the seed sequence (callers sharing one SeedSequence
+    # across ensembles rely on zero-trial calls leaving it untouched).
+    if n_trials == 0:
+        return []
+    children = np.random.SeedSequence(seed).spawn(n_trials)
+    return run_chunks(chunk_fn, children, jobs, *args, chunk_size=chunk_size)
+
+
+def _run_seeded_trial(job: tuple) -> object:
+    """Process-pool entry point: rebuild the trial generator and run one trial."""
+    trial_fn, index, seed_seq = job
+    return trial_fn(index, np.random.default_rng(seed_seq))
+
+
+def run_trials(trial_fn, n_trials: int, seed: int | np.random.SeedSequence, jobs: int = 1) -> list:
+    """Collect the results of ``n_trials`` independent experiment trials.
+
+    Some experiments (e.g. the last-hop placements of Fig. 17) contain a
+    feedback loop — rate adaptation reacting to per-packet outcomes — that
+    cannot be expressed as one stacked array operation.  They still route
+    through the shared engine via this helper so every experiment has the
+    same trial entry point.
+
+    ``trial_fn`` is called as ``trial_fn(trial_index, rng)`` where ``rng``
+    is a generator spawned from ``seed`` for that trial alone
+    (``np.random.SeedSequence(seed).spawn(n_trials)``).  Because no state
+    is shared between trials, seeded results are *independent of execution
+    order* — shuffling, resuming or parallelising the trials produces
+    identical outputs — and ``jobs > 1`` runs them across a process pool
+    (``trial_fn`` must be picklable, i.e. a module-level function or
+    ``functools.partial`` over one).  Results are returned in trial order
+    either way.
+    """
+    if n_trials < 0:
+        raise ValueError("n_trials must be non-negative")
+    # Empty-ensemble guard (mirrors run_packet_ensemble's zero-packet
+    # guard): a zero-trial call invokes nothing and consumes no entropy,
+    # so experiments whose lane sets come up empty leave every stream
+    # exactly where the sequential path would.
+    if n_trials == 0:
+        return []
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    children = root.spawn(n_trials)
+    if jobs <= 1 or n_trials <= 1:
+        return [trial_fn(i, np.random.default_rng(child)) for i, child in enumerate(children)]
+    from concurrent.futures import ProcessPoolExecutor
+
+    job_list = [(trial_fn, i, child) for i, child in enumerate(children)]
+    with ProcessPoolExecutor(max_workers=min(jobs, n_trials)) as pool:
+        return list(pool.map(_run_seeded_trial, job_list))

@@ -15,13 +15,11 @@ array operations:
   one generator call (used by ``fig14_delay_spread``);
 * :func:`draw_frequency_response_ensemble` — batched normalised frequency
   responses on the occupied bins (used by ``ablation_combining``);
-* :func:`run_trials` — the independent-trial collector for experiments
-  whose trials are themselves feedback loops (e.g. ``fig17_lasthop``'s
-  rate-adaptation placements) and therefore cannot be array-batched.  Each
-  trial receives its own generator spawned from the experiment seed
-  (``np.random.SeedSequence(seed).spawn(n_trials)``), so seeded results
-  are independent of trial execution order and trials can run across a
-  process pool (``jobs > 1``) without changing any output.
+* :func:`run_trials` / :func:`run_seed_chunks` — re-exported from the
+  shared engine (:mod:`repro.engine.scheduler`), which owns all chunked
+  sharding and process-pool scheduling; they remain importable here
+  because the ensemble runner is where experiments historically found
+  their trial entry points.
 
 Determinism: the batched draws reproduce the exact generator-stream order
 of the per-trial loops they replace wherever possible (see
@@ -41,6 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.channel.awgn import awgn_ensemble, db_to_linear
+from repro.engine.scheduler import run_seed_chunks, run_trials
 from repro.channel.composite import link_ensemble_for_snr, propagate_ensemble
 from repro.channel.multipath import (
     MultipathEnsemble,
@@ -241,93 +240,5 @@ def draw_frequency_response_ensemble(
     )
 
 
-def _run_seeded_trial(job: tuple) -> object:
-    """Process-pool entry point: rebuild the trial generator and run one trial."""
-    trial_fn, index, seed_seq = job
-    return trial_fn(index, np.random.default_rng(seed_seq))
-
-
-def run_trials(trial_fn, n_trials: int, seed: int | np.random.SeedSequence, jobs: int = 1) -> list:
-    """Collect the results of ``n_trials`` independent experiment trials.
-
-    Some experiments (e.g. the last-hop placements of Fig. 17) contain a
-    feedback loop — rate adaptation reacting to per-packet outcomes — that
-    cannot be expressed as one stacked array operation.  They still route
-    through the ensemble runner via this helper so every experiment has the
-    same trial entry point.
-
-    ``trial_fn`` is called as ``trial_fn(trial_index, rng)`` where ``rng``
-    is a generator spawned from ``seed`` for that trial alone
-    (``np.random.SeedSequence(seed).spawn(n_trials)``).  Because no state
-    is shared between trials, seeded results are *independent of execution
-    order* — shuffling, resuming or parallelising the trials produces
-    identical outputs — and ``jobs > 1`` runs them across a process pool
-    (``trial_fn`` must be picklable, i.e. a module-level function or
-    ``functools.partial`` over one).  Results are returned in trial order
-    either way.
-    """
-    if n_trials < 0:
-        raise ValueError("n_trials must be non-negative")
-    # Empty-ensemble guard (mirrors run_packet_ensemble's zero-packet
-    # guard): a zero-trial call invokes nothing and consumes no entropy,
-    # so experiments whose lane sets come up empty leave every stream
-    # exactly where the sequential path would.
-    if n_trials == 0:
-        return []
-    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
-    children = root.spawn(n_trials)
-    if jobs <= 1 or n_trials <= 1:
-        return [trial_fn(i, np.random.default_rng(child)) for i, child in enumerate(children)]
-    from concurrent.futures import ProcessPoolExecutor
-
-    job_list = [(trial_fn, i, child) for i, child in enumerate(children)]
-    with ProcessPoolExecutor(max_workers=min(jobs, n_trials)) as pool:
-        return list(pool.map(_run_seeded_trial, job_list))
-
-
-def run_seed_chunks(
-    chunk_fn, n_trials: int, seed: int, jobs: int = 1, *args, chunk_size: int | None = None
-) -> list:
-    """Run ``chunk_fn(children, *args)`` over sharded per-trial seeds.
-
-    The lockstep-ensemble counterpart of :func:`run_trials`: trials are
-    seeded from ``np.random.SeedSequence(seed).spawn(n_trials)`` exactly as
-    there, but the callee receives whole *chunks* of children so it can
-    advance them as one lockstep ensemble.  ``chunk_fn`` must return one
-    result per child, in order, and must be picklable for ``jobs > 1``
-    (trials are independent, so sharding cannot change any output);
-    chunked results are concatenated back into trial order.
-
-    ``chunk_size`` caps how many trials one lockstep call sees.  By default
-    the shard width is ``n_trials / jobs`` — the widest (fastest) ensembles
-    — but callers driving very large sweeps (hundreds to thousands of
-    lanes) can bound per-chunk memory by passing an explicit cap; the
-    chunks then run back-to-back in process (``jobs == 1``) or across the
-    pool, with identical results for every setting.
-    """
-    if n_trials < 0:
-        raise ValueError("n_trials must be non-negative")
-    if chunk_size is not None and chunk_size < 1:
-        raise ValueError("chunk_size must be >= 1")
-    # Empty-ensemble guard: never hand ``chunk_fn`` an empty child set — a
-    # lockstep chunk built over zero lanes could still prime caches or
-    # draw from shared streams, which would make results depend on whether
-    # an empty ensemble happened to run (see run_packet_ensemble).
-    if n_trials == 0:
-        return []
-    children = np.random.SeedSequence(seed).spawn(n_trials)
-    if chunk_size is None:
-        if jobs <= 1 or n_trials <= 1:
-            return list(chunk_fn(children, *args))
-        bounds = np.linspace(0, n_trials, min(jobs, n_trials) + 1).astype(int)
-    else:
-        bounds = np.arange(0, n_trials + chunk_size, chunk_size)
-        bounds[-1] = n_trials
-    chunks = [children[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
-    if jobs <= 1 or len(chunks) == 1:
-        return [result for chunk in chunks for result in chunk_fn(chunk, *args)]
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-        parts = pool.map(chunk_fn, chunks, *([value] * len(chunks) for value in args))
-        return [result for part in parts for result in part]
+# run_trials / run_seed_chunks are re-exported above from
+# repro.engine.scheduler, the single home of sharding and pool scheduling.

@@ -77,6 +77,7 @@ from repro.channel.dynamics import (
     trajectory_from_states,
 )
 from repro.channel.multipath import rayleigh_taps_batch
+from repro.engine import Lane, LockstepScheduler, resolve_chains
 from repro.lasthop.controller import SourceSyncController
 from repro.lasthop.rate_adaptation import SampleRate
 from repro.lasthop.simulation import LastHopResult
@@ -212,41 +213,19 @@ class ExorLane:
     after: "ExorLane | None" = None
 
 
-def _resolve_chains(lanes: list) -> tuple[list[int | None], list[list[int]]]:
-    """Validate lane chaining and generator sharing for one ensemble call.
+def _wrap_lanes(specs: list, factory) -> list[Lane]:
+    """Wrap spec dataclasses as engine lanes, remapping ``after`` chains.
 
-    Returns ``(after, successors)`` where ``after[i]`` is the index of the
-    lane that lane ``i`` waits for (or ``None`` for a root lane) and
-    ``successors[j]`` lists the lanes to start when lane ``j`` finishes.
-    Lanes that share a generator must form one chain in input order —
-    anything else would let the lockstep schedule interleave draws from a
-    single stream and silently diverge from the sequential path.
+    A spec whose ``after`` points outside the ensemble keeps the foreign
+    object as the wrapper's ``after``, so the scheduler's membership check
+    rejects it with the same error the private resolver used to raise.
     """
-    index_of = {id(lane): i for i, lane in enumerate(lanes)}
-    after: list[int | None] = []
-    successors: list[list[int]] = [[] for _ in lanes]
-    for i, lane in enumerate(lanes):
-        if lane.after is None:
-            after.append(None)
-            continue
-        predecessor = index_of.get(id(lane.after))
-        if predecessor is None:
-            raise ValueError("lane.after must reference another lane of the same ensemble call")
-        after.append(predecessor)
-        successors[predecessor].append(i)
-    by_rng: dict[int, list[int]] = {}
-    for i, lane in enumerate(lanes):
-        by_rng.setdefault(id(lane.rng), []).append(i)
-    for rows in by_rng.values():
-        for previous, current in zip(rows, rows[1:]):
-            if after[current] != previous:
-                raise ValueError(
-                    "lockstep lanes that share a generator must be chained in "
-                    "input order (each lane's `after` pointing at the previous "
-                    "lane on that generator); unrelated lanes need distinct "
-                    "generators"
-                )
-    return after, successors
+    wrappers = [factory(spec) for spec in specs]
+    by_id = {id(spec): wrapper for spec, wrapper in zip(specs, wrappers)}
+    for spec, wrapper in zip(specs, wrappers):
+        if spec.after is not None:
+            wrapper.after = by_id.get(id(spec.after), spec.after)
+    return wrappers
 
 
 def _bit_indices(mask: int) -> list[int]:
@@ -579,9 +558,7 @@ def _prime_lane_caches(lane: ExorLane) -> None:
         prime_testbeds_lockstep([lane.testbed], lane.rate_mbps, config.payload_bytes)
 
 
-def _materialise_root_trajectories(
-    lanes: list[ExorLane], roots: list[int]
-) -> dict[int, LinkStateTrajectory]:
+def _materialise_root_trajectories(wrappers: list["_ExorEngineLane"]) -> None:
     """Draw the root lanes' link-state trajectories, evolved cross-lane.
 
     Each lane's uniform block is still that lane's own single draw (its
@@ -591,30 +568,130 @@ def _materialise_root_trajectories(
     comparisons, so the stacked evolution is bit-identical to evolving each
     lane alone.  Chained lanes are excluded: they draw at activation.
     """
-    trajectories: dict[int, LinkStateTrajectory] = {}
-    groups: dict[tuple, list[tuple[int, np.ndarray]]] = {}
-    for i in roots:
-        lane = lanes[i]
+    groups: dict[tuple, list[tuple["_ExorEngineLane", np.ndarray]]] = {}
+    for wrapper in wrappers:
+        lane = wrapper.spec
         dynamics = lane.config.dynamics
         if dynamics is None:
             continue
         n_links = len(link_order(lane.testbed.node_ids))
         uniforms = dynamics.draw_state_uniforms(lane.rng, n_links)
         if uniforms is None:  # grid-only spec: deterministic, no draws
-            trajectories[i] = trajectory_from_states(
+            wrapper._trajectory = trajectory_from_states(
                 dynamics, lane.testbed.node_ids, lane.rate_mbps, None
             )
             continue
         key = (dynamics.gilbert_elliott, dynamics.horizon_slots, n_links)
-        groups.setdefault(key, []).append((i, uniforms))
+        groups.setdefault(key, []).append((wrapper, uniforms))
     for (process, _, _), rows in groups.items():
         states = process.evolve_states(np.stack([block for _, block in rows]))
-        for (i, _), lane_states in zip(rows, states):
-            lane = lanes[i]
-            trajectories[i] = trajectory_from_states(
+        for (wrapper, _), lane_states in zip(rows, states):
+            lane = wrapper.spec
+            wrapper._trajectory = trajectory_from_states(
                 lane.config.dynamics, lane.testbed.node_ids, lane.rate_mbps, lane_states
             )
-    return trajectories
+
+
+class _ExorEngineLane(Lane):
+    """One :class:`ExorLane` spec as a lane on the shared lockstep engine."""
+
+    def __init__(self, spec: ExorLane) -> None:
+        self.spec = spec
+        self.rng = spec.rng
+        self.after = None  # remapped over wrappers by _wrap_lanes
+        self._trajectory: LinkStateTrajectory | None = None
+        self._state: _ExorLaneState | None = None
+
+    @classmethod
+    def prime_lanes(cls, lanes: list["_ExorEngineLane"]) -> None:
+        """Batched root priming: grouped cache priming, ETX graphs, trajectories.
+
+        Priming groups by (probe rate, payload) and (data rate, payload) so
+        heterogeneous ensembles batch what they can share; building the ETX
+        graph and dense matrices afterwards consumes no generator draws.
+        Chained lanes prime at activation instead — after their
+        predecessor's final draw, as the sequential code would.
+        """
+        probe_groups: dict[tuple, list[Testbed]] = {}
+        data_groups: dict[tuple, list[Testbed]] = {}
+        for wrapper in lanes:
+            lane = wrapper.spec
+            config = lane.config
+            probe_groups.setdefault(
+                (config.probe_rate_mbps, config.payload_bytes), []
+            ).append(lane.testbed)
+            data_groups.setdefault((lane.rate_mbps, config.payload_bytes), []).append(lane.testbed)
+        for (probe_rate, payload), testbeds in probe_groups.items():
+            prime_testbeds_lockstep(testbeds, probe_rate, payload)
+        for wrapper in lanes:
+            lane = wrapper.spec
+            etx_graph(
+                lane.testbed,
+                probe_rate_mbps=lane.config.probe_rate_mbps,
+                probe_bytes=lane.config.payload_bytes,
+            )
+        for (rate_mbps, payload), testbeds in data_groups.items():
+            prime_testbeds_lockstep(testbeds, rate_mbps, payload)
+        # Link-state trajectories: root lanes draw now (their post-priming
+        # stream position) with the evolution scan stacked across lanes.
+        _materialise_root_trajectories(lanes)
+
+    def prime(self) -> None:
+        """Chained activation: cache priming plus the trajectory draw.
+
+        Both land right after the predecessor's final draw — the shared
+        generator's sequential order.
+        """
+        lane = self.spec
+        _prime_lane_caches(lane)
+        if lane.config.dynamics is not None:
+            self._trajectory = materialise_trajectory(
+                lane.config.dynamics, lane.testbed.node_ids, lane.rate_mbps, lane.rng
+            )
+
+    def setup(self) -> None:
+        """Build the lane's state and run its source-broadcast phase."""
+        self._state = _lane_state(self.spec, self._trajectory)
+        _broadcast_wave(self._state)
+
+    def advance(self) -> None:
+        """One forwarding round: every forwarder takes a turn."""
+        state = self._state
+        state.rounds += 1
+        state.progress = False
+        state.elapsed_us += state.lane.config.batch_map_overhead_us
+        # Running OR of the higher-priority holders' packets: rows the
+        # earlier turns of this round updated are all downstream of the
+        # later forwarders, so the union of newly-delivered bits keeps
+        # the pending computation current.
+        higher_or = state.holds[0]
+        for index_fwd in range(len(state.priority)):
+            higher_or |= _forwarding_turn(state, index_fwd, higher_or)
+            higher_or |= state.holds[index_fwd + 1]
+
+    @property
+    def finished(self) -> bool:
+        """Whether the transfer has no forwarding rounds left."""
+        return not self._state.active
+
+    def result(self) -> ExorResult:
+        """Run the (drawing) last-hop cleanup and build the lane's result."""
+        state = self._state
+        _cleanup(state)
+        config = state.lane.config
+        delivered = state.delivered
+        bits = delivered * config.payload_bytes * 8
+        throughput = bits / state.elapsed_us if state.elapsed_us > 0 else 0.0
+        return ExorResult(
+            throughput_mbps=throughput,
+            delivered_packets=delivered,
+            total_packets=config.batch_size,
+            transmissions=state.transmissions,
+            rounds=state.rounds,
+            forwarders=tuple(state.priority),
+            joint_transmissions=state.joint_count,
+            elapsed_us=state.elapsed_us,
+        )
 
 
 def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
@@ -627,7 +704,8 @@ def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
     may be fully heterogeneous (mixed batch sizes, topologies, rates and
     retry depths); chained lanes (``after=...``) start the moment their
     predecessor finishes, so dependent phases sharing one generator advance
-    inside the same schedule.
+    inside the same schedule.  Scheduling is the shared engine's
+    (:class:`repro.engine.LockstepScheduler`).
 
     Example::
 
@@ -637,106 +715,120 @@ def simulate_exor_ensemble(lanes: list[ExorLane]) -> list[ExorResult]:
     """
     if not lanes:
         return []
-    after, successors = _resolve_chains(lanes)
-    roots = [i for i in range(len(lanes)) if after[i] is None]
-    # Group the root lanes' priming by (probe rate, payload) and (data rate,
-    # payload) so heterogeneous ensembles batch what they can share.
-    # Building the ETX graph and dense matrices afterwards consumes no
-    # generator draws.  Chained lanes prime at activation instead — after
-    # their predecessor's final draw, as the sequential code would.
-    probe_groups: dict[tuple, list[Testbed]] = {}
-    data_groups: dict[tuple, list[Testbed]] = {}
-    for i in roots:
-        lane = lanes[i]
-        config = lane.config
-        probe_groups.setdefault(
-            (config.probe_rate_mbps, config.payload_bytes), []
-        ).append(lane.testbed)
-        data_groups.setdefault((lane.rate_mbps, config.payload_bytes), []).append(lane.testbed)
-    for (probe_rate, payload), testbeds in probe_groups.items():
-        prime_testbeds_lockstep(testbeds, probe_rate, payload)
-    for i in roots:
-        lane = lanes[i]
-        etx_graph(
-            lane.testbed,
-            probe_rate_mbps=lane.config.probe_rate_mbps,
-            probe_bytes=lane.config.payload_bytes,
-        )
-    for (rate_mbps, payload), testbeds in data_groups.items():
-        prime_testbeds_lockstep(testbeds, rate_mbps, payload)
-    # Link-state trajectories: root lanes draw now (their post-priming
-    # stream position) with the evolution scan stacked across lanes;
-    # chained lanes draw inside _start, after their predecessor's last draw.
-    trajectories = _materialise_root_trajectories(lanes, roots)
-
-    results: list[ExorResult | None] = [None] * len(lanes)
-    live: list[tuple[int, _ExorLaneState]] = []
-
-    def _finish(index: int, state: _ExorLaneState) -> None:
-        """Run the lane's cleanup, record its result, start its successors."""
-        _cleanup(state)
-        config = state.lane.config
-        delivered = state.delivered
-        bits = delivered * config.payload_bytes * 8
-        throughput = bits / state.elapsed_us if state.elapsed_us > 0 else 0.0
-        results[index] = ExorResult(
-            throughput_mbps=throughput,
-            delivered_packets=delivered,
-            total_packets=config.batch_size,
-            transmissions=state.transmissions,
-            rounds=state.rounds,
-            forwarders=tuple(state.priority),
-            joint_transmissions=state.joint_count,
-            elapsed_us=state.elapsed_us,
-        )
-        for successor in successors[index]:
-            _start(successor)
-
-    def _start(index: int) -> None:
-        """Build the lane's state and run its source-broadcast phase."""
-        lane = lanes[index]
-        if after[index] is not None:
-            _prime_lane_caches(lane)
-            if lane.config.dynamics is not None:
-                # A chained lane's trajectory draw lands right after its
-                # predecessor's final draw — the shared generator's
-                # sequential order.
-                trajectories[index] = materialise_trajectory(
-                    lane.config.dynamics, lane.testbed.node_ids, lane.rate_mbps, lane.rng
-                )
-        state = _lane_state(lane, trajectories.get(index))
-        _broadcast_wave(state)
-        if state.active:
-            live.append((index, state))
-        else:
-            _finish(index, state)
-
-    for i in roots:
-        _start(i)
-    while live:
-        advancing, live = live, []
-        for index, state in advancing:
-            state.rounds += 1
-            state.progress = False
-            state.elapsed_us += state.lane.config.batch_map_overhead_us
-            # Running OR of the higher-priority holders' packets: rows the
-            # earlier turns of this round updated are all downstream of the
-            # later forwarders, so the union of newly-delivered bits keeps
-            # the pending computation current.
-            higher_or = state.holds[0]
-            for index_fwd in range(len(state.priority)):
-                higher_or |= _forwarding_turn(state, index_fwd, higher_or)
-                higher_or |= state.holds[index_fwd + 1]
-            if state.active:
-                live.append((index, state))
-            else:
-                _finish(index, state)
-    return results
+    return LockstepScheduler().run(_wrap_lanes(lanes, _ExorEngineLane))
 
 
 # ----------------------------------------------------------------------
 # Single-path baseline in lockstep
 # ----------------------------------------------------------------------
+def _run_single_path_lane(lane: ExorLane, retry_limit: int) -> SinglePathResult:
+    """Run one lane's single-path transfer to completion (pre-draw/rewind)."""
+    from repro.net.etx import best_route
+
+    config = lane.config
+    testbed, rng = lane.testbed, lane.rng
+    timing = lane.timing if lane.timing is not None else MacTiming(params=testbed.params)
+    rate = rate_for_mbps(lane.rate_mbps)
+    n_packets = config.batch_size
+    graph = etx_graph(
+        testbed, probe_rate_mbps=config.probe_rate_mbps, probe_bytes=config.payload_bytes
+    )
+    route_key = ("best_route", config.probe_rate_mbps, config.payload_bytes, lane.src, lane.dst)
+    route = testbed._routing_cache.get(route_key)
+    if route is None:
+        route = best_route(graph, lane.src, lane.dst) or ()
+        testbed._routing_cache[route_key] = route
+    if len(route) < 2:
+        return SinglePathResult(0.0, 0, n_packets, 0, tuple(route))
+    # The trajectory draw sits after the route check and before the
+    # attempt block, exactly where the sequential simulator makes it.
+    trajectory = None
+    if config.dynamics is not None:
+        trajectory = materialise_trajectory(
+            config.dynamics, testbed.node_ids, lane.rate_mbps, rng
+        )
+    matrix = testbed.delivery_prob_matrix(rate, config.payload_bytes)
+    idx = testbed._node_index
+    hops = list(zip(route[:-1], route[1:]))
+    hop_probs = [float(matrix[idx[a], idx[b]]) for a, b in hops]
+    per_attempt = timing.single_transaction_us(config.payload_bytes, rate)
+    snapshot = {**rng.bit_generator.state}
+    draws = rng.random(n_packets * len(hop_probs) * retry_limit).tolist()
+    position = 0
+    delivered = transmissions = 0
+    elapsed = 0.0
+    for _ in range(n_packets):
+        alive = True
+        for hop, prob in zip(hops, hop_probs):
+            success = False
+            for _ in range(retry_limit):
+                if trajectory is None:
+                    threshold = prob
+                else:
+                    threshold = prob * trajectory.pair_multiplier(
+                        transmissions, hop[0], hop[1]
+                    )
+                got_through = draws[position] < threshold
+                position += 1
+                elapsed += per_attempt
+                transmissions += 1
+                if got_through:
+                    success = True
+                    break
+            if not success:
+                alive = False
+                break
+        if alive:
+            delivered += 1
+    # Rewind and re-consume exactly the used draws: the generator ends
+    # in the same state as the sequential retry loops leave it.
+    rng.bit_generator.state = snapshot
+    if position:
+        rng.random(position)
+    bits = delivered * config.payload_bytes * 8
+    throughput = bits / elapsed if elapsed > 0 else 0.0
+    return SinglePathResult(
+        throughput_mbps=throughput,
+        delivered_packets=delivered,
+        total_packets=n_packets,
+        transmissions=transmissions,
+        route=tuple(route),
+        elapsed_us=elapsed,
+    )
+
+
+class _SinglePathEngineLane(Lane):
+    """Run-to-completion single-path lane; chains carry no scheduling meaning.
+
+    Lanes run fully inside :meth:`setup` in input order, so unchained
+    generator sharing is naturally sequential — the class opts out of
+    chain enforcement, matching the pre-engine behaviour (``after`` was
+    accepted but ignored).
+    """
+
+    enforce_generator_chains = False
+
+    def __init__(self, spec: ExorLane, retry_limit: int) -> None:
+        self.spec = spec
+        self.rng = spec.rng
+        self.after = None  # input order already is the dependency order
+        self._retry_limit = retry_limit
+        self._result: SinglePathResult | None = None
+
+    def setup(self) -> None:
+        """Run the whole transfer now (the lane is feedback-bound)."""
+        self._result = _run_single_path_lane(self.spec, self._retry_limit)
+
+    @property
+    def finished(self) -> bool:
+        """Run-to-completion lanes finish during setup."""
+        return self._result is not None
+
+    def result(self) -> SinglePathResult:
+        """Return the transfer result computed during setup."""
+        return self._result
+
+
 def simulate_single_path_ensemble(
     lanes: list[ExorLane],
     retry_limit: int = 8,
@@ -754,84 +846,9 @@ def simulate_single_path_ensemble(
     order, so lanes sharing a generator are naturally sequential here (list
     them in their dependency order; ``after`` is accepted but not needed).
     """
-    from repro.net.etx import best_route
-
-    results = []
-    for lane in lanes:
-        config = lane.config
-        testbed, rng = lane.testbed, lane.rng
-        timing = lane.timing if lane.timing is not None else MacTiming(params=testbed.params)
-        rate = rate_for_mbps(lane.rate_mbps)
-        n_packets = config.batch_size
-        graph = etx_graph(
-            testbed, probe_rate_mbps=config.probe_rate_mbps, probe_bytes=config.payload_bytes
-        )
-        route_key = ("best_route", config.probe_rate_mbps, config.payload_bytes, lane.src, lane.dst)
-        route = testbed._routing_cache.get(route_key)
-        if route is None:
-            route = best_route(graph, lane.src, lane.dst) or ()
-            testbed._routing_cache[route_key] = route
-        if len(route) < 2:
-            results.append(SinglePathResult(0.0, 0, n_packets, 0, tuple(route)))
-            continue
-        # The trajectory draw sits after the route check and before the
-        # attempt block, exactly where the sequential simulator makes it.
-        trajectory = None
-        if config.dynamics is not None:
-            trajectory = materialise_trajectory(
-                config.dynamics, testbed.node_ids, lane.rate_mbps, rng
-            )
-        matrix = testbed.delivery_prob_matrix(rate, config.payload_bytes)
-        idx = testbed._node_index
-        hops = list(zip(route[:-1], route[1:]))
-        hop_probs = [float(matrix[idx[a], idx[b]]) for a, b in hops]
-        per_attempt = timing.single_transaction_us(config.payload_bytes, rate)
-        snapshot = {**rng.bit_generator.state}
-        draws = rng.random(n_packets * len(hop_probs) * retry_limit).tolist()
-        position = 0
-        delivered = transmissions = 0
-        elapsed = 0.0
-        for _ in range(n_packets):
-            alive = True
-            for hop, prob in zip(hops, hop_probs):
-                success = False
-                for _ in range(retry_limit):
-                    if trajectory is None:
-                        threshold = prob
-                    else:
-                        threshold = prob * trajectory.pair_multiplier(
-                            transmissions, hop[0], hop[1]
-                        )
-                    got_through = draws[position] < threshold
-                    position += 1
-                    elapsed += per_attempt
-                    transmissions += 1
-                    if got_through:
-                        success = True
-                        break
-                if not success:
-                    alive = False
-                    break
-            if alive:
-                delivered += 1
-        # Rewind and re-consume exactly the used draws: the generator ends
-        # in the same state as the sequential retry loops leave it.
-        rng.bit_generator.state = snapshot
-        if position:
-            rng.random(position)
-        bits = delivered * config.payload_bytes * 8
-        throughput = bits / elapsed if elapsed > 0 else 0.0
-        results.append(
-            SinglePathResult(
-                throughput_mbps=throughput,
-                delivered_packets=delivered,
-                total_packets=n_packets,
-                transmissions=transmissions,
-                route=tuple(route),
-                elapsed_us=elapsed,
-            )
-        )
-    return results
+    return LockstepScheduler().run(
+        [_SinglePathEngineLane(spec, retry_limit) for spec in lanes]
+    )
 
 
 # ----------------------------------------------------------------------
@@ -870,73 +887,99 @@ def simulate_link_local_ensemble(lanes: list[LinkLocalLane]) -> list[LinkLocalRe
     draw (when ``config.dynamics`` is set) lands after the route check and
     before the block, in the sequential stream position.
     """
-    from repro.net.etx import best_route
-
     if not lanes:
         return []
-    _resolve_chains(lanes)
-    results = []
-    for lane in lanes:
-        config = lane.config
-        testbed, rng = lane.testbed, lane.rng
-        timing = lane.timing if lane.timing is not None else MacTiming(params=testbed.params)
-        rate = rate_for_mbps(lane.rate_mbps)
-        graph = etx_graph(
-            testbed, probe_rate_mbps=config.probe_rate_mbps, probe_bytes=config.payload_bytes
-        )
-        route_key = ("best_route", config.probe_rate_mbps, config.payload_bytes, lane.src, lane.dst)
-        route = testbed._routing_cache.get(route_key)
-        if route is None:
-            route = best_route(graph, lane.src, lane.dst) or ()
-            testbed._routing_cache[route_key] = route
-        if len(route) < 2:
-            results.append(LinkLocalResult(0.0, 0, lane.n_packets, 0, 0, 0, tuple(route)))
-            continue
-        trajectory = None
-        if config.dynamics is not None:
-            trajectory = materialise_trajectory(
-                config.dynamics, testbed.node_ids, lane.rate_mbps, rng
-            )
-        matrix = testbed.delivery_prob_matrix(rate, config.payload_bytes)
-        idx = testbed._node_index
-        hop_pairs = list(zip(route[:-1], route[1:]))
-        hop_probs = [float(matrix[idx[a], idx[b]]) for a, b in hop_pairs]
-        per_attempt = timing.single_transaction_us(config.payload_bytes, rate)
-        bound = lane.n_packets * config.e2e_passes * len(hop_pairs) * config.attempts_per_hop
-        snapshot = {**rng.bit_generator.state}
-        block = rng.random(bound).tolist()
-        consumed = 0
+    # Chain validation happens on the specs: wrappers run unchained (input
+    # order already is the sequential order for run-to-completion lanes).
+    resolve_chains(lanes)
+    return LockstepScheduler().run([_LinkLocalEngineLane(spec) for spec in lanes])
 
-        def next_uniform(block: list[float] = block) -> float:
-            nonlocal consumed
-            value = block[consumed]
-            consumed += 1
-            return value
 
-        mac = CsmaState()
-        delivered, local_retransmissions, e2e_retries = _transfer(
-            hop_pairs, hop_probs, lane.n_packets, config, trajectory, per_attempt,
-            next_uniform, mac,
+def _run_link_local_lane(lane: LinkLocalLane) -> LinkLocalResult:
+    """Run one lane's link-local transfer to completion (pre-draw/rewind)."""
+    from repro.net.etx import best_route
+
+    config = lane.config
+    testbed, rng = lane.testbed, lane.rng
+    timing = lane.timing if lane.timing is not None else MacTiming(params=testbed.params)
+    rate = rate_for_mbps(lane.rate_mbps)
+    graph = etx_graph(
+        testbed, probe_rate_mbps=config.probe_rate_mbps, probe_bytes=config.payload_bytes
+    )
+    route_key = ("best_route", config.probe_rate_mbps, config.payload_bytes, lane.src, lane.dst)
+    route = testbed._routing_cache.get(route_key)
+    if route is None:
+        route = best_route(graph, lane.src, lane.dst) or ()
+        testbed._routing_cache[route_key] = route
+    if len(route) < 2:
+        return LinkLocalResult(0.0, 0, lane.n_packets, 0, 0, 0, tuple(route))
+    trajectory = None
+    if config.dynamics is not None:
+        trajectory = materialise_trajectory(
+            config.dynamics, testbed.node_ids, lane.rate_mbps, rng
         )
-        # Rewind and re-consume exactly the used draws, as in the
-        # single-path baseline: downstream phases see an unchanged stream.
-        rng.bit_generator.state = snapshot
-        if consumed:
-            rng.random(consumed)
-        throughput = mac.throughput_mbps(delivered * config.payload_bytes * 8)
-        results.append(
-            LinkLocalResult(
-                throughput_mbps=throughput,
-                delivered_packets=delivered,
-                total_packets=lane.n_packets,
-                transmissions=mac.transmissions,
-                local_retransmissions=local_retransmissions,
-                e2e_retries=e2e_retries,
-                route=tuple(route),
-                elapsed_us=mac.elapsed_us,
-            )
-        )
-    return results
+    matrix = testbed.delivery_prob_matrix(rate, config.payload_bytes)
+    idx = testbed._node_index
+    hop_pairs = list(zip(route[:-1], route[1:]))
+    hop_probs = [float(matrix[idx[a], idx[b]]) for a, b in hop_pairs]
+    per_attempt = timing.single_transaction_us(config.payload_bytes, rate)
+    bound = lane.n_packets * config.e2e_passes * len(hop_pairs) * config.attempts_per_hop
+    snapshot = {**rng.bit_generator.state}
+    block = rng.random(bound).tolist()
+    consumed = 0
+
+    def next_uniform(block: list[float] = block) -> float:
+        nonlocal consumed
+        value = block[consumed]
+        consumed += 1
+        return value
+
+    mac = CsmaState()
+    delivered, local_retransmissions, e2e_retries = _transfer(
+        hop_pairs, hop_probs, lane.n_packets, config, trajectory, per_attempt,
+        next_uniform, mac,
+    )
+    # Rewind and re-consume exactly the used draws, as in the
+    # single-path baseline: downstream phases see an unchanged stream.
+    rng.bit_generator.state = snapshot
+    if consumed:
+        rng.random(consumed)
+    throughput = mac.throughput_mbps(delivered * config.payload_bytes * 8)
+    return LinkLocalResult(
+        throughput_mbps=throughput,
+        delivered_packets=delivered,
+        total_packets=lane.n_packets,
+        transmissions=mac.transmissions,
+        local_retransmissions=local_retransmissions,
+        e2e_retries=e2e_retries,
+        route=tuple(route),
+        elapsed_us=mac.elapsed_us,
+    )
+
+
+class _LinkLocalEngineLane(Lane):
+    """Run-to-completion link-local lane (chains validated on the specs)."""
+
+    enforce_generator_chains = False
+
+    def __init__(self, spec: LinkLocalLane) -> None:
+        self.spec = spec
+        self.rng = spec.rng
+        self.after = None  # input order already is the dependency order
+        self._result: LinkLocalResult | None = None
+
+    def setup(self) -> None:
+        """Run the whole transfer now (the retry structure is feedback-bound)."""
+        self._result = _run_link_local_lane(self.spec)
+
+    @property
+    def finished(self) -> bool:
+        """Run-to-completion lanes finish during setup."""
+        return self._result is not None
+
+    def result(self) -> LinkLocalResult:
+        """Return the transfer result computed during setup."""
+        return self._result
 
 
 # ----------------------------------------------------------------------
@@ -1005,35 +1048,50 @@ def simulate_downlink_ensemble(lanes: list[DownlinkLane]) -> list[LastHopResult]
     """
     if not lanes:
         return []
-    after, successors = _resolve_chains(lanes)
+    ens = _DownlinkEnsemble(lanes)
+    row_of = {id(spec): row for row, spec in enumerate(lanes)}
+    wrappers = _wrap_lanes(
+        lanes, lambda spec: _DownlinkEngineLane(spec, ens, row_of[id(spec)])
+    )
+    return LockstepScheduler().run(wrappers)
 
-    rates = rates_sorted()
-    n_rates = len(rates)
-    sample_every = SampleRate.sample_every
-    max_failures = SampleRate.max_successive_failures
 
-    n_lanes = len(lanes)
-    n_packets = np.array([lane.n_packets for lane in lanes], dtype=np.int64)
-    retry_limits = np.array([lane.retry_limit for lane in lanes], dtype=np.int64)
+_WAITING, _ACTIVE, _DONE = -1, 0, 1
 
-    # Per-lane tables, rows filled at activation; SampleRate statistics in
-    # stacked arrays, one row per lane (see repro.lasthop.rate_adaptation).
-    # `lossless` rows start at 1.0 so untouched rows cannot divide by zero.
-    senders_per_lane: list[list[int] | None] = [None] * n_lanes
-    prob_table = np.zeros((n_lanes, n_rates))
-    airtime_table = np.zeros((n_lanes, n_rates))
-    lossless = np.ones((n_lanes, n_rates))
-    successes = np.zeros((n_lanes, n_rates), dtype=np.int64)
-    totals = np.zeros((n_lanes, n_rates))
-    streak_failures = np.zeros((n_lanes, n_rates), dtype=np.int64)
-    elapsed = np.zeros(n_lanes)
-    transmissions = np.zeros(n_lanes, dtype=np.int64)
-    delivered = np.zeros(n_lanes, dtype=np.int64)
-    packets_done = np.zeros(n_lanes, dtype=np.int64)
-    WAITING, ACTIVE, DONE = -1, 0, 1
-    status = np.full(n_lanes, WAITING, dtype=np.int64)
 
-    def _resolve(row: int) -> np.ndarray:
+class _DownlinkEnsemble:
+    """Stacked SampleRate/attempt state shared by one downlink ensemble call.
+
+    One instance holds every lane's decision statistics and progress
+    counters as stacked arrays, rows filled at lane activation; `lossless`
+    rows start at 1.0 so untouched rows cannot divide by zero (see
+    :mod:`repro.lasthop.rate_adaptation` for the sequential counterpart).
+    """
+
+    def __init__(self, lanes: list[DownlinkLane]) -> None:
+        self.lanes = lanes
+        self.rates = rates_sorted()
+        self.n_rates = len(self.rates)
+        self.sample_every = SampleRate.sample_every
+        self.max_failures = SampleRate.max_successive_failures
+        n_lanes = len(lanes)
+        self.n_packets = np.array([lane.n_packets for lane in lanes], dtype=np.int64)
+        self.retry_limits = np.array([lane.retry_limit for lane in lanes], dtype=np.int64)
+        self.senders_per_lane: list[list[int] | None] = [None] * n_lanes
+        self.prob_table = np.zeros((n_lanes, self.n_rates))
+        self.airtime_table = np.zeros((n_lanes, self.n_rates))
+        self.lossless = np.ones((n_lanes, self.n_rates))
+        self.successes = np.zeros((n_lanes, self.n_rates), dtype=np.int64)
+        self.totals = np.zeros((n_lanes, self.n_rates))
+        self.streak_failures = np.zeros((n_lanes, self.n_rates), dtype=np.int64)
+        self.elapsed = np.zeros(n_lanes)
+        self.transmissions = np.zeros(n_lanes, dtype=np.int64)
+        self.delivered = np.zeros(n_lanes, dtype=np.int64)
+        self.packets_done = np.zeros(n_lanes, dtype=np.int64)
+        self.chosen = np.zeros(n_lanes, dtype=np.int64)
+        self.status = np.full(n_lanes, _WAITING, dtype=np.int64)
+
+    def resolve(self, row: int) -> np.ndarray:
         """Sender resolution in the lane's sequential stream position.
 
         May lazily materialise link profiles (generator draws), exactly as
@@ -1041,9 +1099,9 @@ def simulate_downlink_ensemble(lanes: list[DownlinkLane]) -> list[LastHopResult]
         — so a chained lane must not resolve until its predecessor has
         finished.  Returns the lane's (combined) per-subcarrier SNR profile.
         """
-        lane = lanes[row]
+        lane = self.lanes[row]
         senders = _lane_senders(lane)
-        senders_per_lane[row] = senders
+        self.senders_per_lane[row] = senders
         if len(senders) == 1:
             return lane.testbed.link_profile(senders[0], lane.client)
         from repro.analysis.error_models import combined_subcarrier_snr
@@ -1052,89 +1110,73 @@ def simulate_downlink_ensemble(lanes: list[DownlinkLane]) -> list[LastHopResult]
             [lane.testbed.link_profile(s, lane.client) for s in senders]
         )
 
-    def _fill_tables(row: int, prob_row: np.ndarray) -> None:
+    def fill_tables(self, row: int, prob_row: np.ndarray) -> None:
         """Install a resolved lane's probability/airtime rows and activate it."""
-        lane = lanes[row]
+        lane = self.lanes[row]
         timing = lane.timing if lane.timing is not None else MacTiming(params=lane.testbed.params)
-        prob_table[row] = prob_row
-        n_cosenders = len(senders_per_lane[row]) - 1
-        for col, rate in enumerate(rates):
+        self.prob_table[row] = prob_row
+        n_cosenders = len(self.senders_per_lane[row]) - 1
+        for col, rate in enumerate(self.rates):
             if n_cosenders > 0:
-                airtime_table[row, col] = timing.joint_transaction_us(
+                self.airtime_table[row, col] = timing.joint_transaction_us(
                     lane.payload_bytes, rate, n_cosenders
                 )
             else:
-                airtime_table[row, col] = timing.single_transaction_us(lane.payload_bytes, rate)
-            lossless[row, col] = timing.single_transaction_us(lane.payload_bytes, rate)
-        status[row] = ACTIVE
-        if lane.n_packets <= 0:  # degenerate stream: complete immediately
-            status[row] = DONE
-            for successor in successors[row]:
-                _start(successor)
+                self.airtime_table[row, col] = timing.single_transaction_us(
+                    lane.payload_bytes, rate
+                )
+            self.lossless[row, col] = timing.single_transaction_us(lane.payload_bytes, rate)
+        status = _DONE if lane.n_packets <= 0 else _ACTIVE  # degenerate: done at once
+        self.status[row] = status
 
-    def _start(row: int) -> None:
-        """Resolve and activate one lane (chained activation entry point)."""
-        profile = _resolve(row)
-        prob_row = delivery_probabilities_rates(
-            profile[None, :], rates, lanes[row].payload_bytes
-        )[0]
-        _fill_tables(row, prob_row)
-
-    # Root lanes: sender resolution draws stay per lane in input order, but
-    # the EESM pass runs stacked across every root sharing a payload size
-    # and profile width (row-wise bit-identical to the per-lane calls).
-    roots = [row for row in range(n_lanes) if after[row] is None]
-    root_profiles = {row: _resolve(row) for row in roots}
-    eesm_groups: dict[tuple[int, int], list[int]] = {}
-    for row in roots:
-        key = (lanes[row].payload_bytes, root_profiles[row].size)
-        eesm_groups.setdefault(key, []).append(row)
-    for (payload_bytes, _), rows in eesm_groups.items():
-        probs = delivery_probabilities_rates(
-            np.vstack([root_profiles[row] for row in rows]), rates, payload_bytes
-        )
-        for row, prob_row in zip(rows, probs):
-            _fill_tables(row, prob_row)
-
-    def _current_best(rows: np.ndarray) -> np.ndarray:
+    def current_best(self, rows: np.ndarray) -> np.ndarray:
         """Vectorised SampleRate._current_best over the given lane rows."""
         with np.errstate(divide="ignore", invalid="ignore"):
-            average = np.where(successes[rows] > 0, totals[rows] / successes[rows], np.inf)
-        effective = np.where(successes[rows] > 0, average, lossless[rows] * 1.2)
-        effective = np.where(streak_failures[rows] >= max_failures, np.inf, effective)
+            average = np.where(
+                self.successes[rows] > 0, self.totals[rows] / self.successes[rows], np.inf
+            )
+        effective = np.where(self.successes[rows] > 0, average, self.lossless[rows] * 1.2)
+        effective = np.where(self.streak_failures[rows] >= self.max_failures, np.inf, effective)
         minima = effective.min(axis=1)
         # Ties break towards the higher rate (the sequential sort key is
         # (average, -mbps)); all-excluded lanes fall back to the lowest rate.
         is_min = effective == minima[:, None]
-        best = n_rates - 1 - np.argmax(is_min[:, ::-1], axis=1)
+        best = self.n_rates - 1 - np.argmax(is_min[:, ::-1], axis=1)
         return np.where(np.isinf(minima), 0, best)
 
-    chosen = np.zeros(n_lanes, dtype=np.int64)
-    active = np.nonzero(status == ACTIVE)[0]
-    while active.size:
-        chosen[active] = _current_best(active)
-        if sample_every > 0:
-            due = active[(packets_done[active] + 1) % sample_every == 0]
+    def wave(self) -> None:
+        """One packet wave: rate choice, retry sub-waves, stats report."""
+        lanes, chosen = self.lanes, self.chosen
+        active = np.nonzero(self.status == _ACTIVE)[0]
+        if active.size == 0:
+            return
+        chosen[active] = self.current_best(active)
+        if self.sample_every > 0:
+            due = active[(self.packets_done[active] + 1) % self.sample_every == 0]
             if due.size:
                 with np.errstate(divide="ignore", invalid="ignore"):
-                    average = np.where(successes[due] > 0, totals[due] / successes[due], np.inf)
+                    average = np.where(
+                        self.successes[due] > 0, self.totals[due] / self.successes[due], np.inf
+                    )
                 best_average = average[np.arange(due.size), chosen[due]]
-                viable = lossless[due] < best_average[:, None]
+                viable = self.lossless[due] < best_average[:, None]
                 viable[np.arange(due.size), chosen[due]] = False
                 for position, row in enumerate(due.tolist()):
                     options = np.nonzero(viable[position])[0]
                     if options.size == 0:
-                        options = np.array([c for c in range(n_rates) if c != chosen[row]])
+                        options = np.array(
+                            [c for c in range(self.n_rates) if c != chosen[row]]
+                        )
                     chosen[row] = options[int(lanes[row].rng.integers(0, options.size))]
 
         # Hoist the per-wave (lane, rate) gathers once; the retry sub-waves
         # below index these 1-D views by position instead of re-gathering
         # 2-D tables per attempt.
         act_chosen = chosen[active]
-        act_prob = prob_table[active, act_chosen]
-        act_airtime = airtime_table[active, act_chosen]
-        act_lossless = lossless[active, act_chosen]
-        act_retry = retry_limits[active]
+        act_prob = self.prob_table[active, act_chosen]
+        act_airtime = self.airtime_table[active, act_chosen]
+        act_lossless = self.lossless[active, act_chosen]
+        act_retry = self.retry_limits[active]
 
         # Retry sub-waves: every lane still attempting this packet draws one
         # scalar uniform (its sequential order), the probability and airtime
@@ -1148,42 +1190,90 @@ def simulate_downlink_ensemble(lanes: list[DownlinkLane]) -> list[LastHopResult]
             rows = active[remaining]
             draws = np.array([lanes[row].rng.random() for row in rows.tolist()])
             succeeded = draws < act_prob[remaining]
-            elapsed[rows] += act_airtime[remaining]
-            transmissions[rows] += 1
+            self.elapsed[rows] += act_airtime[remaining]
+            self.transmissions[rows] += 1
             attempts_act[remaining] += 1
             success_act[remaining[succeeded]] = True
             remaining = remaining[~succeeded]
             remaining = remaining[act_retry[remaining] > attempt + 1]
 
         # adapter.report(rate, success, attempts) for every active lane at once
-        totals[active, act_chosen] += act_lossless * attempts_act
-        successes[active, act_chosen] += success_act
-        streak_failures[active, act_chosen] = np.where(
-            success_act, 0, streak_failures[active, act_chosen] + 1
+        self.totals[active, act_chosen] += act_lossless * attempts_act
+        self.successes[active, act_chosen] += success_act
+        self.streak_failures[active, act_chosen] = np.where(
+            success_act, 0, self.streak_failures[active, act_chosen] + 1
         )
-        delivered[active] += success_act
-        packets_done[active] += 1
+        self.delivered[active] += success_act
+        self.packets_done[active] += 1
+        done = active[self.packets_done[active] >= self.n_packets[active]]
+        self.status[done] = _DONE
 
-        finished_mask = packets_done[active] >= n_packets[active]
-        if finished_mask.any():
-            for row in active[finished_mask].tolist():
-                status[row] = DONE
-                for successor in successors[row]:
-                    _start(successor)
-            active = np.nonzero(status == ACTIVE)[0]
 
-    results = []
-    for row, lane in enumerate(lanes):
-        bits = int(delivered[row]) * lane.payload_bytes * 8
-        throughput = bits / elapsed[row] if elapsed[row] > 0 else 0.0
-        results.append(
-            LastHopResult(
-                throughput_mbps=float(throughput),
-                delivered_packets=int(delivered[row]),
-                total_packets=lane.n_packets,
-                transmissions=int(transmissions[row]),
-                scheme=lane.scheme,
-                senders=tuple(senders_per_lane[row]),
+class _DownlinkEngineLane(Lane):
+    """Engine lane wrapping one :class:`DownlinkLane` row of the stacked state."""
+
+    stacked = True
+
+    def __init__(self, spec: DownlinkLane, ens: _DownlinkEnsemble, row: int) -> None:
+        self.spec = spec
+        self.rng = spec.rng
+        self.after: "_DownlinkEngineLane | None" = None
+        self.ens = ens
+        self.row = row
+        self._prob_row: np.ndarray | None = None
+
+    @classmethod
+    def prime_lanes(cls, lanes: list["_DownlinkEngineLane"]) -> None:
+        """Prime root lanes: per-lane sender resolution, stacked EESM pass.
+
+        Sender resolution draws stay per lane in input order, but the EESM
+        pass runs stacked across every root sharing a payload size and
+        profile width (row-wise bit-identical to the per-lane calls).
+        """
+        ens = lanes[0].ens
+        profiles = {wrapper.row: ens.resolve(wrapper.row) for wrapper in lanes}
+        eesm_groups: dict[tuple[int, int], list["_DownlinkEngineLane"]] = {}
+        for wrapper in lanes:
+            key = (wrapper.spec.payload_bytes, profiles[wrapper.row].size)
+            eesm_groups.setdefault(key, []).append(wrapper)
+        for (payload_bytes, _), members in eesm_groups.items():
+            probs = delivery_probabilities_rates(
+                np.vstack([profiles[w.row] for w in members]), ens.rates, payload_bytes
             )
+            for wrapper, prob_row in zip(members, probs):
+                wrapper._prob_row = prob_row
+
+    def prime(self) -> None:
+        """Chained activation: resolve senders (may draw), single-row EESM."""
+        profile = self.ens.resolve(self.row)
+        self._prob_row = delivery_probabilities_rates(
+            profile[None, :], self.ens.rates, self.spec.payload_bytes
+        )[0]
+
+    def setup(self) -> None:
+        """Install this lane's probability/airtime rows and mark it active."""
+        self.ens.fill_tables(self.row, self._prob_row)
+
+    @classmethod
+    def advance_lanes(cls, lanes: list["_DownlinkEngineLane"]) -> None:
+        """One stacked packet wave over every active row of the shared state."""
+        lanes[0].ens.wave()
+
+    @property
+    def finished(self) -> bool:
+        """Whether this row's stream has delivered (or skipped) every packet."""
+        return bool(self.ens.status[self.row] == _DONE)
+
+    def result(self) -> LastHopResult:
+        """Assemble this row's :class:`LastHopResult` from the stacked totals."""
+        ens, row, lane = self.ens, self.row, self.spec
+        bits = int(ens.delivered[row]) * lane.payload_bytes * 8
+        throughput = bits / ens.elapsed[row] if ens.elapsed[row] > 0 else 0.0
+        return LastHopResult(
+            throughput_mbps=float(throughput),
+            delivered_packets=int(ens.delivered[row]),
+            total_packets=lane.n_packets,
+            transmissions=int(ens.transmissions[row]),
+            scheme=lane.scheme,
+            senders=tuple(ens.senders_per_lane[row]),
         )
-    return results

@@ -35,6 +35,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.channel.dynamics import LinkDynamics
+from repro.engine import run_chunks
 from repro.channel.propagation import PathLossModel
 from repro.net.topology import Testbed
 from repro.phy.params import DEFAULT_PARAMS, OFDMParams
@@ -302,11 +303,6 @@ def _service_chunk(
     ]
 
 
-def _service_chunk_job(job: tuple) -> list[tuple[FlowService, ...]]:
-    """Process-pool entry point: unpack one chunk job and serve it."""
-    return _service_chunk(*job)
-
-
 def simulate_flow_services(
     workload: TrafficWorkload,
     testbed_factory: Callable[[], Testbed],
@@ -347,29 +343,16 @@ def simulate_flow_services(
         (flow.index, flow.sender, flow.arrival_us, flow.size_packets)
         for flow in workload.flows
     ]
-    n_flows = len(rows)
-    if chunk_flows == 0:
-        bounds = np.linspace(0, n_flows, min(jobs, n_flows) + 1).astype(int)
-    else:
-        bounds = np.arange(0, n_flows + chunk_flows, chunk_flows)
-        bounds[-1] = n_flows
-    chunks = [rows[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
-    job_args = [
-        (
-            chunk, testbed_factory, dst, workload.seed,
-            workload.rate_mbps, workload.payload_bytes, ordered_schemes, lockstep,
-            dynamics, link_local,
-        )
-        for chunk in chunks
-    ]
-    if jobs <= 1 or len(job_args) <= 1:
-        parts = [_service_chunk_job(job) for job in job_args]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=min(jobs, len(job_args))) as pool:
-            parts = list(pool.map(_service_chunk_job, job_args))
-    flat = [per_flow for part in parts for per_flow in part]
+    # Sharding and the process pool live in the engine: one shard per job by
+    # default (chunk_flows=0 maps to chunk_size=None), an explicit cap
+    # otherwise — bit-identical results for every setting.
+    flat = run_chunks(
+        _service_chunk, rows, jobs,
+        testbed_factory, dst, workload.seed,
+        workload.rate_mbps, workload.payload_bytes, ordered_schemes, lockstep,
+        dynamics, link_local,
+        chunk_size=chunk_flows or None,
+    )
     return {
         scheme: [per_flow[pos] for per_flow in flat]
         for pos, scheme in enumerate(ordered_schemes)

@@ -1,0 +1,1 @@
+"""Test-suite package marker (lets suites import shared kits as ``tests.*``)."""

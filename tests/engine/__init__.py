@@ -1,0 +1,1 @@
+"""Lane-protocol test kits: conformance suite + ledger-audit regression."""

@@ -1,0 +1,220 @@
+"""Batched-vs-sequential equivalence of the lockstep joint-frame core path.
+
+Every entry point of :mod:`repro.core.ensemble` must reproduce the
+per-frame :class:`~repro.core.session.SourceSyncSession` outputs under
+identical seeds: the lockstep engine consumes each session's generator in
+exactly the sequential order, so detection outcomes, CRC/decode outcomes
+and schedules are identical, and floating-point measurements agree to a few
+ulp (SIMD kernel selection on batched arrays — the documented
+``receive_batch`` caveat).  The four converted experiments are additionally
+checked end to end at their smoke presets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import JointTopology, SourceSyncConfig, SourceSyncSession
+from repro.core import ensemble as ens
+from repro.phy import bits as bitutils
+
+
+def _make_sessions(seeds, snr_db=14.0, lead_cosender_snr_db=18.0):
+    sessions = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        topo = JointTopology.from_snrs(
+            rng,
+            lead_rx_snr_db=snr_db,
+            cosender_rx_snr_db=[snr_db],
+            lead_cosender_snr_db=[lead_cosender_snr_db],
+        )
+        sessions.append(SourceSyncSession(topo, SourceSyncConfig(), rng=rng))
+    return sessions
+
+
+def _rng_states_match(a, b):
+    return all(x.rng.bit_generator.state == y.rng.bit_generator.state for x, y in zip(a, b))
+
+
+SEEDS = [301, 302, 303]
+
+
+@pytest.fixture()
+def session_pairs():
+    return _make_sessions(SEEDS), _make_sessions(SEEDS)
+
+
+class TestJointBatchMeasurement:
+    def test_joint_batch_measure_delays_matches_sequential(self, session_pairs):
+        seq, bat = session_pairs
+        for session in seq:
+            session.measure_delays()
+        ens.measure_delays_batch(bat)
+        for a, b in zip(seq, bat):
+            for sa, sb in zip(a._states, b._states):
+                assert sa.lead_to_cosender_samples == pytest.approx(
+                    sb.lead_to_cosender_samples, abs=1e-9
+                )
+                assert sa.lead_to_receiver_samples == pytest.approx(
+                    sb.lead_to_receiver_samples, abs=1e-9
+                )
+                assert sa.cosender_to_receiver_samples == pytest.approx(
+                    sb.cosender_to_receiver_samples, abs=1e-9
+                )
+                assert sa.cfo_to_lead_hz == pytest.approx(sb.cfo_to_lead_hz, abs=1e-6)
+        assert _rng_states_match(seq, bat)
+
+    def test_joint_batch_converge_tracking_matches_sequential(self, session_pairs):
+        seq, bat = session_pairs
+        for session in seq:
+            session.measure_delays()
+            session.converge_tracking(rounds=3)
+        ens.measure_delays_batch(bat)
+        ens.converge_tracking_batch(bat, rounds=3)
+        for a, b in zip(seq, bat):
+            assert a._states[0].tracker.wait_time_samples == pytest.approx(
+                b._states[0].tracker.wait_time_samples, abs=1e-9
+            )
+        assert _rng_states_match(seq, bat)
+
+
+class TestJointBatchExchanges:
+    def test_joint_batch_header_exchanges_match_sequential(self, session_pairs):
+        seq, bat = session_pairs
+        for session in seq:
+            session.measure_delays()
+        ens.measure_delays_batch(bat)
+        sequential = [
+            [s.run_header_exchange(apply_tracking_feedback=False) for _ in range(3)]
+            for s in seq
+        ]
+        batched = ens.run_header_exchanges_batch(bat, repeats=3)
+        for per_session_seq, per_session_bat in zip(sequential, batched):
+            for a, b in zip(per_session_seq, per_session_bat):
+                assert a.detected == b.detected
+                assert a.schedules_feasible == b.schedules_feasible
+                np.testing.assert_allclose(
+                    a.true_misalignment_samples, b.true_misalignment_samples, rtol=1e-9
+                )
+                if a.detected:
+                    np.testing.assert_allclose(
+                        a.measured_misalignment.misalignments_samples,
+                        b.measured_misalignment.misalignments_samples,
+                        rtol=1e-6,
+                        atol=1e-9,
+                    )
+        assert _rng_states_match(seq, bat)
+
+    def test_joint_batch_feedback_requires_single_repeat(self, session_pairs):
+        _, bat = session_pairs
+        with pytest.raises(ValueError):
+            ens.run_header_exchanges_batch(bat, repeats=2, apply_tracking_feedback=True)
+
+    def test_joint_batch_sync_trials_match_sequential(self, session_pairs):
+        seq, bat = session_pairs
+        sequential = [[s.run_sync_trial() for _ in range(2)] for s in seq]
+        batched = [s_b.run_sync_trials_batch(2) for s_b in bat]
+        for per_session_seq, per_session_bat in zip(sequential, batched):
+            for a, b in zip(per_session_seq, per_session_bat):
+                assert a.feasible == b.feasible
+                np.testing.assert_allclose(
+                    a.misalignment_samples, b.misalignment_samples, rtol=1e-9
+                )
+        assert _rng_states_match(seq, bat)
+
+
+class TestJointBatchFrames:
+    def test_joint_batch_frames_match_sequential(self):
+        seq = _make_sessions([401, 402], snr_db=20.0, lead_cosender_snr_db=25.0)
+        bat = _make_sessions([401, 402], snr_db=20.0, lead_cosender_snr_db=25.0)
+        for s in seq:
+            s.measure_delays()
+            s.converge_tracking(rounds=3)
+        ens.measure_delays_batch(bat)
+        ens.converge_tracking_batch(bat, rounds=3)
+        payload = bitutils.random_payload(40, np.random.default_rng(9))
+        cps = [0, 8, 32]
+        sequential = [
+            [
+                s.run_joint_frame(
+                    payload,
+                    data_cp_samples=cp,
+                    apply_tracking_feedback=False,
+                    genie_timing=True,
+                )
+                for cp in cps
+            ]
+            for s in seq
+        ]
+        batched = [
+            s.run_joint_ensemble([payload] * len(cps), data_cp_samples=list(cps), genie_timing=True)
+            for s in bat
+        ]
+        for per_session_seq, per_session_bat in zip(sequential, batched):
+            for a, b in zip(per_session_seq, per_session_bat):
+                assert a.result.detected == b.result.detected
+                assert a.result.crc_ok == b.result.crc_ok
+                assert a.result.payload == b.result.payload
+                assert a.result.start_index == b.result.start_index
+                np.testing.assert_allclose(
+                    a.result.equalized_symbols, b.result.equalized_symbols, rtol=1e-9, atol=1e-12
+                )
+                np.testing.assert_allclose(
+                    a.true_misalignment_samples, b.true_misalignment_samples, rtol=1e-9
+                )
+        assert _rng_states_match(seq, bat)
+
+    def test_joint_batch_detection_mode_matches_sequential(self):
+        seq = _make_sessions([77], snr_db=20.0, lead_cosender_snr_db=25.0)
+        bat = _make_sessions([77], snr_db=20.0, lead_cosender_snr_db=25.0)
+        for s in seq:
+            s.measure_delays()
+        ens.measure_delays_batch(bat)
+        payload = bitutils.random_payload(30, np.random.default_rng(2))
+        a = seq[0].run_joint_frame(payload, data_cp_samples=8, apply_tracking_feedback=False)
+        (b,) = bat[0].run_joint_ensemble([payload], data_cp_samples=8)
+        assert a.result.detected == b.result.detected
+        assert a.result.start_index == b.result.start_index
+        assert a.result.payload == b.result.payload
+
+
+@pytest.mark.parametrize("name", ["fig12", "fig13", "fig15", "fig18"])
+def test_joint_batch_smoke_preset_equivalence(name):
+    """The four converted experiments: batched == sequential at smoke scale."""
+    from repro.experiments import registry
+
+    spec = registry.get(name)
+    batched = spec.run(spec.make_config("smoke"))
+    sequential = spec.run(spec.make_config("smoke", {"batched": False}))
+    _assert_series_equal(batched, sequential)
+
+
+def test_joint_batch_fig13_multi_topology_equivalence():
+    """fig13's widened chains (n_topologies > 1): both chains' sessions fold
+    into one joint-frame ensemble and must still match the sequential
+    per-session sweeps, summary included."""
+    from repro.experiments import registry
+
+    spec = registry.get("fig13")
+    overrides = {"n_topologies": 3}
+    batched = spec.run(spec.make_config("smoke", overrides))
+    sequential = spec.run(spec.make_config("smoke", {**overrides, "batched": False}))
+    _assert_series_equal(batched, sequential)
+    assert batched.summary.keys() == sequential.summary.keys()
+    for key in batched.summary:
+        np.testing.assert_allclose(
+            batched.summary[key], sequential.summary[key], rtol=1e-9, equal_nan=True
+        )
+
+
+def _assert_series_equal(batched, sequential):
+    """Every series column numerically identical across the two paths."""
+    assert batched.series.keys() == sequential.series.keys()
+    for key in batched.series:
+        first = batched.series[key]
+        if first and isinstance(first[0], str):
+            assert first == sequential.series[key]
+        else:
+            np.testing.assert_allclose(
+                first, sequential.series[key], rtol=1e-9, equal_nan=True
+            )
